@@ -1,0 +1,20 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper's evaluation section (sized via FA_CORES / FA_SCALE /
+//! FA_RUNS; see fa-bench's crate docs).
+
+fn main() {
+    // `cargo bench` passes --bench (and possibly filter args); ignore them.
+    let opts = fa_bench::BenchOpts::from_env();
+    println!("# Free Atomics — evaluation reproduction");
+    println!(
+        "(cores={}, scale={}, runs={}, drop={})",
+        opts.cores, opts.scale, opts.runs, opts.drop_slowest
+    );
+    fa_bench::figures::table1_config();
+    fa_bench::figures::fig01_atomic_cost(&opts);
+    fa_bench::figures::fig12_apki(&opts);
+    fa_bench::figures::table2_characterization(&opts);
+    fa_bench::figures::fig13_locality(&opts);
+    fa_bench::figures::fig14_exec_time(&opts);
+    fa_bench::figures::fig15_energy(&opts);
+}

@@ -1,0 +1,74 @@
+//! Criterion microbenchmarks: simulator throughput and the atomic-policy
+//! latency microbenchmark (a contended fetch-add counter — the minimal
+//! kernel exhibiting the paper's effect).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_core::AtomicPolicy;
+use fa_isa::interp::GuestMem;
+use fa_isa::{Kasm, Program, Reg};
+use fa_sim::machine::Machine;
+use fa_sim::presets::icelake_like;
+
+fn counter_prog(iters: i64) -> Program {
+    let mut k = Kasm::new();
+    k.li(Reg::R1, 0x100);
+    k.li(Reg::R2, 1);
+    k.li(Reg::R3, 0);
+    let top = k.here_label();
+    k.fetch_add(Reg::R4, Reg::R1, 0, Reg::R2);
+    k.addi(Reg::R3, Reg::R3, 1);
+    k.blt_imm(Reg::R3, iters, top);
+    k.halt();
+    k.finish().unwrap()
+}
+
+fn scalar_prog(iters: i64) -> Program {
+    let mut k = Kasm::new();
+    k.li(Reg::R1, 0x1000);
+    k.li(Reg::R3, 0);
+    let top = k.here_label();
+    k.ld(Reg::R4, Reg::R1, 0);
+    k.addi(Reg::R4, Reg::R4, 1);
+    k.st(Reg::R4, Reg::R1, 0);
+    k.alu(fa_isa::AluOp::Mul, Reg::R5, Reg::R4, fa_isa::Operand::Imm(7));
+    k.addi(Reg::R3, Reg::R3, 1);
+    k.blt_imm(Reg::R3, iters, top);
+    k.halt();
+    k.finish().unwrap()
+}
+
+/// Simulated cycles for a 4-core contended counter, per policy. The point
+/// of the paper in one number per policy: fewer cycles = faster atomics.
+fn contended_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_counter_4c");
+    for policy in AtomicPolicy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.label()), &policy, |b, &p| {
+            b.iter(|| {
+                let mut cfg = icelake_like();
+                cfg.core.policy = p;
+                let mut m =
+                    Machine::new(cfg, vec![counter_prog(50); 4], GuestMem::new(1 << 16));
+                m.run(10_000_000).expect("quiesce").cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Host-side simulation throughput (simulated instructions per host
+/// second) on a single-core scalar kernel.
+fn simulator_throughput(c: &mut Criterion) {
+    c.bench_function("simulate_10k_instrs_1core", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                icelake_like(),
+                vec![scalar_prog(1600)],
+                GuestMem::new(1 << 16),
+            );
+            m.run(10_000_000).expect("quiesce").cycles
+        })
+    });
+}
+
+criterion_group!(benches, contended_counter, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation sweeps over the design parameters DESIGN.md calls out:
+//!
+//! * **AQ size** — the paper's §4.3 sensitivity analysis concludes 4
+//!   entries suffice; sweep 1/2/4/8.
+//! * **Watchdog threshold** — §3.2.5 picks 10 000 cycles to avoid
+//!   unnecessary squashes; sweep 300/1 000/10 000/100 000.
+//! * **Forwarding chain limit** — §3.3.4 caps chains at 32 against
+//!   livelock; sweep 0/1/4/32.
+//!
+//! Uses a representative atomic-intensive subset to keep runtime sane;
+//! select other workloads with `FA_WORKLOADS`.
+
+use fa_bench::{fmt, row, run_once, BenchOpts};
+use fa_core::AtomicPolicy;
+use fa_sim::machine::MachineConfig;
+use fa_sim::presets::icelake_like;
+use fa_workloads::suite;
+
+fn subset(opts: &BenchOpts) -> Vec<fa_workloads::WorkloadSpec> {
+    if std::env::var("FA_WORKLOADS").is_ok() {
+        return opts.workloads();
+    }
+    ["TATP", "AS", "barnes", "canneal"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("known"))
+        .collect()
+}
+
+fn sweep(
+    title: &str,
+    opts: &BenchOpts,
+    values: &[u64],
+    apply: impl Fn(&mut MachineConfig, u64),
+) {
+    println!("\n## Ablation — {title}\n");
+    let mut header = vec!["workload".to_string()];
+    header.extend(values.iter().map(|v| v.to_string()));
+    println!("{}", row(&header));
+    for spec in subset(opts) {
+        let mut cells = vec![spec.name.to_string()];
+        let mut base = None;
+        for &v in values {
+            let mut cfg = icelake_like();
+            cfg.core.policy = AtomicPolicy::FreeFwd;
+            apply(&mut cfg, v);
+            let r = run_once(&spec, AtomicPolicy::FreeFwd, &cfg, opts);
+            let b = *base.get_or_insert(r.cycles as f64);
+            cells.push(fmt(r.cycles as f64 / b, 3));
+        }
+        println!("{}", row(&cells));
+    }
+}
+
+fn main() {
+    let mut opts = BenchOpts::from_env();
+    if std::env::var("FA_SCALE").is_err() {
+        opts.scale = 0.15;
+    }
+    if std::env::var("FA_CORES").is_err() {
+        opts.cores = 4;
+    }
+    println!("(cycles normalized to the leftmost configuration; lower is better)");
+    sweep("Atomic Queue entries (paper: 4)", &opts, &[1, 2, 4, 8], |c, v| {
+        c.core.aq_size = v as usize;
+    });
+    sweep(
+        "watchdog threshold in cycles (paper: 10000)",
+        &opts,
+        &[300, 1_000, 10_000, 100_000],
+        |c, v| {
+            c.core.watchdog_threshold = v;
+        },
+    );
+    sweep(
+        "forwarding chain limit (paper: 32; 0 disables forwarding)",
+        &opts,
+        &[0, 1, 4, 32],
+        |c, v| {
+            c.core.fwd_chain_max = v as u32;
+        },
+    );
+}

@@ -1,0 +1,38 @@
+//! Developer diagnostic: per-policy counter dump for selected workloads.
+
+use fa_bench::BenchOpts;
+use fa_core::AtomicPolicy;
+use fa_sim::presets::icelake_like;
+
+fn main() {
+    let mut opts = BenchOpts::from_env();
+    if std::env::var("FA_SCALE").is_err() {
+        opts.scale = 0.1;
+    }
+    if std::env::var("FA_CORES").is_err() {
+        opts.cores = 4;
+    }
+    for spec in opts.workloads() {
+        for policy in AtomicPolicy::ALL {
+            let r = fa_bench::run_once(&spec, policy, &icelake_like(), &opts);
+            let a = r.aggregate();
+            println!(
+                "{:<14} {:<16} cycles={:<8} atomics={:<6} wd={:<4} sq_br={:<5} sq_mdv={:<5} \
+                 sq_inv={:<6} squop={:<8} fba={:<5} fbs={:<5} sleep={:<8} parked={}",
+                spec.name,
+                policy.label(),
+                r.cycles,
+                a.atomics,
+                a.watchdog_fires,
+                a.squashes_branch,
+                a.squashes_memorder,
+                a.squashes_inval,
+                a.squashed_uops,
+                a.atomics_fwd_from_atomic,
+                a.atomics_fwd_from_store,
+                a.sleep_cycles,
+                r.mem.cores.iter().map(|c| c.parked_on_lock).sum::<u64>(),
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates **Figure 1**: the cost of fenced atomic RMWs.
+
+fn main() {
+    fa_bench::figures::fig01_atomic_cost(&fa_bench::BenchOpts::from_env());
+}

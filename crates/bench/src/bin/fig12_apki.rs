@@ -1,0 +1,5 @@
+//! Regenerates **Figure 12**: atomics per kilo-instruction.
+
+fn main() {
+    fa_bench::figures::fig12_apki(&fa_bench::BenchOpts::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates **Figure 13**: locality of atomics.
+
+fn main() {
+    fa_bench::figures::fig13_locality(&fa_bench::BenchOpts::from_env());
+}

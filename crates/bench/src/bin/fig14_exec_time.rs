@@ -1,0 +1,6 @@
+//! Regenerates **Figure 14**: normalized execution time of the four
+//! atomic policies, including the §5.5 headline averages.
+
+fn main() {
+    fa_bench::figures::fig14_exec_time(&fa_bench::BenchOpts::from_env());
+}

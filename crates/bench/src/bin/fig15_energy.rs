@@ -1,0 +1,5 @@
+//! Regenerates **Figure 15**: normalized energy consumption.
+
+fn main() {
+    fa_bench::figures::fig15_energy(&fa_bench::BenchOpts::from_env());
+}

@@ -1,0 +1,39 @@
+//! Quick end-to-end smoke run: every workload on the detailed simulator
+//! under two policies at a small scale, printing cycles / instructions /
+//! APKI. Used during development and as a fast sanity gate.
+
+use fa_bench::{fmt, row, BenchOpts};
+use fa_core::AtomicPolicy;
+use fa_sim::presets::icelake_like;
+
+fn main() {
+    let mut opts = BenchOpts::from_env();
+    if std::env::var("FA_SCALE").is_err() {
+        opts.scale = 0.1;
+    }
+    if std::env::var("FA_CORES").is_err() {
+        opts.cores = 4;
+    }
+    let base = icelake_like();
+    println!(
+        "{}",
+        row(&["workload".into(), "policy".into(), "cycles".into(), "instrs".into(), "APKI".into()])
+    );
+    for spec in opts.workloads() {
+        for policy in [AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd] {
+            let t0 = std::time::Instant::now();
+            let r = fa_bench::run_once(&spec, policy, &base, &opts);
+            println!(
+                "{}  ({:.2}s wall)",
+                row(&[
+                    spec.name.into(),
+                    policy.label().into(),
+                    r.cycles.to_string(),
+                    r.instructions().to_string(),
+                    fmt(r.apki(), 2),
+                ]),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Prints **Table 1**: the simulated system configuration.
+
+fn main() {
+    fa_bench::figures::table1_config();
+}

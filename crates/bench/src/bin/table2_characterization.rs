@@ -1,0 +1,5 @@
+//! Regenerates **Table 2**: characterization of Free atomics.
+
+fn main() {
+    fa_bench::figures::table2_characterization(&fa_bench::BenchOpts::from_env());
+}

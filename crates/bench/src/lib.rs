@@ -1,0 +1,174 @@
+//! Shared harness for the figure/table regeneration benches.
+//!
+//! Every experiment of the paper's evaluation section (§5) has a binary in
+//! `src/bin/` and is also driven by the `figures` bench target; this module
+//! holds the common machinery: environment-controlled sizing, the
+//! measurement loop, and table formatting.
+//!
+//! # Environment
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `FA_CORES` | 8 | simulated cores (the paper uses 32) |
+//! | `FA_SCALE` | 0.25 | workload size multiplier |
+//! | `FA_RUNS` | 3 | runs per configuration (paper: 10, drop 3) |
+//! | `FA_DROP` | 1 | slowest runs dropped |
+//! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
+
+pub mod figures;
+
+use fa_core::AtomicPolicy;
+use fa_sim::machine::{MachineConfig, RunResult};
+use fa_sim::methodology::{measure, Methodology, MultiRun};
+use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
+
+/// Experiment sizing, read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchOpts {
+    /// Simulated cores.
+    pub cores: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Runs per configuration.
+    pub runs: usize,
+    /// Slowest runs dropped.
+    pub drop_slowest: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts { cores: 8, scale: 0.25, runs: 3, drop_slowest: 1, seed: 0xF00D }
+    }
+}
+
+impl BenchOpts {
+    /// Reads sizing from the environment (see module docs).
+    pub fn from_env() -> BenchOpts {
+        let mut o = BenchOpts::default();
+        if let Ok(v) = std::env::var("FA_CORES") {
+            o.cores = v.parse().expect("FA_CORES must be a number");
+        }
+        if let Ok(v) = std::env::var("FA_SCALE") {
+            o.scale = v.parse().expect("FA_SCALE must be a float");
+        }
+        if let Ok(v) = std::env::var("FA_RUNS") {
+            o.runs = v.parse().expect("FA_RUNS must be a number");
+        }
+        if let Ok(v) = std::env::var("FA_DROP") {
+            o.drop_slowest = v.parse().expect("FA_DROP must be a number");
+        }
+        o
+    }
+
+    /// Workload parameters for these options.
+    pub fn params(&self) -> WorkloadParams {
+        WorkloadParams { cores: self.cores, scale: self.scale, seed: self.seed }
+    }
+
+    /// Measurement methodology for these options.
+    pub fn methodology(&self) -> Methodology {
+        Methodology {
+            runs: self.runs,
+            drop_slowest: self.drop_slowest,
+            max_offset: 1500,
+            seed: self.seed ^ 0xDEAD_BEEF,
+            max_cycles: 400_000_000,
+        }
+    }
+
+    /// The workload subset selected via `FA_WORKLOADS`, or the full suite.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        match std::env::var("FA_WORKLOADS") {
+            Ok(list) => {
+                let names: Vec<&str> = list.split(',').map(str::trim).collect();
+                suite::all()
+                    .into_iter()
+                    .filter(|s| names.contains(&s.name))
+                    .collect()
+            }
+            Err(_) => suite::all(),
+        }
+    }
+}
+
+/// Runs `spec` under `policy` with the multi-run methodology.
+///
+/// # Panics
+///
+/// Panics if any run fails to quiesce — a forward-progress bug.
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    policy: AtomicPolicy,
+    base: &MachineConfig,
+    opts: &BenchOpts,
+) -> MultiRun {
+    let mut cfg = base.clone();
+    cfg.core.policy = policy;
+    let params = opts.params();
+    measure(&cfg, &opts.methodology(), || {
+        let w = spec.build(&params);
+        (w.programs, w.mem)
+    })
+    .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
+}
+
+/// Runs `spec` once (single run, no offsets) — for characterization tables
+/// where per-counter detail matters more than timing noise.
+pub fn run_once(
+    spec: &WorkloadSpec,
+    policy: AtomicPolicy,
+    base: &MachineConfig,
+    opts: &BenchOpts,
+) -> RunResult {
+    let mut cfg = base.clone();
+    cfg.core.policy = policy;
+    let params = opts.params();
+    let w = spec.build(&params);
+    let mut m = fa_sim::Machine::new(cfg, w.programs, w.mem);
+    m.run(400_000_000).unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
+}
+
+/// Geometric-mean helper (the paper reports averages over normalized
+/// values; we use arithmetic means of ratios like the paper's bars).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Formats `x` with `d` decimals.
+pub fn fmt(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_default_and_params() {
+        let o = BenchOpts::default();
+        assert_eq!(o.params().cores, 8);
+        assert_eq!(o.methodology().runs, 3);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+        assert_eq!(fmt(1.2345, 2), "1.23");
+    }
+}

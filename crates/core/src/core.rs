@@ -1,0 +1,1195 @@
+//! The out-of-order core pipeline.
+//!
+//! A unified-ROB model: fetch/decode/rename dispatch micro-ops into the ROB;
+//! a scan-based scheduler wakes and issues them; loads and stores go through
+//! LSQ disambiguation with StoreSet prediction and store-to-load forwarding;
+//! commit retires in order, moving stores into the store buffer, which drains
+//! to the memory system under TSO. Atomic RMWs follow one of the four
+//! [`AtomicPolicy`] flavours; the Atomic Queue tracks their cache-line locks
+//! and forwarding responsibilities, and the watchdog breaks the deadlocks
+//! that fence-free execution can create (§3.2.5 of the paper).
+
+use crate::aq::{AqState, AtomicQueue};
+use crate::config::{AtomicPolicy, CoreConfig};
+use crate::predictor::{BranchPredictor, StoreSets};
+use crate::rob::{Entry, FwdSource, MemPhase, Rob, Seq, SrcVal};
+use crate::stats::{CoreStats, SquashCause};
+use fa_isa::reg::NUM_REGS;
+use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
+use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
+use std::collections::VecDeque;
+
+/// Debug switch (`FA_WD_DEBUG=1`): log watchdog flushes with pipeline
+/// context.
+fn wd_debug() -> bool {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("FA_WD_DEBUG").is_ok())
+}
+
+/// Why the front-end stopped fetching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FetchBarrier {
+    /// A `Halt` was fetched; nothing follows.
+    Halt,
+    /// A `MonitorWait` was fetched; fetch resumes at wake.
+    Monitor,
+}
+
+/// Execution state of the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CoreState {
+    /// Executing normally.
+    Running,
+    /// Asleep in MonitorWait.
+    Sleeping { line: Line, wake_at: u64, resume_pc: u32 },
+    /// Halted (terminal).
+    Halted,
+}
+
+/// A committed store waiting to perform, in program order.
+#[derive(Clone, Copy, Debug)]
+struct SbEntry {
+    seq: Seq,
+    pc: u32,
+    addr: Addr,
+    value: Word,
+    /// This is a store_unlock draining (releases its atomic's lock unless
+    /// forwarding transferred it).
+    is_unlock: bool,
+    /// For a store_unlock: its load_lock's sequence number (AQ release key).
+    ll_seq: Option<Seq>,
+    /// A GetX for this entry is outstanding.
+    acquire_pending: bool,
+}
+
+/// One simulated out-of-order core.
+///
+/// Drive it by calling [`Core::tick`] once per cycle with the shared
+/// [`MemorySystem`]; query progress via [`Core::halted`] and
+/// [`Core::stats`].
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    cfg: CoreConfig,
+    prog: Program,
+    mem_bytes: u64,
+
+    // Front end.
+    fetch_pc: u32,
+    fetch_stall_until: u64,
+    fetch_barrier: Option<FetchBarrier>,
+    next_seq: Seq,
+
+    // Rename + architectural state.
+    rename: [Option<Seq>; NUM_REGS],
+    arch_regs: [Word; NUM_REGS],
+
+    // Back end.
+    rob: Rob,
+    aq: AtomicQueue,
+    sb: VecDeque<SbEntry>,
+    lq_count: usize,
+    sq_count: usize,
+    bp: BranchPredictor,
+    ss: StoreSets,
+
+    state: CoreState,
+    wd_counter: u64,
+
+    /// Statistics, live during the run.
+    pub stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core executing `prog` against a guest memory of
+    /// `mem_bytes` (used to detect wrong-path wild addresses).
+    pub fn new(id: CoreId, cfg: CoreConfig, prog: Program, mem_bytes: u64) -> Core {
+        let bp = BranchPredictor::new(cfg.bp_table_bits, cfg.bp_history_bits);
+        let ss = StoreSets::new(10);
+        let aq = AtomicQueue::new(cfg.aq_size);
+        Core {
+            id,
+            cfg,
+            prog,
+            mem_bytes,
+            fetch_pc: 0,
+            fetch_stall_until: 0,
+            fetch_barrier: None,
+            next_seq: 1,
+            rename: [None; NUM_REGS],
+            arch_regs: [0; NUM_REGS],
+            rob: Rob::new(),
+            aq,
+            sb: VecDeque::new(),
+            lq_count: 0,
+            sq_count: 0,
+            bp,
+            ss,
+            state: CoreState::Running,
+            wd_counter: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// True once `Halt` has committed.
+    pub fn halted(&self) -> bool {
+        self.state == CoreState::Halted
+    }
+
+    /// True while the core sleeps in MonitorWait.
+    pub fn sleeping(&self) -> bool {
+        matches!(self.state, CoreState::Sleeping { .. })
+    }
+
+    /// The core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Architectural register value (valid at halt; speculative state is
+    /// not included).
+    pub fn arch_reg(&self, r: Reg) -> Word {
+        if r.is_zero() {
+            0
+        } else {
+            self.arch_regs[r.index()]
+        }
+    }
+
+    /// Finalizes predictor statistics into [`Core::stats`]. Call once at the
+    /// end of a run.
+    pub fn finalize_stats(&mut self) {
+        self.stats.branch_lookups = self.bp.lookups;
+        self.stats.branch_mispredicts = self.bp.mispredicts;
+    }
+
+    /// Advances the core one cycle.
+    pub fn tick(&mut self, now: u64, mem: &mut MemorySystem) {
+        if self.state == CoreState::Halted {
+            // The pipeline is dead but committed stores must still drain.
+            let responses = mem.drain_responses(self.id);
+            let _ = mem.drain_notices(self.id);
+            self.handle_idle_responses(&responses, mem);
+            self.drain_store_buffer(now, mem);
+            return;
+        }
+        self.stats.cycles += 1;
+
+        let notices = mem.drain_notices(self.id);
+        let responses = mem.drain_responses(self.id);
+
+        // Sleeping: drain the SB and watch for the wake condition.
+        if let CoreState::Sleeping { line, wake_at, resume_pc } = self.state {
+            self.stats.sleep_cycles += 1;
+            self.handle_idle_responses(&responses, mem);
+            self.drain_store_buffer(now, mem);
+            let line_written = notices
+                .iter()
+                .any(|n| matches!(n, CoreNotice::LineLost { line: l, .. } if *l == line));
+            if line_written || now >= wake_at {
+                self.state = CoreState::Running;
+                self.fetch_barrier = None;
+                self.fetch_pc = resume_pc;
+                self.fetch_stall_until = now + 1;
+            }
+            return;
+        }
+
+        if wd_debug() && now.is_multiple_of(5000) && self.aq.any_locked() {
+            eprintln!(
+                "[state {:?} @{now}] rob_head={:?} rob_len={} sb_len={} wd={} aq={:?}",
+                self.id,
+                self.rob.front().map(|e| (e.seq, e.uop.kind, e.uop.pc, e.done, e.issued)),
+                self.rob.len(),
+                self.sb.len(),
+                self.wd_counter,
+                self.aq
+            );
+        }
+
+        // 1. Invalidation-driven squash of speculatively performed loads
+        //    (the TSO load→load repair).
+        for n in &notices {
+            let CoreNotice::LineLost { line, .. } = n;
+            self.squash_performed_loads_on(*line, now, mem);
+        }
+
+        // 2. Memory responses.
+        self.handle_responses(&responses, now, mem);
+
+        // 3. Finish executions whose latency expired (branches may squash).
+        self.finalize_executions(now, mem);
+
+        // 4. Deadlock watchdog.
+        self.watchdog(now, mem);
+
+        // 5. In-order commit.
+        self.commit(now, mem);
+
+        // 6. Store-buffer drain.
+        self.drain_store_buffer(now, mem);
+
+        // 7. Wakeup + issue.
+        self.wakeup(now);
+        self.issue(now, mem);
+
+        // 8. Fetch/decode/rename/dispatch.
+        self.fetch(now);
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn fetch(&mut self, now: u64) {
+        if self.state != CoreState::Running
+            || self.fetch_barrier.is_some()
+            || now < self.fetch_stall_until
+        {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width {
+            let pc = self.fetch_pc;
+            let instr = *self.prog.get(pc as usize).expect("fetch past program end");
+            let uops = fa_isa::decode(instr, pc);
+            // Structural resources for the whole instruction.
+            if self.rob.len() + uops.len() > self.cfg.rob_size {
+                break;
+            }
+            let loads = uops.iter().filter(|u| u.is_load_class()).count()
+                + uops
+                    .iter()
+                    .filter(|u| matches!(u.kind, UopKind::MonitorWait { .. }))
+                    .count();
+            let stores = uops.iter().filter(|u| u.is_store_class()).count();
+            if self.lq_count + loads > self.cfg.lq_size
+                || self.sq_count + stores > self.cfg.sq_size
+            {
+                break;
+            }
+            if instr.is_rmw() && self.aq.is_full() {
+                self.stats.aq_full_stalls += 1;
+                break;
+            }
+            for u in &uops {
+                self.dispatch_uop(*u, now);
+            }
+            fetched += 1;
+            match instr {
+                Instr::Branch { .. } => {
+                    // Direction was predicted inside dispatch_uop; it set
+                    // fetch_pc already.
+                }
+                Instr::Jump { target } => self.fetch_pc = target,
+                Instr::Halt => {
+                    self.fetch_barrier = Some(FetchBarrier::Halt);
+                    break;
+                }
+                Instr::MonitorWait { .. } => {
+                    self.fetch_barrier = Some(FetchBarrier::Monitor);
+                    break;
+                }
+                _ => self.fetch_pc = pc + 1,
+            }
+        }
+    }
+
+    fn dispatch_uop(&mut self, uop: Uop, now: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut e = Entry::new(seq, uop);
+
+        // Capture sources through the rename table.
+        for r in uop.srcs().iter() {
+            let i = e.nsrcs as usize;
+            e.src_regs[i] = r;
+            e.srcs[i] = match self.rename[r.index()] {
+                Some(pseq) => match self.rob.get(pseq) {
+                    Some(p) if p.done => SrcVal::Ready(p.result),
+                    Some(_) => SrcVal::Wait { seq: pseq, reg: r },
+                    None => SrcVal::Ready(self.arch_regs[r.index()]),
+                },
+                None => SrcVal::Ready(self.arch_regs[r.index()]),
+            };
+            e.nsrcs += 1;
+        }
+        // Rename the destination.
+        if let Some(d) = uop.dst() {
+            if !d.is_zero() {
+                e.prev_map = Some((d, self.rename[d.index()]));
+                self.rename[d.index()] = Some(seq);
+            }
+        }
+        // Class bookkeeping.
+        if uop.is_load_class() || matches!(uop.kind, UopKind::MonitorWait { .. }) {
+            self.lq_count += 1;
+        }
+        if uop.is_store_class() {
+            self.sq_count += 1;
+            self.ss.store_dispatched(uop.pc, seq);
+        }
+        match uop.kind {
+            UopKind::LoadLock { .. } => self.aq.alloc(seq),
+            UopKind::Branch { target, .. } => {
+                let (taken, snap) = self.bp.predict(uop.pc);
+                e.pred_taken = taken;
+                e.bp_snapshot = snap;
+                self.fetch_pc = if taken { target } else { uop.pc + 1 };
+            }
+            UopKind::Jump { .. }
+            | UopKind::Fence(_)
+            | UopKind::Nop
+            | UopKind::Halt => {
+                e.done = true;
+            }
+            UopKind::Pause => {
+                e.done_at = Some(now + self.cfg.pause_lat);
+                e.issued = true;
+            }
+            _ => {}
+        }
+        self.rob.push(e);
+    }
+
+    // -------------------------------------------------------------- wakeup
+
+    /// Resolves `Wait` operands against completed producers.
+    fn wakeup(&mut self, _now: u64) {
+        let Some(head) = self.rob.head_seq() else { return };
+        // Collect resolutions read-only, then apply.
+        let mut updates: Vec<(Seq, usize, Word)> = Vec::new();
+        for e in self.rob.iter() {
+            if e.done {
+                continue;
+            }
+            for i in 0..e.nsrcs as usize {
+                if let SrcVal::Wait { seq, reg } = e.srcs[i] {
+                    if seq < head {
+                        updates.push((e.seq, i, self.arch_regs[reg.index()]));
+                    } else if let Some(p) = self.rob.get(seq) {
+                        if p.done {
+                            updates.push((e.seq, i, p.result));
+                        }
+                    } else {
+                        updates.push((e.seq, i, self.arch_regs[reg.index()]));
+                    }
+                }
+            }
+        }
+        for (seq, i, v) in updates {
+            if let Some(e) = self.rob.get_mut(seq) {
+                e.srcs[i] = SrcVal::Ready(v);
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- issue
+
+    fn issue(&mut self, now: u64, mem: &mut MemorySystem) {
+        // Address generation + store resolution first (may trigger MDV
+        // squashes), then issue.
+        self.compute_addresses(now, mem);
+
+        let mut budget = self.cfg.issue_width;
+        let seqs: Vec<Seq> = self
+            .rob
+            .iter()
+            .filter(|e| !e.issued && !e.done)
+            .map(|e| e.seq)
+            .collect();
+        for seq in seqs {
+            if budget == 0 {
+                break;
+            }
+            // The entry may have been squashed by an earlier issue this
+            // cycle (an MDV raised by a store issuing, say).
+            let Some(e) = self.rob.get(seq) else { continue };
+            if e.issued || e.done {
+                continue;
+            }
+            let issued = match e.uop.kind {
+                UopKind::Alu { .. } | UopKind::RmwAlu { .. } => self.issue_alu(seq, now),
+                UopKind::Branch { .. } => self.issue_branch(seq, now),
+                UopKind::Load { .. } | UopKind::LoadLock { .. } => {
+                    self.issue_load(seq, now, mem)
+                }
+                UopKind::Store { .. } | UopKind::StoreUnlock { .. } => {
+                    self.issue_store(seq, now)
+                }
+                UopKind::MonitorWait { .. } => self.issue_monitor(seq, now, mem),
+                _ => false,
+            };
+            if issued {
+                budget -= 1;
+            }
+        }
+    }
+
+    fn issue_alu(&mut self, seq: Seq, now: u64) -> bool {
+        let e = self.rob.get(seq).expect("entry exists");
+        if !e.srcs_ready() {
+            return false;
+        }
+        let (result, lat) = match e.uop.kind {
+            UopKind::Alu { op, a, b, .. } => {
+                let av = e.value_of(a).expect("ready");
+                let bv = match b {
+                    fa_isa::Operand::Reg(r) => e.value_of(r).expect("ready"),
+                    fa_isa::Operand::Imm(v) => v as u64,
+                };
+                let lat = if matches!(op, fa_isa::AluOp::Mul) {
+                    self.cfg.mul_lat
+                } else {
+                    self.cfg.alu_lat
+                };
+                (op.eval(av, bv), lat)
+            }
+            UopKind::RmwAlu { op, old, src, cmp, .. } => {
+                let ov = e.value_of(old).expect("ready");
+                let sv = e.value_of(src).expect("ready");
+                let cv = e.value_of(cmp).expect("ready");
+                (op.store_value(ov, sv, cv), self.cfg.alu_lat)
+            }
+            _ => unreachable!(),
+        };
+        let e = self.rob.get_mut(seq).unwrap();
+        e.result = result;
+        e.issued = true;
+        e.issued_at = Some(now);
+        e.done_at = Some(now + lat);
+        true
+    }
+
+    fn issue_branch(&mut self, seq: Seq, now: u64) -> bool {
+        let e = self.rob.get(seq).expect("entry exists");
+        if !e.srcs_ready() {
+            return false;
+        }
+        let UopKind::Branch { cond, a, b, .. } = e.uop.kind else { unreachable!() };
+        let av = e.value_of(a).expect("ready");
+        let bv = match b {
+            fa_isa::Operand::Reg(r) => e.value_of(r).expect("ready"),
+            fa_isa::Operand::Imm(v) => v as u64,
+        };
+        let taken = cond.eval(av, bv);
+        let e = self.rob.get_mut(seq).unwrap();
+        e.result = u64::from(taken);
+        e.issued = true;
+        e.issued_at = Some(now);
+        e.done_at = Some(now + self.cfg.alu_lat);
+        true
+    }
+
+    fn issue_store(&mut self, seq: Seq, now: u64) -> bool {
+        // Stores "issue" once address and data are both known; the actual
+        // write happens at SB drain. Data readiness is all srcs ready.
+        let e = self.rob.get(seq).expect("entry exists");
+        if e.addr.is_none() || !e.srcs_ready() {
+            return false;
+        }
+        let e = self.rob.get_mut(seq).unwrap();
+        e.issued = true;
+        e.issued_at = Some(now);
+        e.done = true;
+        true
+    }
+
+    fn issue_monitor(&mut self, seq: Seq, now: u64, mem: &mut MemorySystem) -> bool {
+        let e = self.rob.get(seq).expect("entry exists");
+        let Some(addr) = e.addr else { return false };
+        if e.poisoned {
+            let e = self.rob.get_mut(seq).unwrap();
+            e.done = true;
+            e.mem = MemPhase::Performed;
+            return true;
+        }
+        match mem.read(self.id, seq, addr, false, false) {
+            fa_mem::privcache::ReqOutcome::Accepted => {
+                let e = self.rob.get_mut(seq).unwrap();
+                e.issued = true;
+                e.issued_at = Some(now);
+                e.mem = MemPhase::WaitCache;
+                true
+            }
+            fa_mem::privcache::ReqOutcome::Retry => false,
+        }
+    }
+
+    /// Computes effective addresses for memory micro-ops whose base operand
+    /// resolved; newly resolved store addresses run the memory-dependence
+    /// violation check.
+    fn compute_addresses(&mut self, now: u64, mem: &mut MemorySystem) {
+        let mut resolved_stores: Vec<Seq> = Vec::new();
+        let mut updates: Vec<(Seq, Addr, bool)> = Vec::new();
+        for e in self.rob.iter() {
+            if e.addr.is_some() {
+                continue;
+            }
+            let (base, offset) = match e.uop.kind {
+                UopKind::Load { base, offset, .. }
+                | UopKind::LoadLock { base, offset, .. }
+                | UopKind::Store { base, offset, .. }
+                | UopKind::StoreUnlock { base, offset, .. }
+                | UopKind::MonitorWait { base, offset } => (base, offset),
+                _ => continue,
+            };
+            let Some(bv) = e.value_of(base) else { continue };
+            let addr = bv.wrapping_add(offset as u64);
+            let poisoned = addr % 8 != 0 || addr >= self.mem_bytes;
+            updates.push((e.seq, addr, poisoned));
+            if e.uop.is_store_class() && !poisoned {
+                resolved_stores.push(e.seq);
+            }
+        }
+        for (seq, addr, poisoned) in updates {
+            let e = self.rob.get_mut(seq).unwrap();
+            e.addr = Some(addr);
+            e.poisoned = poisoned;
+            if e.ready_since.is_none() {
+                e.ready_since = Some(now);
+            }
+            if poisoned && e.uop.is_load_class() {
+                // Wrong-path wild load: never touches memory, pretends to
+                // perform. It can never commit (an older mispredicted branch
+                // must flush it).
+                e.done = true;
+                e.mem = MemPhase::Performed;
+            }
+        }
+        for sseq in resolved_stores {
+            let Some(s) = self.rob.get(sseq) else { continue };
+            self.ss.store_resolved(s.uop.pc, sseq);
+            self.check_mem_order_violation(sseq, now, mem);
+        }
+    }
+
+    /// A store just resolved its address: any younger load that already
+    /// performed against the same address without forwarding from it (or
+    /// from a younger store) violated program order.
+    fn check_mem_order_violation(&mut self, store_seq: Seq, now: u64, mem: &mut MemorySystem) {
+        let store = self.rob.get(store_seq).expect("store exists");
+        let saddr = store.addr.expect("resolved");
+        let spc = store.uop.pc;
+        let victim = self
+            .rob
+            .iter()
+            .filter(|e| e.seq > store_seq && e.uop.is_load_class() && !e.poisoned)
+            .filter(|e| e.addr == Some(saddr))
+            .filter(|e| e.mem == MemPhase::Performed || e.done)
+            .find(|e| match e.fwd_from {
+                None => true,
+                Some(f) => f < store_seq,
+            })
+            .map(|e| (e.seq, e.uop.pc, e.uop.slot));
+        if let Some((lseq, lpc, lslot)) = victim {
+            self.ss.train_violation(lpc, spc);
+            let first = lseq - lslot as u64;
+            self.squash_from(first, lpc, SquashCause::MemOrder, now, mem);
+        }
+    }
+
+    fn issue_load(&mut self, seq: Seq, now: u64, mem: &mut MemorySystem) -> bool {
+        let e = self.rob.get(seq).expect("entry exists");
+        if e.addr.is_none() || e.mem != MemPhase::Idle || e.poisoned {
+            return false;
+        }
+        let addr = e.addr.expect("checked");
+        let is_ll = matches!(e.uop.kind, UopKind::LoadLock { .. });
+        let pc = e.uop.pc;
+
+        // Fence ordering: younger loads wait on standalone fences always,
+        // and on atomic-post fences under the fenced policies.
+        if self.blocked_by_fence(seq) {
+            return false;
+        }
+        // Policy-specific load_lock issue conditions.
+        if is_ll && !self.load_lock_may_issue(seq) {
+            return false;
+        }
+        // Memory-dependence prediction: wait on trained store sets.
+        if let Some(wait_seq) = self.ss.load_should_wait(pc) {
+            if wait_seq < seq && self.rob.get(wait_seq).map(|s| s.addr.is_none()).unwrap_or(false)
+            {
+                return false;
+            }
+        }
+
+        // Search older stores, youngest first: ROB then SB.
+        enum Hit {
+            /// Forward `value` from store `seq` (`unlock` = store_unlock).
+            Fwd { sseq: Seq, value: Word, unlock: bool },
+            /// Conflict that cannot forward yet: wait.
+            Wait,
+            /// No conflict: go to cache.
+            None,
+        }
+        let mut hit = Hit::None;
+        for s in self.rob.iter().rev() {
+            if s.seq >= seq || !s.uop.is_store_class() {
+                continue;
+            }
+            match s.addr {
+                None => {
+                    // Unknown older store address: speculate past it (the
+                    // StoreSet check above already held back risky loads).
+                    continue;
+                }
+                Some(sa) if sa == addr => {
+                    let unlock = matches!(s.uop.kind, UopKind::StoreUnlock { .. });
+                    let data = match s.uop.kind {
+                        UopKind::Store { src, .. } | UopKind::StoreUnlock { src, .. } => {
+                            s.value_of(src)
+                        }
+                        _ => None,
+                    };
+                    hit = match data {
+                        Some(v) => Hit::Fwd { sseq: s.seq, value: v, unlock },
+                        None => Hit::Wait,
+                    };
+                    break;
+                }
+                Some(_) => continue,
+            }
+        }
+        if matches!(hit, Hit::None) {
+            // SB: committed but unperformed stores, youngest first.
+            for s in self.sb.iter().rev() {
+                if s.addr == addr {
+                    hit = Hit::Fwd { sseq: s.seq, value: s.value, unlock: s.is_unlock };
+                    break;
+                }
+            }
+        }
+
+        match hit {
+            Hit::Wait => false,
+            Hit::Fwd { sseq, value, unlock } => {
+                if is_ll {
+                    self.forward_to_load_lock(seq, sseq, value, unlock, now)
+                } else {
+                    let e = self.rob.get_mut(seq).unwrap();
+                    e.result = value;
+                    e.fwd_from = Some(sseq);
+                    e.mem = MemPhase::Performed;
+                    e.issued = true;
+                    e.issued_at = Some(now);
+                    e.done_at = Some(now + self.cfg.fwd_lat);
+                    self.stats.load_forwards += 1;
+                    true
+                }
+            }
+            Hit::None => {
+                match mem.read(self.id, seq, addr, is_ll, is_ll) {
+                    fa_mem::privcache::ReqOutcome::Accepted => {
+                        let drain = {
+                            let e = self.rob.get_mut(seq).unwrap();
+                            e.issued = true;
+                            e.issued_at = Some(now);
+                            e.mem = MemPhase::WaitCache;
+                            now.saturating_sub(e.ready_since.unwrap_or(now))
+                        };
+                        if is_ll {
+                            self.stats.atomic_drain_cycles += drain;
+                            if let Some(a) = self.aq.get_mut(seq) {
+                                a.issued_at = now;
+                            }
+                        }
+                        true
+                    }
+                    fa_mem::privcache::ReqOutcome::Retry => false,
+                }
+            }
+        }
+    }
+
+    /// Applies store-to-load forwarding to a load_lock (§3.3), or refuses
+    /// when the policy forbids it / the chain limit is hit (the load_lock
+    /// then waits for the store to drain — "re-scheduling").
+    fn forward_to_load_lock(
+        &mut self,
+        seq: Seq,
+        sseq: Seq,
+        value: Word,
+        from_unlock: bool,
+        now: u64,
+    ) -> bool {
+        if !self.cfg.policy.atomic_forwarding() {
+            return false; // wait for the store to perform
+        }
+        // Chain length: forwarding from an atomic extends its chain.
+        let chain = if from_unlock {
+            let src_ll = sseq - 2;
+            self.aq.get(src_ll).map(|a| a.chain + 1).unwrap_or(1)
+        } else {
+            1
+        };
+        if chain > self.cfg.fwd_chain_max {
+            return false;
+        }
+        // Record the responsibility on the providing store if still in the
+        // ROB (informational; lock transfer is driven by the AQ itself).
+        if let Some(s) = self.rob.get_mut(sseq) {
+            s.fwd_count += 1;
+            if from_unlock {
+                s.do_not_unlock = true;
+            } else {
+                s.lock_on_access = true;
+            }
+        }
+        let aqe = self.aq.get_mut(seq).expect("load_lock has an AQ entry");
+        aqe.state = AqState::Fwd { store_seq: sseq, from_atomic: from_unlock };
+        aqe.chain = chain;
+        aqe.issued_at = now;
+        let drain = {
+            let e = self.rob.get_mut(seq).unwrap();
+            e.result = value;
+            e.fwd_from = Some(sseq);
+            e.fwd_kind = Some(if from_unlock { FwdSource::Atomic } else { FwdSource::Store });
+            e.mem = MemPhase::Performed;
+            e.issued = true;
+            e.issued_at = Some(now);
+            e.done_at = Some(now + self.cfg.fwd_lat);
+            now.saturating_sub(e.ready_since.unwrap_or(now))
+        };
+        self.stats.load_forwards += 1;
+        self.stats.atomic_drain_cycles += drain;
+        // A forwarded load_lock performs immediately: reset the watchdog.
+        self.wd_counter = 0;
+        true
+    }
+
+    /// True when `seq` (a load-class micro-op) must wait behind a fence.
+    fn blocked_by_fence(&self, seq: Seq) -> bool {
+        for e in self.rob.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            if let UopKind::Fence(kind) = e.uop.kind {
+                match kind {
+                    FenceKind::Standalone => return true,
+                    FenceKind::AtomicPost if self.cfg.policy.fenced() => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// Policy gate for issuing a load_lock.
+    fn load_lock_may_issue(&self, seq: Seq) -> bool {
+        match self.cfg.policy {
+            AtomicPolicy::FencedBaseline => {
+                // Only at the ROB head-of-instruction (everything older
+                // committed — the AtomicPre fence commits as a nop ahead of
+                // us) and with the SB drained.
+                let oldest = self
+                    .rob
+                    .iter()
+                    .find(|e| !matches!(e.uop.kind, UopKind::Fence(_)))
+                    .map(|e| e.seq);
+                oldest == Some(seq) && self.sb.is_empty()
+            }
+            AtomicPolicy::FencedSpec => {
+                // All older memory operations must have committed and the SB
+                // drained — only *control* speculation is allowed (§3.1).
+                self.sb.is_empty()
+                    && !self.rob.iter().any(|e| e.seq < seq && e.uop.is_mem())
+            }
+            AtomicPolicy::Free | AtomicPolicy::FreeFwd => true,
+        }
+    }
+
+    // ----------------------------------------------------------- responses
+
+    fn handle_responses(&mut self, responses: &[CoreResp], now: u64, mem: &mut MemorySystem) {
+        for r in responses {
+            match *r {
+                CoreResp::ReadResp { seq, addr, value, had_write_perm, locked, .. } => {
+                    let live = self
+                        .rob
+                        .get(seq)
+                        .map(|e| e.mem == MemPhase::WaitCache)
+                        .unwrap_or(false);
+                    if !live {
+                        // Orphaned response (the requester was squashed).
+                        if locked {
+                            mem.unlock_line(self.id, line_of(addr));
+                        }
+                        continue;
+                    }
+                    let is_ll = {
+                        let e = self.rob.get_mut(seq).unwrap();
+                        e.result = value;
+                        e.mem = MemPhase::Performed;
+                        e.done = true;
+                        e.local_wp = had_write_perm;
+                        matches!(e.uop.kind, UopKind::LoadLock { .. })
+                    };
+                    if is_ll {
+                        debug_assert!(locked, "load_lock response must lock");
+                        let aqe = self.aq.get_mut(seq).expect("AQ entry");
+                        aqe.state = AqState::Locked(line_of(addr));
+                        // §3.2.5: the watchdog resets whenever a load_lock
+                        // performs.
+                        self.wd_counter = 0;
+                    }
+                    let _ = now;
+                }
+                CoreResp::StoreReady { seq, .. } => {
+                    if let Some(s) = self.sb.iter_mut().find(|s| s.seq == seq) {
+                        s.acquire_pending = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Response handling while the pipeline is idle (sleeping or halted):
+    /// the ROB is empty, so every read response is an orphan (release any
+    /// lock it carries), and StoreReady responses still feed the SB.
+    fn handle_idle_responses(&mut self, responses: &[CoreResp], mem: &mut MemorySystem) {
+        for r in responses {
+            match *r {
+                CoreResp::ReadResp { addr, locked: true, .. } => {
+                    mem.unlock_line(self.id, line_of(addr));
+                }
+                CoreResp::ReadResp { .. } => {}
+                CoreResp::StoreReady { seq, .. } => {
+                    if let Some(s) = self.sb.iter_mut().find(|s| s.seq == seq) {
+                        s.acquire_pending = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ finalize
+
+    /// Completes executions whose latency expired; resolves branches.
+    fn finalize_executions(&mut self, now: u64, mem: &mut MemorySystem) {
+        loop {
+            let next = self
+                .rob
+                .iter()
+                .find(|e| !e.done && e.done_at.map(|t| t <= now).unwrap_or(false))
+                .map(|e| e.seq);
+            let Some(seq) = next else { break };
+            let e = self.rob.get_mut(seq).unwrap();
+            e.done = true;
+            let kind = e.uop.kind;
+            if let UopKind::Branch { target, .. } = kind {
+                let taken = e.result != 0;
+                let predicted = e.pred_taken;
+                let snapshot = e.bp_snapshot;
+                let pc = e.uop.pc;
+                self.bp.resolve(pc, snapshot, predicted, taken);
+                if taken != predicted {
+                    let redirect = if taken { target } else { pc + 1 };
+                    self.squash_from(seq + 1, redirect, SquashCause::Branch, now, mem);
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- commit
+
+    fn commit(&mut self, now: u64, mem: &mut MemorySystem) {
+        let mut budget = self.cfg.commit_width;
+        while budget > 0 {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done {
+                break;
+            }
+            let uop = head.uop;
+            let seq = head.seq;
+            assert!(
+                !head.poisoned,
+                "core {:?}: wrong-path access to invalid address {:?} reached commit at pc {} — \
+                 workload bug",
+                self.id, head.addr, uop.pc
+            );
+            match uop.kind {
+                UopKind::LoadLock { .. }
+                    // store→RMW order (§3.2.3): the atomic may only commit
+                    // once every older store has drained.
+                    if !self.sb.is_empty() => {
+                        break;
+                    }
+                UopKind::Fence(FenceKind::Standalone)
+                    // MFENCE orders store→load: drain first.
+                    if !self.sb.is_empty() => {
+                        break;
+                    }
+                _ => {}
+            }
+            let head = self.rob.pop_front().expect("checked");
+            budget -= 1;
+            self.stats.uops += 1;
+            // Free the rename mapping and update architectural state.
+            if let Some(d) = head.uop.dst() {
+                if !d.is_zero() {
+                    self.arch_regs[d.index()] = head.result;
+                    if self.rename[d.index()] == Some(seq) {
+                        self.rename[d.index()] = None;
+                    }
+                }
+            }
+            match head.uop.kind {
+                UopKind::Load { .. } => {
+                    self.lq_count -= 1;
+                }
+                UopKind::LoadLock { .. } => {
+                    self.lq_count -= 1;
+                    if head.local_wp {
+                        self.stats.atomics_local_wp += 1;
+                    }
+                    match head.fwd_kind {
+                        Some(FwdSource::Atomic) => self.stats.atomics_fwd_from_atomic += 1,
+                        Some(FwdSource::Store) => self.stats.atomics_fwd_from_store += 1,
+                        None => {}
+                    }
+                }
+                UopKind::MonitorWait { .. } => {
+                    self.lq_count -= 1;
+                    let line = line_of(head.addr.expect("performed"));
+                    self.state = CoreState::Sleeping {
+                        line,
+                        wake_at: now + self.cfg.monitor_timeout,
+                        resume_pc: head.uop.pc + 1,
+                    };
+                    self.stats.monitor_sleeps += 1;
+                    self.stats.instructions += 1;
+                    return; // sleep starts immediately
+                }
+                UopKind::Store { src, .. } | UopKind::StoreUnlock { src, .. } => {
+                    let is_unlock = matches!(head.uop.kind, UopKind::StoreUnlock { .. });
+                    let value = head.value_of(src).expect("store data ready at commit");
+                    let addr = head.addr.expect("store address ready at commit");
+                    let entry = SbEntry {
+                        seq,
+                        pc: head.uop.pc,
+                        addr,
+                        value,
+                        is_unlock,
+                        ll_seq: if is_unlock { Some(seq - 2) } else { None },
+                        acquire_pending: false,
+                    };
+                    self.sb.push_back(entry);
+                    if self.cfg.store_prefetch_at_commit {
+                        if let fa_mem::privcache::ReqOutcome::Accepted =
+                            mem.store_acquire(self.id, seq, addr)
+                        {
+                            self.sb.back_mut().unwrap().acquire_pending = true;
+                        }
+                    }
+                }
+                UopKind::Fence(kind) => {
+                    if kind.is_atomic_fence() && !self.cfg.policy.fenced() {
+                        self.stats.fences_omitted += 1;
+                    } else {
+                        self.stats.fences_enforced += 1;
+                    }
+                }
+                UopKind::Pause => self.stats.pauses += 1,
+                UopKind::Halt => {
+                    self.stats.instructions += 1;
+                    self.state = CoreState::Halted;
+                    return;
+                }
+                _ => {}
+            }
+            if head.uop.last {
+                self.stats.instructions += 1;
+                if self
+                    .prog
+                    .get(head.uop.pc as usize)
+                    .map(Instr::is_rmw)
+                    .unwrap_or(false)
+                {
+                    self.stats.atomics += 1;
+                    // §3.2.5: reset the watchdog when an atomic commits.
+                    self.wd_counter = 0;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ SB drain
+
+    fn drain_store_buffer(&mut self, now: u64, mem: &mut MemorySystem) {
+        let Some(&head) = self.sb.front() else { return };
+        let line = line_of(head.addr);
+        if mem.writable(self.id, line) {
+            let ok = mem.try_store_perform(self.id, head.addr, head.value, false, false);
+            assert!(ok, "writable line must accept the store");
+            self.sb.pop_front();
+            self.sq_count -= 1;
+            // Lock transfer: forwarded load_locks capture the line now
+            // (§4.2: the SQ broadcasts its SQid on perform).
+            let captured = self.aq.capture_from_store(head.seq, line);
+            for _ in 0..captured {
+                mem.lock_line(self.id, line);
+            }
+            if head.is_unlock {
+                let ll_seq = head.ll_seq.expect("store_unlock has its load_lock seq");
+                let aqe = self.aq.release(ll_seq);
+                match aqe.state {
+                    AqState::Locked(l) => {
+                        debug_assert_eq!(l, line);
+                        mem.unlock_line(self.id, l);
+                    }
+                    other => panic!(
+                        "store_unlock performing while its AQ entry is {other:?}; \
+                         the lock must be held by perform time"
+                    ),
+                }
+                self.stats.atomic_exec_cycles += now.saturating_sub(aqe.issued_at);
+            }
+        } else if !head.acquire_pending {
+            if let fa_mem::privcache::ReqOutcome::Accepted =
+                mem.store_acquire(self.id, head.seq, head.addr)
+            {
+                self.sb.front_mut().unwrap().acquire_pending = true;
+            }
+        }
+        let _ = head.pc;
+    }
+
+    // ------------------------------------------------------------ watchdog
+
+    /// §3.2.5: a cycle counter reset whenever a load_lock performs or an
+    /// atomic commits; at the threshold, flush from the oldest lock-holding
+    /// atomic. Disabled under the non-speculative baseline, which cannot
+    /// deadlock (and whose atomics must never be squashed).
+    fn watchdog(&mut self, now: u64, mem: &mut MemorySystem) {
+        if self.cfg.policy == AtomicPolicy::FencedBaseline {
+            return;
+        }
+        if !self.aq.any_locked() {
+            self.wd_counter = 0;
+            return;
+        }
+        self.wd_counter += 1;
+        if self.wd_counter <= self.cfg.watchdog_threshold {
+            return;
+        }
+        // Flush from the oldest lock-holding atomic that is still squashable
+        // (its load_lock has not committed). A partially committed atomic is
+        // about to perform anyway — its store_unlock drains under the lock —
+        // so skipping it is both safe and momentary.
+        let victim = self
+            .aq
+            .locked()
+            .map(|a| a.ll_seq)
+            .find(|&ll| self.rob.get(ll).is_some());
+        let Some(oldest) = victim else {
+            if wd_debug() && self.wd_counter == self.cfg.watchdog_threshold + 1 {
+                eprintln!(
+                    "[wd {:?} @{now}] threshold with NO squashable victim; rob_head={:?} \
+                     sb_len={} sb_head={:?} aq={:?}",
+                    self.id,
+                    self.rob.front().map(|e| (e.seq, e.uop.kind, e.uop.pc, e.done, e.issued)),
+                    self.sb.len(),
+                    self.sb.front(),
+                    self.aq
+                );
+            }
+            return;
+        };
+        self.wd_counter = 0;
+        let (first, pc) = {
+            let e = self.rob.get(oldest).expect("just found");
+            (e.seq - e.uop.slot as u64, e.uop.pc)
+        };
+        if wd_debug() {
+            let head = self.rob.front().map(|e| (e.seq, e.uop.kind, e.uop.pc, e.done, e.issued));
+            eprintln!(
+                "[wd {:?} @{now}] flush atomic pc={pc} seq={oldest}; rob_head={head:?} \
+                 rob_len={} sb_len={} aq={:?}",
+                self.id,
+                self.rob.len(),
+                self.sb.len(),
+                self.aq
+            );
+        }
+        self.squash_from(first, pc, SquashCause::Watchdog, now, mem);
+    }
+
+    // -------------------------------------------------------------- squash
+
+    /// Squashes every micro-op with `seq >= from`, restores the rename
+    /// table, lifts speculatively taken cache-line locks
+    /// (`unlock_on_squash`, §3.1), and redirects fetch to `redirect_pc`.
+    fn squash_from(
+        &mut self,
+        from: Seq,
+        redirect_pc: u32,
+        cause: SquashCause,
+        now: u64,
+        mem: &mut MemorySystem,
+    ) {
+        let drained = self.rob.drain_from(from);
+        self.stats.record_squash(cause, drained.len() as u64);
+        for e in &drained {
+            // Youngest-first restoration of the rename map.
+            if let Some((reg, prev)) = e.prev_map {
+                self.rename[reg.index()] = prev;
+            }
+            if e.uop.is_load_class() || matches!(e.uop.kind, UopKind::MonitorWait { .. }) {
+                self.lq_count -= 1;
+            }
+            if e.uop.is_store_class() {
+                self.sq_count -= 1;
+                self.ss.store_resolved(e.uop.pc, e.seq);
+            }
+        }
+        for aqe in self.aq.squash_from(from) {
+            if let AqState::Locked(line) = aqe.state {
+                // unlock_on_squash: lift the lock the squashed load_lock
+                // held (Figure 3).
+                mem.unlock_line(self.id, line);
+            }
+            // Fwd entries carry no lock count; the forwarding store's
+            // "responsibility" evaporates with the AQ entry (§3.3.3).
+        }
+        self.fetch_pc = redirect_pc;
+        self.fetch_stall_until = now + self.cfg.redirect_penalty;
+        self.fetch_barrier = None;
+    }
+
+    /// Invalidation (or eviction) of `line`: squash from the oldest
+    /// speculatively performed, uncommitted load on that line (TSO
+    /// load→load enforcement per Gharachorloo et al., which the paper's
+    /// §3.2.3 relies on). Forwarded loads are exempt (their value came from
+    /// a local store).
+    fn squash_performed_loads_on(&mut self, line: Line, now: u64, mem: &mut MemorySystem) {
+        let victim = self
+            .rob
+            .iter()
+            .filter(|e| e.uop.is_load_class() && !e.poisoned && e.fwd_from.is_none())
+            .filter(|e| e.mem == MemPhase::Performed || e.done)
+            .find(|e| e.addr.map(|a| line_of(a) == line).unwrap_or(false))
+            .map(|e| (e.seq, e.uop.pc, e.uop.slot));
+        if let Some((seq, pc, slot)) = victim {
+            let first = seq - slot as u64;
+            self.squash_from(first, pc, SquashCause::Inval, now, mem);
+        }
+    }
+
+    // ------------------------------------------------------------- queries
+
+    /// Store-buffer occupancy (tests).
+    pub fn sb_len(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// In-flight micro-ops (tests).
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Atomic-queue occupancy (tests).
+    pub fn aq_len(&self) -> usize {
+        self.aq.len()
+    }
+}

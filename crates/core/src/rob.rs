@@ -1,0 +1,292 @@
+//! Reorder buffer: in-flight micro-op entries with sequence-number access.
+
+use fa_isa::{Addr, Reg, Uop, Word};
+use std::collections::VecDeque;
+
+/// Global (per-core) micro-op sequence number.
+pub type Seq = u64;
+
+/// One source operand of an in-flight micro-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrcVal {
+    /// Value available.
+    Ready(Word),
+    /// Waiting for the producer micro-op `seq`; `reg` lets the value be
+    /// recovered from the architectural file if the producer has committed.
+    Wait { seq: Seq, reg: Reg },
+}
+
+/// Progress of a memory micro-op through the LSU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemPhase {
+    /// Not yet sent anywhere.
+    Idle,
+    /// A cache request is outstanding.
+    WaitCache,
+    /// Value bound (from cache or forwarding).
+    Performed,
+}
+
+/// Where a forwarded load got its data (Table 2 FbA/FbS classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FwdSource {
+    /// From a `store_unlock` (forwarded by an atomic).
+    Atomic,
+    /// From an ordinary store.
+    Store,
+}
+
+/// A reorder-buffer entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Sequence number (unique, monotonically increasing).
+    pub seq: Seq,
+    /// The micro-op.
+    pub uop: Uop,
+    /// Source registers aligned with `srcs`.
+    pub src_regs: [Reg; 3],
+    /// Source operand states.
+    pub srcs: [SrcVal; 3],
+    /// Number of live sources.
+    pub nsrcs: u8,
+    /// Rename undo record: (dst, previous mapping).
+    pub prev_map: Option<(Reg, Option<Seq>)>,
+    /// Issued to a functional unit / the LSU.
+    pub issued: bool,
+    /// Result available; for memory ops, performed.
+    pub done: bool,
+    /// Cycle at which an in-flight execution completes.
+    pub done_at: Option<u64>,
+    /// Result value (dst payload; for stores, unused).
+    pub result: Word,
+    /// Effective address once computed.
+    pub addr: Option<Addr>,
+    /// Wrong-path access to an invalid address: never sent to memory and
+    /// must never commit.
+    pub poisoned: bool,
+    /// LSU progress for memory micro-ops.
+    pub mem: MemPhase,
+    /// For a forwarded load: the providing store's sequence number.
+    pub fwd_from: Option<Seq>,
+    /// For a forwarded load_lock: provider kind (FbA/FbS stats).
+    pub fwd_kind: Option<FwdSource>,
+    /// For a performing load_lock: the line it found locally writable
+    /// (Figure-13 locality).
+    pub local_wp: bool,
+    /// Branch: predicted direction.
+    pub pred_taken: bool,
+    /// Branch: history snapshot for predictor repair.
+    pub bp_snapshot: u64,
+    /// First cycle the micro-op's operands were ready (drain accounting).
+    pub ready_since: Option<u64>,
+    /// Cycle the micro-op issued.
+    pub issued_at: Option<u64>,
+    /// Store responsibilities (§3.3): forward-count of load_locks served.
+    pub fwd_count: u32,
+    /// Ordinary store must lock its line when performing (§3.3.2).
+    pub lock_on_access: bool,
+    /// store_unlock must leave the line locked when performing (§3.3.1).
+    pub do_not_unlock: bool,
+}
+
+impl Entry {
+    /// Creates a fresh entry for `uop` with sequence `seq`.
+    pub fn new(seq: Seq, uop: Uop) -> Entry {
+        Entry {
+            seq,
+            uop,
+            src_regs: [Reg::R0; 3],
+            srcs: [SrcVal::Ready(0); 3],
+            nsrcs: 0,
+            prev_map: None,
+            issued: false,
+            done: false,
+            done_at: None,
+            result: 0,
+            addr: None,
+            poisoned: false,
+            mem: MemPhase::Idle,
+            fwd_from: None,
+            fwd_kind: None,
+            local_wp: false,
+            pred_taken: false,
+            bp_snapshot: 0,
+            ready_since: None,
+            issued_at: None,
+            fwd_count: 0,
+            lock_on_access: false,
+            do_not_unlock: false,
+        }
+    }
+
+    /// Resolved value of source register `r`, if ready. `R0` is always 0.
+    pub fn value_of(&self, r: Reg) -> Option<Word> {
+        if r.is_zero() {
+            return Some(0);
+        }
+        for i in 0..self.nsrcs as usize {
+            if self.src_regs[i] == r {
+                return match self.srcs[i] {
+                    SrcVal::Ready(v) => Some(v),
+                    SrcVal::Wait { .. } => None,
+                };
+            }
+        }
+        // A register that is not a tracked source cannot be queried.
+        None
+    }
+
+    /// True once every source operand is ready.
+    pub fn srcs_ready(&self) -> bool {
+        self.srcs[..self.nsrcs as usize]
+            .iter()
+            .all(|s| matches!(s, SrcVal::Ready(_)))
+    }
+}
+
+/// The reorder buffer: a deque of entries addressable by sequence number.
+#[derive(Debug, Default)]
+pub struct Rob {
+    entries: VecDeque<Entry>,
+}
+
+impl Rob {
+    /// Creates an empty ROB.
+    pub fn new() -> Rob {
+        Rob::default()
+    }
+
+    /// Number of in-flight micro-ops.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sequence number of the oldest entry.
+    pub fn head_seq(&self) -> Option<Seq> {
+        self.entries.front().map(|e| e.seq)
+    }
+
+    /// Appends an entry. Sequence numbers must increase monotonically but
+    /// may have gaps (squashes never recycle sequence numbers — unique seqs
+    /// are what make orphaned memory responses detectable).
+    pub fn push(&mut self, e: Entry) {
+        debug_assert!(self.entries.back().map(|b| b.seq < e.seq).unwrap_or(true));
+        self.entries.push_back(e);
+    }
+
+    /// Pops the oldest entry (commit).
+    pub fn pop_front(&mut self) -> Option<Entry> {
+        self.entries.pop_front()
+    }
+
+    fn index_of(&self, seq: Seq) -> Option<usize> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        (i < self.entries.len() && self.entries[i].seq == seq).then_some(i)
+    }
+
+    /// Entry by sequence number.
+    pub fn get(&self, seq: Seq) -> Option<&Entry> {
+        self.index_of(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable entry by sequence number.
+    pub fn get_mut(&mut self, seq: Seq) -> Option<&mut Entry> {
+        let i = self.index_of(seq)?;
+        Some(&mut self.entries[i])
+    }
+
+    /// Oldest entry.
+    pub fn front(&self) -> Option<&Entry> {
+        self.entries.front()
+    }
+
+    /// Mutable oldest entry.
+    pub fn front_mut(&mut self) -> Option<&mut Entry> {
+        self.entries.front_mut()
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &Entry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry> + '_ {
+        self.entries.iter_mut()
+    }
+
+    /// Removes and returns every entry with `seq >= from`, youngest first
+    /// (squash order).
+    pub fn drain_from(&mut self, from: Seq) -> Vec<Entry> {
+        let mut out = Vec::new();
+        while let Some(back) = self.entries.back() {
+            if back.seq >= from {
+                out.push(self.entries.pop_back().unwrap());
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Counts in-flight micro-ops satisfying `pred`.
+    pub fn count(&self, pred: impl Fn(&Entry) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_isa::{decode, Instr};
+
+    fn entry(seq: Seq) -> Entry {
+        Entry::new(seq, decode(Instr::Nop, 0)[0])
+    }
+
+    #[test]
+    fn seq_addressing() {
+        let mut r = Rob::new();
+        for s in 5..10 {
+            r.push(entry(s));
+        }
+        assert_eq!(r.head_seq(), Some(5));
+        assert_eq!(r.get(7).map(|e| e.seq), Some(7));
+        assert!(r.get(4).is_none());
+        assert!(r.get(10).is_none());
+        r.pop_front();
+        assert!(r.get(5).is_none());
+        assert_eq!(r.get(6).map(|e| e.seq), Some(6));
+    }
+
+    #[test]
+    fn drain_from_removes_suffix_youngest_first() {
+        let mut r = Rob::new();
+        for s in 0..6 {
+            r.push(entry(s));
+        }
+        let drained = r.drain_from(3);
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 4, 3]);
+        assert_eq!(r.len(), 3);
+        assert!(r.get(3).is_none());
+    }
+
+    #[test]
+    fn value_of_handles_zero_and_missing() {
+        let mut e = entry(0);
+        e.src_regs[0] = Reg::R3;
+        e.srcs[0] = SrcVal::Ready(42);
+        e.nsrcs = 1;
+        assert_eq!(e.value_of(Reg::R0), Some(0));
+        assert_eq!(e.value_of(Reg::R3), Some(42));
+        assert_eq!(e.value_of(Reg::R4), None);
+        e.srcs[0] = SrcVal::Wait { seq: 9, reg: Reg::R3 };
+        assert_eq!(e.value_of(Reg::R3), None);
+        assert!(!e.srcs_ready());
+    }
+}

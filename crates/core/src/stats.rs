@@ -1,0 +1,214 @@
+//! Per-core statistics feeding every figure and table of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Cause of a pipeline squash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SquashCause {
+    /// Branch misprediction.
+    Branch,
+    /// Memory-dependence violation (a store resolved under a speculatively
+    /// performed younger load).
+    MemOrder,
+    /// Invalidation (or eviction) hit a speculatively performed load —
+    /// the TSO load→load repair.
+    Inval,
+    /// The deadlock-avoidance watchdog fired (§3.2.5).
+    Watchdog,
+}
+
+/// Counters collected by one core.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Cycles the core was powered (running or sleeping).
+    pub cycles: u64,
+    /// Cycles spent asleep in MonitorWait (the light portion of Figure 14's
+    /// bars).
+    pub sleep_cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Committed micro-ops.
+    pub uops: u64,
+    /// Committed atomic RMW instructions.
+    pub atomics: u64,
+    /// Squashed (fetched-then-discarded) micro-ops.
+    pub squashed_uops: u64,
+    /// Squash events by cause.
+    pub squashes_branch: u64,
+    /// Squashes caused by memory-dependence violations (Table 2 "MDV").
+    pub squashes_memorder: u64,
+    /// Squashes caused by invalidations of performed loads.
+    pub squashes_inval: u64,
+    /// Watchdog flushes (Table 2 "Timeouts").
+    pub watchdog_fires: u64,
+    /// Fence micro-ops that retired with their ordering enforced.
+    pub fences_enforced: u64,
+    /// Fence micro-ops retired as no-ops by a Free policy (Table 2 "Omitted
+    /// Fences").
+    pub fences_omitted: u64,
+    /// Σ cycles load_locks waited for the SB to drain / ordering before
+    /// issue (Figure 1 "Drain_SB").
+    pub atomic_drain_cycles: u64,
+    /// Σ cycles from load_lock issue to store_unlock perform (Figure 1
+    /// "Atomic").
+    pub atomic_exec_cycles: u64,
+    /// load_locks whose data came via store-to-load forwarding from a
+    /// store_unlock (Table 2 "FbA").
+    pub atomics_fwd_from_atomic: u64,
+    /// load_locks forwarded from an ordinary store (Table 2 "FbS").
+    pub atomics_fwd_from_store: u64,
+    /// load_locks that found their line in the private cache with write
+    /// permission (Figure 13 locality, L1/L2 component).
+    pub atomics_local_wp: u64,
+    /// Loads that forwarded from the store queue (any kind).
+    pub load_forwards: u64,
+    /// Branch lookups/mispredicts (copied from the predictor at the end).
+    pub branch_lookups: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Pause instructions committed (spin-energy accounting).
+    pub pauses: u64,
+    /// MonitorWait sleeps entered.
+    pub monitor_sleeps: u64,
+    /// Cycles the dispatch stage stalled because the Atomic Queue was full.
+    pub aq_full_stalls: u64,
+}
+
+impl CoreStats {
+    /// Records a squash event of `cause` covering `uops` micro-ops.
+    pub fn record_squash(&mut self, cause: SquashCause, uops: u64) {
+        self.squashed_uops += uops;
+        match cause {
+            SquashCause::Branch => self.squashes_branch += 1,
+            SquashCause::MemOrder => self.squashes_memorder += 1,
+            SquashCause::Inval => self.squashes_inval += 1,
+            SquashCause::Watchdog => self.watchdog_fires += 1,
+        }
+    }
+
+    /// Total squash events.
+    pub fn total_squashes(&self) -> u64 {
+        self.squashes_branch + self.squashes_memorder + self.squashes_inval + self.watchdog_fires
+    }
+
+    /// Committed atomics per kilo-instruction (Figure 12).
+    pub fn apki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.atomics as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of fences omitted (Table 2, col. 2).
+    pub fn omitted_fence_ratio(&self) -> f64 {
+        let total = self.fences_enforced + self.fences_omitted;
+        if total == 0 {
+            0.0
+        } else {
+            self.fences_omitted as f64 / total as f64
+        }
+    }
+
+    /// Mean Figure-1 cost per atomic: (drain, exec).
+    pub fn atomic_cost(&self) -> (f64, f64) {
+        if self.atomics == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                self.atomic_drain_cycles as f64 / self.atomics as f64,
+                self.atomic_exec_cycles as f64 / self.atomics as f64,
+            )
+        }
+    }
+
+    /// Figure-13 locality ratio and its forwarded component:
+    /// `(total_ratio, forwarded_ratio)`.
+    pub fn atomic_locality(&self) -> (f64, f64) {
+        if self.atomics == 0 {
+            return (0.0, 0.0);
+        }
+        let fwd = (self.atomics_fwd_from_atomic + self.atomics_fwd_from_store) as f64;
+        let local = self.atomics_local_wp as f64;
+        ((fwd + local) / self.atomics as f64, fwd / self.atomics as f64)
+    }
+
+    /// Merges another core's counters into this one (machine-level roll-up).
+    pub fn merge(&mut self, o: &CoreStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.sleep_cycles += o.sleep_cycles;
+        self.instructions += o.instructions;
+        self.uops += o.uops;
+        self.atomics += o.atomics;
+        self.squashed_uops += o.squashed_uops;
+        self.squashes_branch += o.squashes_branch;
+        self.squashes_memorder += o.squashes_memorder;
+        self.squashes_inval += o.squashes_inval;
+        self.watchdog_fires += o.watchdog_fires;
+        self.fences_enforced += o.fences_enforced;
+        self.fences_omitted += o.fences_omitted;
+        self.atomic_drain_cycles += o.atomic_drain_cycles;
+        self.atomic_exec_cycles += o.atomic_exec_cycles;
+        self.atomics_fwd_from_atomic += o.atomics_fwd_from_atomic;
+        self.atomics_fwd_from_store += o.atomics_fwd_from_store;
+        self.atomics_local_wp += o.atomics_local_wp;
+        self.load_forwards += o.load_forwards;
+        self.branch_lookups += o.branch_lookups;
+        self.branch_mispredicts += o.branch_mispredicts;
+        self.pauses += o.pauses;
+        self.monitor_sleeps += o.monitor_sleeps;
+        self.aq_full_stalls += o.aq_full_stalls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apki_and_ratios() {
+        let s = CoreStats {
+            instructions: 2000,
+            atomics: 3,
+            fences_enforced: 1,
+            fences_omitted: 3,
+            ..CoreStats::default()
+        };
+        assert!((s.apki() - 1.5).abs() < 1e-9);
+        assert!((s.omitted_fence_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squash_recording() {
+        let mut s = CoreStats::default();
+        s.record_squash(SquashCause::Branch, 10);
+        s.record_squash(SquashCause::MemOrder, 5);
+        s.record_squash(SquashCause::Watchdog, 2);
+        assert_eq!(s.squashed_uops, 17);
+        assert_eq!(s.total_squashes(), 3);
+        assert_eq!(s.watchdog_fires, 1);
+    }
+
+    #[test]
+    fn locality_split() {
+        let s = CoreStats {
+            atomics: 10,
+            atomics_local_wp: 4,
+            atomics_fwd_from_atomic: 3,
+            atomics_fwd_from_store: 1,
+            ..CoreStats::default()
+        };
+        let (total, fwd) = s.atomic_locality();
+        assert!((total - 0.8).abs() < 1e-9);
+        assert!((fwd - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates_and_maxes_cycles() {
+        let mut a = CoreStats { cycles: 10, instructions: 5, ..CoreStats::default() };
+        let b = CoreStats { cycles: 20, instructions: 7, ..CoreStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.instructions, 12);
+    }
+}

@@ -1,0 +1,377 @@
+//! `Kasm`, a tiny kernel assembler.
+//!
+//! The workload suite writes its guest kernels through this builder: it
+//! provides labels with forward references, mnemonic-style emitters, and
+//! validates the finished [`Program`].
+//!
+//! ```
+//! use fa_isa::{Kasm, Reg};
+//!
+//! let mut k = Kasm::new();
+//! let done = k.new_label();
+//! k.li(Reg::R1, 5);
+//! let top = k.here_label();
+//! k.addi(Reg::R1, Reg::R1, -1);
+//! k.beq_imm(Reg::R1, 0, done);
+//! k.jump(top);
+//! k.bind(done);
+//! k.halt();
+//! let prog = k.finish().unwrap();
+//! assert_eq!(prog.len(), 5);
+//! ```
+
+use crate::instr::{AluOp, Cond, Instr, Operand, RmwOp};
+use crate::program::{Program, ValidateProgramError};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A branch target. Created unbound (forward reference) by
+/// [`Kasm::new_label`] and bound to a position with [`Kasm::bind`], or both
+/// at once by [`Kasm::here_label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error produced by [`Kasm::finish`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// The patched program failed validation.
+    Invalid(ValidateProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::Rebound(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ValidateProgramError> for AsmError {
+    fn from(e: ValidateProgramError) -> AsmError {
+        AsmError::Invalid(e)
+    }
+}
+
+/// The kernel assembler. See the [module documentation](self) for an example.
+#[derive(Clone, Debug, Default)]
+pub struct Kasm {
+    instrs: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    rebound: Option<Label>,
+}
+
+impl Kasm {
+    /// Creates an empty assembler.
+    pub fn new() -> Kasm {
+        Kasm::default()
+    }
+
+    /// Current position (index of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        if self.labels[label.0].is_some() {
+            self.rebound.get_or_insert(label);
+            return;
+        }
+        self.labels[label.0] = Some(self.instrs.len() as u32);
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Kasm {
+        self.instrs.push(i);
+        self
+    }
+
+    // ---- ALU ----
+
+    /// `dst = a <op> b`
+    pub fn alu(&mut self, op: AluOp, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Kasm {
+        self.emit(Instr::Alu { op, dst, a, b: b.into() })
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Kasm {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// `dst = a + imm`
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Kasm {
+        self.alu(AluOp::Add, dst, a, imm)
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Kasm {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Kasm {
+        self.alu(AluOp::Mul, dst, a, b)
+    }
+
+    /// `dst = a & imm_or_reg`
+    pub fn and(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Kasm {
+        self.alu(AluOp::And, dst, a, b)
+    }
+
+    /// `dst = a | imm_or_reg`
+    pub fn or(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Kasm {
+        self.alu(AluOp::Or, dst, a, b)
+    }
+
+    /// `dst = a ^ imm_or_reg`
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Kasm {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// `dst = a << sh`
+    pub fn shl(&mut self, dst: Reg, a: Reg, sh: impl Into<Operand>) -> &mut Kasm {
+        self.alu(AluOp::Shl, dst, a, sh)
+    }
+
+    /// `dst = a >> sh` (logical)
+    pub fn shr(&mut self, dst: Reg, a: Reg, sh: impl Into<Operand>) -> &mut Kasm {
+        self.alu(AluOp::Shr, dst, a, sh)
+    }
+
+    /// `dst = imm`
+    pub fn li(&mut self, dst: Reg, imm: i64) -> &mut Kasm {
+        self.addi(dst, Reg::R0, imm)
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Kasm {
+        self.addi(dst, src, 0)
+    }
+
+    // ---- Memory ----
+
+    /// `dst = mem[base + offset]`
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Kasm {
+        self.emit(Instr::Load { dst, base, offset })
+    }
+
+    /// `mem[base + offset] = src`
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Kasm {
+        self.emit(Instr::Store { src, base, offset })
+    }
+
+    // ---- Atomics ----
+
+    /// Generic RMW; `dst` receives the old value.
+    pub fn rmw(&mut self, op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Kasm {
+        self.emit(Instr::Rmw { op, dst, base, offset, src, cmp: Reg::R0 })
+    }
+
+    /// `dst = fetch_add(mem[base+offset], src)`
+    pub fn fetch_add(&mut self, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Kasm {
+        self.rmw(RmwOp::FetchAdd, dst, base, offset, src)
+    }
+
+    /// `dst = swap(mem[base+offset], src)`
+    pub fn swap(&mut self, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Kasm {
+        self.rmw(RmwOp::Swap, dst, base, offset, src)
+    }
+
+    /// `dst = test_and_set(mem[base+offset])`
+    pub fn test_set(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Kasm {
+        self.rmw(RmwOp::TestSet, dst, base, offset, Reg::R0)
+    }
+
+    /// `dst = cas(mem[base+offset], expected=cmp, new=src)`; `dst` gets the
+    /// old value (compare with `cmp` to test success).
+    pub fn cas(&mut self, dst: Reg, base: Reg, offset: i64, cmp: Reg, src: Reg) -> &mut Kasm {
+        self.emit(Instr::Rmw { op: RmwOp::CompareSwap, dst, base, offset, src, cmp })
+    }
+
+    // ---- Control ----
+
+    fn branch_to(&mut self, cond: Cond, a: Reg, b: Operand, label: Label) -> &mut Kasm {
+        self.fixups.push((self.instrs.len(), label));
+        self.emit(Instr::Branch { cond, a, b, target: u32::MAX })
+    }
+
+    /// Branch if `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Eq, a, Operand::Reg(b), label)
+    }
+
+    /// Branch if `a == imm`.
+    pub fn beq_imm(&mut self, a: Reg, imm: i64, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Eq, a, Operand::Imm(imm), label)
+    }
+
+    /// Branch if `a != b`.
+    pub fn bne(&mut self, a: Reg, b: Reg, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Ne, a, Operand::Reg(b), label)
+    }
+
+    /// Branch if `a != imm`.
+    pub fn bne_imm(&mut self, a: Reg, imm: i64, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Ne, a, Operand::Imm(imm), label)
+    }
+
+    /// Branch if signed `a < b`.
+    pub fn blt(&mut self, a: Reg, b: Reg, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Lt, a, Operand::Reg(b), label)
+    }
+
+    /// Branch if signed `a < imm`.
+    pub fn blt_imm(&mut self, a: Reg, imm: i64, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Lt, a, Operand::Imm(imm), label)
+    }
+
+    /// Branch if signed `a >= b`.
+    pub fn bge(&mut self, a: Reg, b: Reg, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::Ge, a, Operand::Reg(b), label)
+    }
+
+    /// Branch if unsigned `a < b`.
+    pub fn bltu(&mut self, a: Reg, b: Reg, label: Label) -> &mut Kasm {
+        self.branch_to(Cond::LtU, a, Operand::Reg(b), label)
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, label: Label) -> &mut Kasm {
+        self.fixups.push((self.instrs.len(), label));
+        self.emit(Instr::Jump { target: u32::MAX })
+    }
+
+    // ---- Misc ----
+
+    /// Standalone memory fence (`MFENCE`).
+    pub fn fence(&mut self) -> &mut Kasm {
+        self.emit(Instr::Fence)
+    }
+
+    /// Spin hint.
+    pub fn pause(&mut self) -> &mut Kasm {
+        self.emit(Instr::Pause)
+    }
+
+    /// Sleep until `mem[base+offset]`'s line is written remotely.
+    pub fn monitor_wait(&mut self, base: Reg, offset: i64) -> &mut Kasm {
+        self.emit(Instr::MonitorWait { base, offset })
+    }
+
+    /// Terminate the thread.
+    pub fn halt(&mut self) -> &mut Kasm {
+        self.emit(Instr::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Kasm {
+        self.emit(Instr::Nop)
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if any referenced label is unbound, a label was
+    /// bound twice, or the resulting program fails [`Program::new`]
+    /// validation.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(l) = self.rebound {
+            return Err(AsmError::Rebound(l));
+        }
+        for (pos, label) in &self.fixups {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(*label))?;
+            match &mut self.instrs[*pos] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("fixup at non-branch {other:?}"),
+            }
+        }
+        Ok(Program::new(self.instrs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut k = Kasm::new();
+        let fwd = k.new_label();
+        let back = k.here_label();
+        k.jump(fwd); // 0 -> 2
+        k.jump(back); // 1 -> 0 (dead, but valid)
+        k.bind(fwd);
+        k.halt(); // 2
+        let p = k.finish().unwrap();
+        assert_eq!(p.get(0), Some(&Instr::Jump { target: 2 }));
+        assert_eq!(p.get(1), Some(&Instr::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut k = Kasm::new();
+        let l = k.new_label();
+        k.jump(l);
+        k.halt();
+        assert!(matches!(k.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn double_bind_errors() {
+        let mut k = Kasm::new();
+        let l = k.new_label();
+        k.bind(l);
+        k.nop();
+        k.bind(l);
+        k.halt();
+        assert!(matches!(k.finish(), Err(AsmError::Rebound(_))));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut k = Kasm::new();
+        k.nop(); // falls off the end
+        assert!(matches!(
+            k.finish(),
+            Err(AsmError::Invalid(ValidateProgramError::FallsOffEnd))
+        ));
+    }
+
+    #[test]
+    fn mnemonics_emit_expected_instrs() {
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 7);
+        k.fetch_add(Reg::R2, Reg::R1, 8, Reg::R3);
+        k.cas(Reg::R4, Reg::R1, 0, Reg::R5, Reg::R6);
+        k.halt();
+        let p = k.finish().unwrap();
+        assert!(matches!(p.get(1), Some(Instr::Rmw { op: RmwOp::FetchAdd, offset: 8, .. })));
+        assert!(matches!(
+            p.get(2),
+            Some(Instr::Rmw { op: RmwOp::CompareSwap, cmp: Reg::R5, src: Reg::R6, .. })
+        ));
+    }
+}

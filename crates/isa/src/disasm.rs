@@ -1,0 +1,154 @@
+//! Human-readable program listings (used by debugging tools and the
+//! examples when inspecting generated kernels).
+
+use crate::instr::{AluOp, Cond, Instr, Operand, RmwOp};
+use crate::program::Program;
+use std::fmt::Write;
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+        AluOp::Sra => "sra",
+        AluOp::Mul => "mul",
+        AluOp::SltU => "sltu",
+        AluOp::Slt => "slt",
+    }
+}
+
+fn cond_mnemonic(cond: Cond) -> &'static str {
+    match cond {
+        Cond::Eq => "beq",
+        Cond::Ne => "bne",
+        Cond::Lt => "blt",
+        Cond::Ge => "bge",
+        Cond::LtU => "bltu",
+        Cond::GeU => "bgeu",
+    }
+}
+
+fn rmw_mnemonic(op: RmwOp) -> &'static str {
+    match op {
+        RmwOp::FetchAdd => "fetch_add",
+        RmwOp::FetchAnd => "fetch_and",
+        RmwOp::FetchOr => "fetch_or",
+        RmwOp::FetchXor => "fetch_xor",
+        RmwOp::Swap => "swap",
+        RmwOp::TestSet => "test_set",
+        RmwOp::CompareSwap => "cas",
+    }
+}
+
+fn operand(o: Operand) -> String {
+    match o {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(v) => format!("#{v}"),
+    }
+}
+
+/// Formats one instruction as assembly-like text.
+pub fn disasm_instr(i: &Instr) -> String {
+    match *i {
+        Instr::Alu { op, dst, a, b } => {
+            format!("{:<10} {dst}, {a}, {}", alu_mnemonic(op), operand(b))
+        }
+        Instr::Load { dst, base, offset } => format!("{:<10} {dst}, [{base}{offset:+}]", "ld"),
+        Instr::Store { src, base, offset } => format!("{:<10} {src}, [{base}{offset:+}]", "st"),
+        Instr::Rmw { op, dst, base, offset, src, cmp } => {
+            let mut s = format!("{:<10} {dst}, [{base}{offset:+}], {src}", rmw_mnemonic(op));
+            if matches!(op, RmwOp::CompareSwap) {
+                let _ = write!(s, ", cmp={cmp}");
+            }
+            s
+        }
+        Instr::Branch { cond, a, b, target } => {
+            format!("{:<10} {a}, {}, -> {target}", cond_mnemonic(cond), operand(b))
+        }
+        Instr::Jump { target } => format!("{:<10} -> {target}", "jump"),
+        Instr::Fence => "mfence".to_string(),
+        Instr::Pause => "pause".to_string(),
+        Instr::MonitorWait { base, offset } => {
+            format!("{:<10} [{base}{offset:+}]", "mwait")
+        }
+        Instr::Halt => "halt".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+/// Formats a whole program with indices and branch-target markers.
+///
+/// ```
+/// use fa_isa::{Kasm, Reg, disasm::disasm_program};
+///
+/// let mut k = Kasm::new();
+/// let top = k.here_label();
+/// k.addi(Reg::R1, Reg::R1, 1);
+/// k.blt_imm(Reg::R1, 3, top);
+/// k.halt();
+/// let text = disasm_program(&k.finish().unwrap());
+/// assert!(text.contains("add"));
+/// assert!(text.contains("halt"));
+/// ```
+pub fn disasm_program(p: &Program) -> String {
+    // Mark every instruction some branch jumps to.
+    let mut is_target = vec![false; p.len()];
+    for i in p.iter() {
+        if let Instr::Branch { target, .. } | Instr::Jump { target } = *i {
+            is_target[target as usize] = true;
+        }
+    }
+    let mut out = String::new();
+    for (pc, i) in p.iter().enumerate() {
+        let mark = if is_target[pc] { ">" } else { " " };
+        let _ = writeln!(out, "{mark}{pc:>5}:  {}", disasm_instr(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Kasm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn every_instruction_kind_formats() {
+        let mut k = Kasm::new();
+        let top = k.here_label();
+        k.li(Reg::R1, 5);
+        k.ld(Reg::R2, Reg::R1, 8);
+        k.st(Reg::R2, Reg::R1, -8);
+        k.fetch_add(Reg::R3, Reg::R1, 0, Reg::R2);
+        k.cas(Reg::R4, Reg::R1, 0, Reg::R5, Reg::R6);
+        k.fence();
+        k.pause();
+        k.monitor_wait(Reg::R1, 0);
+        k.bne(Reg::R2, Reg::R3, top);
+        k.jump(top);
+        k.nop();
+        k.halt();
+        let text = disasm_program(&k.finish().unwrap());
+        for needle in [
+            "add", "ld", "st", "fetch_add", "cas", "cmp=r5", "mfence", "pause", "mwait", "bne",
+            "jump", "nop", "halt", "[r1+8]", "[r1-8]", "-> 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The loop head is marked as a branch target.
+        assert!(text.lines().next().unwrap().starts_with('>'));
+    }
+
+    #[test]
+    fn listing_has_one_line_per_instruction() {
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 1);
+        k.halt();
+        let p = k.finish().unwrap();
+        assert_eq!(disasm_program(&p).lines().count(), p.len());
+    }
+}

@@ -1,0 +1,461 @@
+//! Sequential golden-model interpreters.
+//!
+//! Two executors live here:
+//!
+//! * [`Interp`] — runs a single program to completion, one instruction at a
+//!   time. Used as the reference model in property tests: any single-core
+//!   execution of the detailed out-of-order pipeline must produce exactly the
+//!   same architectural state.
+//! * [`McInterp`] — runs several programs under a *sequentially consistent*
+//!   interleaving chosen by a deterministic schedule. Useful as an oracle for
+//!   programs whose result is interleaving-independent (e.g. all cores
+//!   fetch-add a shared counter) and for computing expected outputs of
+//!   data-parallel kernels.
+
+use crate::instr::{Instr, Operand};
+use crate::program::Program;
+use crate::reg::{Reg, NUM_REGS};
+use crate::{Addr, Word};
+use std::fmt;
+
+/// Flat, word-granular guest memory.
+///
+/// All guest accesses are 8 bytes wide and 8-byte aligned; the backing store
+/// is a `Vec<u64>` indexed by `addr / 8`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuestMem {
+    words: Vec<Word>,
+}
+
+impl GuestMem {
+    /// Allocates `bytes` of zeroed memory (rounded up to 8).
+    pub fn new(bytes: u64) -> GuestMem {
+        GuestMem { words: vec![0; bytes.div_ceil(8) as usize] }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    fn index(&self, addr: Addr) -> usize {
+        assert!(addr.is_multiple_of(8), "misaligned guest access at {addr:#x}");
+        let idx = (addr / 8) as usize;
+        assert!(idx < self.words.len(), "guest access out of bounds at {addr:#x}");
+        idx
+    }
+
+    /// Reads the 8-byte word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access — both indicate a bug in
+    /// a workload kernel, never a legal guest behaviour.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> Word {
+        self.words[self.index(addr)]
+    }
+
+    /// Writes the 8-byte word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned or out-of-bounds access.
+    #[inline]
+    pub fn store(&mut self, addr: Addr, value: Word) {
+        let i = self.index(addr);
+        self.words[i] = value;
+    }
+
+    /// True if `addr` names an in-bounds, aligned word.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.is_multiple_of(8) && ((addr / 8) as usize) < self.words.len()
+    }
+}
+
+/// Why an interpreter stopped before `Halt`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget ran out before every thread halted.
+    StepLimit,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "step limit exceeded before halt"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Architectural thread context: PC + register file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadCtx {
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Register file including decoder temporaries.
+    pub regs: [Word; NUM_REGS],
+    /// True once `Halt` has executed.
+    pub halted: bool,
+}
+
+impl Default for ThreadCtx {
+    fn default() -> ThreadCtx {
+        ThreadCtx { pc: 0, regs: [0; NUM_REGS], halted: false }
+    }
+}
+
+impl ThreadCtx {
+    /// Reads a register (the zero register reads 0).
+    #[inline]
+    pub fn read(&self, r: Reg) -> Word {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to the zero register are discarded).
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: Word) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn operand(&self, op: Operand) -> Word {
+        match op {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+}
+
+/// Executes one instruction of `prog` for thread `ctx` against `mem`.
+///
+/// Returns `true` if the thread is still running. `Fence`, `Pause` and
+/// `MonitorWait` are no-ops here (the golden model is sequentially
+/// consistent, so fences add nothing and sleeping is invisible).
+pub fn step_thread(prog: &Program, ctx: &mut ThreadCtx, mem: &mut GuestMem) -> bool {
+    if ctx.halted {
+        return false;
+    }
+    let instr = *prog.get(ctx.pc as usize).expect("pc past validated program end");
+    let mut next = ctx.pc + 1;
+    match instr {
+        Instr::Alu { op, dst, a, b } => {
+            let v = op.eval(ctx.read(a), ctx.operand(b));
+            ctx.write(dst, v);
+        }
+        Instr::Load { dst, base, offset } => {
+            let addr = ctx.read(base).wrapping_add(offset as u64);
+            let v = mem.load(addr);
+            ctx.write(dst, v);
+        }
+        Instr::Store { src, base, offset } => {
+            let addr = ctx.read(base).wrapping_add(offset as u64);
+            mem.store(addr, ctx.read(src));
+        }
+        Instr::Rmw { op, dst, base, offset, src, cmp } => {
+            let addr = ctx.read(base).wrapping_add(offset as u64);
+            let old = mem.load(addr);
+            let newv = op.store_value(old, ctx.read(src), ctx.read(cmp));
+            mem.store(addr, newv);
+            ctx.write(dst, old);
+        }
+        Instr::Branch { cond, a, b, target } => {
+            if cond.eval(ctx.read(a), ctx.operand(b)) {
+                next = target;
+            }
+        }
+        Instr::Jump { target } => next = target,
+        Instr::Fence | Instr::Pause | Instr::MonitorWait { .. } | Instr::Nop => {}
+        Instr::Halt => {
+            ctx.halted = true;
+            return false;
+        }
+    }
+    ctx.pc = next;
+    true
+}
+
+/// Single-thread golden-model interpreter.
+#[derive(Clone, Debug)]
+pub struct Interp {
+    prog: Program,
+    ctx: ThreadCtx,
+    mem: GuestMem,
+    /// Dynamic instructions executed so far.
+    pub executed: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter over `prog` with `mem_bytes` of zeroed memory.
+    pub fn new(prog: Program, mem_bytes: u64) -> Interp {
+        Interp { prog, ctx: ThreadCtx::default(), mem: GuestMem::new(mem_bytes), executed: 0 }
+    }
+
+    /// Creates an interpreter with pre-initialized memory.
+    pub fn with_mem(prog: Program, mem: GuestMem) -> Interp {
+        Interp { prog, ctx: ThreadCtx::default(), mem, executed: 0 }
+    }
+
+    /// Runs until `Halt` or until `max_steps` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StepLimit`] if the budget is exhausted first.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), InterpError> {
+        for _ in 0..max_steps {
+            if !step_thread(&self.prog, &mut self.ctx, &mut self.mem) {
+                if self.ctx.halted {
+                    // The Halt instruction itself executed.
+                    self.executed += 1;
+                }
+                return Ok(());
+            }
+            self.executed += 1;
+        }
+        if self.ctx.halted {
+            Ok(())
+        } else {
+            Err(InterpError::StepLimit)
+        }
+    }
+
+    /// Final memory.
+    pub fn mem(&self) -> &GuestMem {
+        &self.mem
+    }
+
+    /// Mutable memory (for pre-run initialization).
+    pub fn mem_mut(&mut self) -> &mut GuestMem {
+        &mut self.mem
+    }
+
+    /// Thread context (registers, PC, halt flag).
+    pub fn ctx(&self) -> &ThreadCtx {
+        &self.ctx
+    }
+}
+
+/// Multi-thread sequentially consistent interpreter.
+///
+/// Threads are interleaved by a deterministic schedule: thread `i` executes
+/// `quantum` instructions, then the next runnable thread takes over, with a
+/// seeded xorshift perturbation of the rotation order so different seeds
+/// explore different interleavings.
+#[derive(Clone, Debug)]
+pub struct McInterp {
+    progs: Vec<Program>,
+    ctxs: Vec<ThreadCtx>,
+    mem: GuestMem,
+    quantum: u32,
+    rng: u64,
+    /// Total dynamic instructions executed across all threads.
+    pub executed: u64,
+}
+
+impl McInterp {
+    /// Creates a multicore interpreter with `mem_bytes` of zeroed memory.
+    pub fn new(progs: Vec<Program>, mem_bytes: u64, seed: u64) -> McInterp {
+        let n = progs.len();
+        McInterp {
+            progs,
+            ctxs: vec![ThreadCtx::default(); n],
+            mem: GuestMem::new(mem_bytes),
+            quantum: 16,
+            rng: seed | 1,
+            executed: 0,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Sets the scheduling quantum (instructions per turn).
+    pub fn set_quantum(&mut self, q: u32) {
+        self.quantum = q.max(1);
+    }
+
+    /// Mutable memory (for pre-run initialization).
+    pub fn mem_mut(&mut self) -> &mut GuestMem {
+        &mut self.mem
+    }
+
+    /// Final memory.
+    pub fn mem(&self) -> &GuestMem {
+        &self.mem
+    }
+
+    /// Thread contexts.
+    pub fn ctxs(&self) -> &[ThreadCtx] {
+        &self.ctxs
+    }
+
+    /// Runs until all threads halt or `max_steps` total instructions execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StepLimit`] if the budget is exhausted first —
+    /// including when remaining threads spin forever on a condition another
+    /// (halted) thread will never satisfy.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), InterpError> {
+        let n = self.progs.len();
+        let mut budget = max_steps;
+        while budget > 0 {
+            if self.ctxs.iter().all(|c| c.halted) {
+                return Ok(());
+            }
+            let start = (self.next_rand() as usize) % n;
+            let mut progressed = false;
+            for off in 0..n {
+                let t = (start + off) % n;
+                if self.ctxs[t].halted {
+                    continue;
+                }
+                for _ in 0..self.quantum {
+                    if budget == 0 {
+                        break;
+                    }
+                    if !step_thread(&self.progs[t], &mut self.ctxs[t], &mut self.mem) {
+                        // The thread was runnable, so this is a fresh Halt:
+                        // count the Halt instruction itself.
+                        self.executed += 1;
+                        progressed = true;
+                        break;
+                    }
+                    self.executed += 1;
+                    budget -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed && self.ctxs.iter().all(|c| c.halted) {
+                return Ok(());
+            }
+        }
+        if self.ctxs.iter().all(|c| c.halted) {
+            Ok(())
+        } else {
+            Err(InterpError::StepLimit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Kasm;
+    use crate::instr::RmwOp;
+
+    #[test]
+    fn guest_mem_load_store() {
+        let mut m = GuestMem::new(64);
+        m.store(8, 0xdead_beef);
+        assert_eq!(m.load(8), 0xdead_beef);
+        assert_eq!(m.load(16), 0);
+        assert_eq!(m.size(), 64);
+        assert!(m.contains(56));
+        assert!(!m.contains(64));
+        assert!(!m.contains(7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn guest_mem_rejects_misaligned() {
+        let m = GuestMem::new(64);
+        let _ = m.load(4);
+    }
+
+    #[test]
+    fn countdown_loop_runs() {
+        let mut k = Kasm::new();
+        let done = k.new_label();
+        k.li(Reg::R1, 100);
+        let top = k.here_label();
+        k.addi(Reg::R1, Reg::R1, -1);
+        k.beq_imm(Reg::R1, 0, done);
+        k.jump(top);
+        k.bind(done);
+        k.st(Reg::R1, Reg::R0, 0);
+        k.halt();
+        let mut i = Interp::new(k.finish().unwrap(), 64);
+        i.run(10_000).unwrap();
+        assert_eq!(i.ctx().read(Reg::R1), 0);
+        assert!(i.ctx().halted);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut k = Kasm::new();
+        let top = k.here_label();
+        k.jump(top);
+        let mut i = Interp::new(k.finish().unwrap(), 8);
+        assert_eq!(i.run(100), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn rmw_semantics_in_interp() {
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 8); // address
+        k.li(Reg::R2, 5);
+        k.rmw(RmwOp::FetchAdd, Reg::R3, Reg::R1, 0, Reg::R2);
+        k.li(Reg::R4, 42);
+        k.li(Reg::R5, 5); // expected (current value)
+        k.cas(Reg::R6, Reg::R1, 0, Reg::R5, Reg::R4);
+        k.halt();
+        let mut i = Interp::new(k.finish().unwrap(), 64);
+        i.run(100).unwrap();
+        assert_eq!(i.ctx().read(Reg::R3), 0); // old value of fetch_add
+        assert_eq!(i.ctx().read(Reg::R6), 5); // old value seen by CAS
+        assert_eq!(i.mem().load(8), 42); // CAS succeeded
+    }
+
+    fn counter_prog(iters: i64) -> Program {
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 0); // counter addr
+        k.li(Reg::R2, 1);
+        k.li(Reg::R3, 0);
+        let top = k.here_label();
+        k.fetch_add(Reg::R4, Reg::R1, 0, Reg::R2);
+        k.addi(Reg::R3, Reg::R3, 1);
+        k.blt_imm(Reg::R3, iters, top);
+        k.halt();
+        k.finish().unwrap()
+    }
+
+    #[test]
+    fn mc_interp_counter_is_exact() {
+        let n = 4;
+        let iters = 50;
+        let progs = vec![counter_prog(iters); n];
+        for seed in [1u64, 7, 99] {
+            let mut m = McInterp::new(progs.clone(), 64, seed);
+            m.run(1_000_000).unwrap();
+            assert_eq!(m.mem().load(0), (n as u64) * iters as u64);
+        }
+    }
+
+    #[test]
+    fn mc_interp_detects_livelock_via_step_limit() {
+        // Thread 1 spins on a flag nobody sets.
+        let mut k = Kasm::new();
+        let top = k.here_label();
+        k.ld(Reg::R1, Reg::R0, 0);
+        k.beq_imm(Reg::R1, 0, top);
+        k.halt();
+        let spin = k.finish().unwrap();
+        let mut m = McInterp::new(vec![spin], 64, 3);
+        assert_eq!(m.run(1000), Err(InterpError::StepLimit));
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory hierarchy for the Free Atomics simulator.
+//!
+//! Models the paper's Table-1 memory system: per-core private caches (L1D
+//! backed by a private L2), a shared LLC, an **inclusive directory** with
+//! finite capacity, and a crossbar interconnect — all driven by a
+//! deterministic event wheel.
+//!
+//! # Modeling approach: dataless coherence
+//!
+//! Data values live in a single [`fa_isa::interp::GuestMem`] backing store;
+//! caches and the directory carry *tags, permissions and locks only*. A load
+//! reads the backing store at the cycle its response is delivered (its
+//! *perform* time); a store writes the backing store the cycle it drains from
+//! the store buffer with write permission. Memory-order visibility therefore
+//! equals perform order, which is exactly the operational definition of TSO
+//! the paper reasons with. This keeps the protocol honest (permissions,
+//! invalidations, serialization, deadlocks are all real) without shipping
+//! data bytes through messages.
+//!
+//! # Cache locking
+//!
+//! The controller keeps a per-line lock count mirroring the core's Atomic
+//! Queue (Implication 2 of the paper, §3.2.2). External requests that hit a
+//! locked line are **parked at the owner** and replayed on unlock — the
+//! paper's progress invariant: only the core executing a Free atomic can lift
+//! its own lock (§3.2.5). Locked lines are never chosen as replacement
+//! victims (§3.2.4); if a fill finds every way locked, it waits, which can
+//! deadlock — by design, since breaking that deadlock is the job of the
+//! *core's* watchdog.
+
+pub mod config;
+pub mod dir;
+pub mod msgs;
+pub mod prefetch;
+pub mod privcache;
+pub mod stats;
+pub mod system;
+pub mod tagarray;
+pub mod wheel;
+
+pub use config::MemConfig;
+pub use msgs::{CoreNotice, CoreResp, LatClass};
+pub use stats::MemStats;
+pub use system::MemorySystem;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A core (hardware thread) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Index form.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A line-aligned physical address.
+pub type Line = u64;
+
+/// Simulation time in core cycles.
+pub type Cycle = u64;
+
+/// Debug tracing for one cache line, enabled by setting `FA_TRACE_LINE`
+/// (hex) in the environment. Used by the protocol debugging tests; zero
+/// cost when unset.
+pub(crate) fn trace_line() -> Option<Line> {
+    use std::sync::OnceLock;
+    static LINE: OnceLock<Option<Line>> = OnceLock::new();
+    *LINE.get_or_init(|| {
+        std::env::var("FA_TRACE_LINE")
+            .ok()
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+    })
+}
+
+pub(crate) fn trace(line: Line, msg: impl FnOnce() -> String) {
+    if trace_line() == Some(line) {
+        eprintln!("          {}", msg());
+    }
+}

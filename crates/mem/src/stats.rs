@@ -1,0 +1,86 @@
+//! Memory-system statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core memory counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreMemStats {
+    /// Demand reads served by the L1D.
+    pub l1_hits: u64,
+    /// Demand reads served by the private L2.
+    pub l2_hits: u64,
+    /// Demand reads served by the LLC.
+    pub llc_hits: u64,
+    /// Demand reads served by main memory.
+    pub mem_accesses: u64,
+    /// Demand reads served by a remote private cache (dirty transfer).
+    pub remote_transfers: u64,
+    /// Invalidations received (external writes to cached lines).
+    pub invals_received: u64,
+    /// External requests parked because the target line was locked.
+    pub parked_on_lock: u64,
+    /// Capacity evictions from the private hierarchy.
+    pub evictions: u64,
+    /// Fills that had to retry because every way in the set was locked.
+    pub fill_stalled_all_locked: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Stores performed (backing store writes).
+    pub stores_performed: u64,
+}
+
+/// Directory / shared-level counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirStats {
+    /// Requests processed.
+    pub requests: u64,
+    /// Requests parked behind a busy line.
+    pub parked_busy: u64,
+    /// Invalidations sent on behalf of GetX.
+    pub invals_sent: u64,
+    /// Downgrades sent on behalf of GetS.
+    pub downgrades_sent: u64,
+    /// Directory entries evicted (inclusion back-invalidations).
+    pub entry_evictions: u64,
+    /// Requests that waited for a directory way to free up.
+    pub alloc_waits: u64,
+}
+
+/// Aggregated memory-system statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Per-core counters, indexed by core id.
+    pub cores: Vec<CoreMemStats>,
+    /// Directory counters.
+    pub dir: DirStats,
+    /// Total protocol messages delivered (for the energy model).
+    pub messages: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics for `n` cores.
+    pub fn new(n: usize) -> MemStats {
+        MemStats { cores: vec![CoreMemStats::default(); n], ..MemStats::default() }
+    }
+
+    /// Sum of demand reads across all levels and cores.
+    pub fn total_demand_reads(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.l1_hits + c.l2_hits + c.llc_hits + c.mem_accesses + c.remote_transfers)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = MemStats::new(2);
+        s.cores[0].l1_hits = 5;
+        s.cores[1].mem_accesses = 3;
+        assert_eq!(s.total_demand_reads(), 8);
+    }
+}

@@ -1,0 +1,517 @@
+//! The memory-system facade the cores talk to.
+//!
+//! Per simulated cycle the machine driver calls [`MemorySystem::tick`] first
+//! (advancing time and processing due protocol events into per-core
+//! outboxes), then ticks each core, which drains its outbox/notices and
+//! issues new requests. Same-cycle core commands (store performs, lock and
+//! unlock transfers) apply to controller state immediately, which closes the
+//! read-then-lock race window without transient protocol states.
+
+use crate::dir::{DirAction, Directory};
+use crate::msgs::{CoreNotice, CoreResp, DirMsg, L1Msg, LatClass};
+use crate::privcache::{Action, PrivCache, ReqOutcome};
+use crate::stats::MemStats;
+use crate::wheel::Wheel;
+use crate::{CoreId, Cycle, Line, MemConfig};
+use fa_isa::interp::GuestMem;
+use fa_isa::{Addr, Word};
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    ToDir(DirMsg),
+    ToL1(CoreId, L1Msg),
+    ReadDone {
+        core: CoreId,
+        seq: u64,
+        addr: Addr,
+        class: LatClass,
+        had_write_perm: bool,
+        locked: bool,
+    },
+    StoreReady {
+        core: CoreId,
+        seq: u64,
+        line: Line,
+    },
+}
+
+/// The full memory hierarchy for `n` cores plus the global backing store.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    now: Cycle,
+    wheel: Wheel<Ev>,
+    caches: Vec<PrivCache>,
+    dir: Directory,
+    backing: GuestMem,
+    outbox: Vec<Vec<CoreResp>>,
+    notices: Vec<Vec<CoreNotice>>,
+    stats: MemStats,
+    trace_line: Option<Line>,
+}
+
+impl MemorySystem {
+    /// Creates a memory system for `n_cores` cores over `backing`.
+    pub fn new(cfg: MemConfig, n_cores: usize, backing: GuestMem) -> MemorySystem {
+        MemorySystem {
+            caches: (0..n_cores).map(|i| PrivCache::new(CoreId(i as u16), &cfg)).collect(),
+            dir: Directory::new(&cfg),
+            backing,
+            outbox: vec![Vec::new(); n_cores],
+            notices: vec![Vec::new(); n_cores],
+            stats: MemStats::new(n_cores),
+            now: 0,
+            wheel: Wheel::new(),
+            cfg,
+            trace_line: std::env::var("FA_TRACE_LINE")
+                .ok()
+                .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()),
+        }
+    }
+
+    fn trace(&self, line: Line, msg: impl FnOnce() -> String) {
+        if self.trace_line == Some(line) {
+            eprintln!("[{:>8}] {}", self.now, msg());
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Read access to guest memory (workload setup / result checking).
+    pub fn backing(&self) -> &GuestMem {
+        &self.backing
+    }
+
+    /// Write access to guest memory (workload initialization only — writing
+    /// mid-simulation would bypass coherence).
+    pub fn backing_mut(&mut self) -> &mut GuestMem {
+        &mut self.backing
+    }
+
+    /// Advances one cycle and processes all protocol events now due.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        // Retry fills stalled on all-ways-locked sets.
+        for i in 0..self.caches.len() {
+            let mut acts = Vec::new();
+            self.caches[i].retry_stalled_fills(&mut acts);
+            self.apply_cache_actions(i, acts);
+        }
+        while let Some(ev) = self.wheel.pop_due(self.now) {
+            self.process(ev);
+        }
+    }
+
+    fn process(&mut self, ev: Ev) {
+        match ev {
+            Ev::ToDir(msg) => {
+                let mut dout = Vec::new();
+                self.dir.handle(msg, &mut dout);
+                for a in dout {
+                    match a {
+                        DirAction::ToL1 { core, msg, extra } => {
+                            self.stats.messages += 1;
+                            self.wheel.schedule(
+                                self.now + extra + self.cfg.net_lat,
+                                Ev::ToL1(core, msg),
+                            );
+                        }
+                        DirAction::Redispatch(req) => {
+                            self.wheel.schedule(self.now + 1, Ev::ToDir(DirMsg::Req(req)));
+                        }
+                    }
+                }
+            }
+            Ev::ToL1(core, msg) => {
+                let mut acts = Vec::new();
+                self.caches[core.index()].handle_ext(msg, &mut acts);
+                self.apply_cache_actions(core.index(), acts);
+            }
+            Ev::ReadDone { core, seq, addr, class, had_write_perm, locked } => {
+                let c = &mut self.stats.cores[core.index()];
+                match class {
+                    LatClass::L1 => c.l1_hits += 1,
+                    LatClass::L2 => c.l2_hits += 1,
+                    LatClass::Llc => c.llc_hits += 1,
+                    LatClass::Mem => c.mem_accesses += 1,
+                    LatClass::Remote => c.remote_transfers += 1,
+                }
+                let value = self.backing.load(addr);
+                self.trace(fa_isa::line_of(addr), || {
+                    format!("{core:?} ReadDone seq={seq} addr={addr:#x} val={value} locked={locked}")
+                });
+                self.outbox[core.index()].push(CoreResp::ReadResp {
+                    seq,
+                    addr,
+                    value,
+                    class,
+                    had_write_perm,
+                    locked,
+                });
+            }
+            Ev::StoreReady { core, seq, line } => {
+                self.outbox[core.index()].push(CoreResp::StoreReady { seq, line });
+            }
+        }
+    }
+
+    fn apply_cache_actions(&mut self, core: usize, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::ReadDone { delay, seq, addr, class, had_write_perm, locked } => {
+                    self.wheel.schedule(
+                        self.now + delay,
+                        Ev::ReadDone {
+                            core: CoreId(core as u16),
+                            seq,
+                            addr,
+                            class,
+                            had_write_perm,
+                            locked,
+                        },
+                    );
+                }
+                Action::StoreReady { delay, seq, line } => {
+                    self.wheel.schedule(
+                        self.now + delay,
+                        Ev::StoreReady { core: CoreId(core as u16), seq, line },
+                    );
+                }
+                Action::ToDir(msg) => {
+                    self.stats.messages += 1;
+                    self.wheel.schedule(self.now + self.cfg.net_lat, Ev::ToDir(msg));
+                }
+                Action::LineLost { line, remote_write } => {
+                    self.notices[core].push(CoreNotice::LineLost { line, remote_write });
+                }
+            }
+        }
+    }
+
+    // ---- Core-facing port (called during the core's tick) ----
+
+    /// Issues a demand read. `exclusive` requests write permission
+    /// (load_lock path); `lock_intent` locks the line at perform time.
+    pub fn read(
+        &mut self,
+        core: CoreId,
+        seq: u64,
+        addr: Addr,
+        exclusive: bool,
+        lock_intent: bool,
+    ) -> ReqOutcome {
+        let mut acts = Vec::new();
+        let r = self.caches[core.index()].read(seq, addr, exclusive, lock_intent, &mut acts);
+        self.apply_cache_actions(core.index(), acts);
+        r
+    }
+
+    /// Requests write permission for the store tagged `seq`.
+    pub fn store_acquire(&mut self, core: CoreId, seq: u64, addr: Addr) -> ReqOutcome {
+        let mut acts = Vec::new();
+        let r = self.caches[core.index()].store_acquire(seq, addr, &mut acts);
+        self.apply_cache_actions(core.index(), acts);
+        r
+    }
+
+    /// Attempts to perform a store this cycle: requires the private cache to
+    /// hold write permission. On success the backing store is written
+    /// immediately (this *is* the store's perform). `lock` applies the
+    /// `lock_on_access` responsibility; `unlock` releases one lock count
+    /// (a store_unlock draining, §3.3).
+    pub fn try_store_perform(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        value: Word,
+        lock: bool,
+        unlock: bool,
+    ) -> bool {
+        let mut acts = Vec::new();
+        let ok = self.caches[core.index()].try_store_perform(addr, lock, unlock, &mut acts);
+        if ok {
+            self.backing.store(addr, value);
+            self.stats.cores[core.index()].stores_performed += 1;
+            self.trace(fa_isa::line_of(addr), || {
+                format!("{core:?} StorePerform addr={addr:#x} val={value} lock={lock} unlock={unlock}")
+            });
+        }
+        self.apply_cache_actions(core.index(), acts);
+        ok
+    }
+
+    /// Adds a lock count on `line` (load_lock performed on an
+    /// already-present writable line, or a lock transfer during forwarding).
+    pub fn lock_line(&mut self, core: CoreId, line: Line) {
+        self.trace(line, || format!("{core:?} LockLine"));
+        self.caches[core.index()].lock(line);
+    }
+
+    /// Releases one lock count on `line`; at zero, parked external requests
+    /// replay (squash-driven unlock, store_unlock drain, or orphaned lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not locked by `core` — an AQ desync bug.
+    pub fn unlock_line(&mut self, core: CoreId, line: Line) {
+        self.trace(line, || format!("{core:?} UnlockLine (count {})", self.lock_count(core, line)));
+        let mut acts = Vec::new();
+        self.caches[core.index()].unlock(line, &mut acts);
+        self.apply_cache_actions(core.index(), acts);
+    }
+
+    /// Takes this cycle's responses for `core`.
+    pub fn drain_responses(&mut self, core: CoreId) -> Vec<CoreResp> {
+        std::mem::take(&mut self.outbox[core.index()])
+    }
+
+    /// Takes this cycle's notices for `core`.
+    pub fn drain_notices(&mut self, core: CoreId) -> Vec<CoreNotice> {
+        std::mem::take(&mut self.notices[core.index()])
+    }
+
+    /// True if `core`'s private cache currently holds write permission.
+    pub fn writable(&self, core: CoreId, line: Line) -> bool {
+        self.caches[core.index()].writable(line)
+    }
+
+    /// True if `core` has `line` locked.
+    pub fn is_locked(&self, core: CoreId, line: Line) -> bool {
+        self.caches[core.index()].is_locked(line)
+    }
+
+    /// Lock count held by `core` on `line`.
+    pub fn lock_count(&self, core: CoreId, line: Line) -> u32 {
+        self.caches[core.index()].lock_count(line)
+    }
+
+    /// Number of protocol events still in flight (quiescence check).
+    pub fn pending_events(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Snapshot of the statistics, merging controller counters.
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats.clone();
+        for (i, c) in self.caches.iter().enumerate() {
+            let cs = &mut s.cores[i];
+            cs.parked_on_lock = c.stat_parked;
+            cs.evictions = c.stat_evictions;
+            cs.fill_stalled_all_locked = c.stat_fill_stalled;
+            cs.prefetches = c.stat_prefetches;
+            cs.invals_received = c.stat_invals;
+        }
+        s.dir.requests = self.dir.stat_requests;
+        s.dir.parked_busy = self.dir.stat_parked_busy;
+        s.dir.invals_sent = self.dir.stat_invals_sent;
+        s.dir.downgrades_sent = self.dir.stat_downgrades_sent;
+        s.dir.entry_evictions = self.dir.stat_entry_evictions;
+        s.dir.alloc_waits = self.dir.stat_alloc_waits;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+
+    fn sys(n: usize) -> MemorySystem {
+        MemorySystem::new(MemConfig::tiny(), n, GuestMem::new(1 << 16))
+    }
+
+    /// Ticks until `core` receives a response, with a safety bound.
+    fn run_until_resp(m: &mut MemorySystem, core: CoreId, bound: u64) -> Vec<CoreResp> {
+        for _ in 0..bound {
+            m.tick();
+            let r = m.drain_responses(core);
+            if !r.is_empty() {
+                return r;
+            }
+        }
+        panic!("no response within {bound} cycles");
+    }
+
+    #[test]
+    fn cold_read_round_trip_returns_value() {
+        let mut m = sys(1);
+        m.backing_mut().store(0x100, 77);
+        assert_eq!(m.read(C0, 1, 0x100, false, false), ReqOutcome::Accepted);
+        let resps = run_until_resp(&mut m, C0, 1000);
+        match resps[0] {
+            CoreResp::ReadResp { seq: 1, value, class, .. } => {
+                assert_eq!(value, 77);
+                assert_eq!(class, LatClass::Mem);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_read_hits_l1_fast() {
+        let mut m = sys(1);
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        let t0 = m.now();
+        m.read(C0, 2, 0x108, false, false);
+        let resps = run_until_resp(&mut m, C0, 100);
+        assert!(m.now() - t0 <= m.config().l1_lat + 1);
+        assert!(matches!(resps[0], CoreResp::ReadResp { class: LatClass::L1, .. }));
+    }
+
+    #[test]
+    fn store_round_trip_and_perform() {
+        let mut m = sys(1);
+        assert_eq!(m.store_acquire(C0, 9, 0x200), ReqOutcome::Accepted);
+        let resps = run_until_resp(&mut m, C0, 1000);
+        assert!(matches!(resps[0], CoreResp::StoreReady { seq: 9, .. }));
+        assert!(m.try_store_perform(C0, 0x200, 1234, false, false));
+        assert_eq!(m.backing().load(0x200), 1234);
+    }
+
+    #[test]
+    fn remote_write_invalidates_reader_with_notice() {
+        let mut m = sys(2);
+        // Core 0 reads the line.
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        // Core 1 writes it.
+        m.store_acquire(C1, 2, 0x100);
+        run_until_resp(&mut m, C1, 2000);
+        assert!(m.try_store_perform(C1, 0x100, 5, false, false));
+        let notices = m.drain_notices(C0);
+        assert!(
+            notices.contains(&CoreNotice::LineLost { line: 0x100, remote_write: true }),
+            "got {notices:?}"
+        );
+        // Core 0 re-reads and sees the new value.
+        m.read(C0, 3, 0x100, false, false);
+        let resps = run_until_resp(&mut m, C0, 2000);
+        assert!(matches!(resps[0], CoreResp::ReadResp { value: 5, .. }));
+    }
+
+    #[test]
+    fn locked_line_blocks_remote_getx_until_unlock() {
+        let mut m = sys(2);
+        // Core 0 takes the line with lock intent (a performing load_lock).
+        m.read(C0, 1, 0x100, true, true);
+        let r = run_until_resp(&mut m, C0, 1000);
+        assert!(matches!(r[0], CoreResp::ReadResp { locked: true, .. }));
+        assert!(m.is_locked(C0, 0x100));
+        // Core 1 wants to write: its GetX parks at core 0.
+        m.store_acquire(C1, 2, 0x100);
+        for _ in 0..500 {
+            m.tick();
+        }
+        assert!(
+            m.drain_responses(C1).is_empty(),
+            "store must not become ready while the line is locked"
+        );
+        // Unlock: parked Inv replays, core 1 gets permission.
+        m.unlock_line(C0, 0x100);
+        let r = run_until_resp(&mut m, C1, 1000);
+        assert!(matches!(r[0], CoreResp::StoreReady { seq: 2, .. }));
+        // Core 0 lost the line.
+        let notices = m.drain_notices(C0);
+        assert!(notices
+            .iter()
+            .any(|n| matches!(n, CoreNotice::LineLost { line: 0x100, remote_write: true })));
+    }
+
+    #[test]
+    fn read_lock_then_store_unlock_round_trip() {
+        let mut m = sys(2);
+        m.backing_mut().store(0x300, 10);
+        // Atomic on core 0: load_lock reads 10, store_unlock writes 11.
+        m.read(C0, 1, 0x300, true, true);
+        let r = run_until_resp(&mut m, C0, 1000);
+        assert!(matches!(r[0], CoreResp::ReadResp { value: 10, locked: true, .. }));
+        assert!(m.try_store_perform(C0, 0x300, 11, false, true));
+        assert!(!m.is_locked(C0, 0x300));
+        assert_eq!(m.backing().load(0x300), 11);
+    }
+
+    #[test]
+    fn two_cores_reading_share_the_line() {
+        let mut m = sys(2);
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        m.read(C1, 2, 0x100, false, false);
+        let r = run_until_resp(&mut m, C1, 2000);
+        // Remote transfer: core 0 held it exclusively.
+        assert!(matches!(r[0], CoreResp::ReadResp { class: LatClass::Remote, .. }));
+        // Neither core may now write without a request.
+        assert!(!m.writable(C0, 0x100) || !m.writable(C1, 0x100));
+    }
+
+    #[test]
+    fn store_perform_fails_after_losing_permission() {
+        let mut m = sys(2);
+        m.store_acquire(C0, 1, 0x100);
+        run_until_resp(&mut m, C0, 1000);
+        // Core 1 steals the line.
+        m.store_acquire(C1, 2, 0x100);
+        run_until_resp(&mut m, C1, 2000);
+        assert!(!m.try_store_perform(C0, 0x100, 1, false, false));
+        assert!(m.try_store_perform(C1, 0x100, 2, false, false));
+        assert_eq!(m.backing().load(0x100), 2);
+    }
+
+    #[test]
+    fn stats_track_hit_classes() {
+        let mut m = sys(1);
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        m.read(C0, 2, 0x100, false, false);
+        run_until_resp(&mut m, C0, 100);
+        let s = m.stats();
+        assert_eq!(s.cores[0].mem_accesses, 1);
+        assert_eq!(s.cores[0].l1_hits, 1);
+        assert!(s.messages >= 2);
+    }
+
+    #[test]
+    fn deadlock_shape_two_locked_lines_cross_getx() {
+        // The RMW-RMW deadlock substrate (paper Figure 5): each core locks a
+        // line and then requests the other's. Neither request completes; both
+        // park. Progress requires an unlock — exactly what the core-level
+        // watchdog provides.
+        let mut m = sys(2);
+        m.read(C0, 1, 0x100, true, true);
+        run_until_resp(&mut m, C0, 1000);
+        m.read(C1, 2, 0x200, true, true);
+        run_until_resp(&mut m, C1, 1000);
+        // Cross requests.
+        m.read(C0, 3, 0x200, true, true);
+        m.read(C1, 4, 0x100, true, true);
+        for _ in 0..2000 {
+            m.tick();
+        }
+        assert!(m.drain_responses(C0).is_empty());
+        assert!(m.drain_responses(C1).is_empty());
+        // Core 0 squashes its atomic (watchdog): unlock line 0x100.
+        m.unlock_line(C0, 0x100);
+        let r = run_until_resp(&mut m, C1, 2000);
+        assert!(matches!(r[0], CoreResp::ReadResp { seq: 4, locked: true, .. }));
+        // Core 1 finishes both atomics; core 0 then proceeds.
+        assert!(m.try_store_perform(C1, 0x100, 1, false, true));
+        assert!(m.try_store_perform(C1, 0x200, 1, false, true));
+        let r = run_until_resp(&mut m, C0, 4000);
+        assert!(matches!(r[0], CoreResp::ReadResp { seq: 3, locked: true, .. }));
+    }
+}

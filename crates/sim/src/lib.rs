@@ -1,0 +1,24 @@
+//! Multicore machine driver and analysis substrate for the Free Atomics
+//! simulator.
+//!
+//! Ties [`fa_core::Core`]s to one [`fa_mem::MemorySystem`] under a
+//! deterministic cycle loop ([`Machine`]), provides the paper's Table-1
+//! configuration presets ([`presets`]), a McPAT-flavoured event-count energy
+//! model ([`energy`]), the multi-run measurement methodology of §5.1
+//! ([`methodology`]), and a verification substrate: an operational x86-TSO
+//! reference enumerator ([`tsoref`]) plus a litmus-test harness ([`litmus`])
+//! that checks the detailed simulator's outcomes against the reference,
+//! under every atomic policy.
+
+pub mod energy;
+pub mod litmus;
+pub mod machine;
+pub mod methodology;
+pub mod presets;
+pub mod tsoref;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use litmus::{LOp, LitmusTest};
+pub use machine::{Machine, MachineConfig, RunResult, RunTimeout};
+pub use methodology::{measure, Methodology, MultiRun};
+pub use presets::{icelake_like, skylake_like, tiny_machine};

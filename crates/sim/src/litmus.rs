@@ -1,0 +1,388 @@
+//! Litmus-test harness: run small concurrent shapes on the detailed
+//! simulator and check every observed outcome against the operational TSO
+//! reference enumerator.
+
+use crate::machine::{Machine, MachineConfig};
+use crate::tsoref::{enumerate_tso_outcomes, TsoOp};
+use fa_core::AtomicPolicy;
+use fa_isa::interp::GuestMem;
+use fa_isa::{Kasm, Program, Reg, Word};
+use std::collections::HashSet;
+
+/// One litmus operation. Mirrors [`TsoOp`] but is the public authoring
+/// type for tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LOp {
+    /// `mem[addr] = val`
+    St { addr: u8, val: Word },
+    /// Observe `mem[addr]` into observation slot `out`.
+    Ld { addr: u8, out: u8 },
+    /// Observe `fetch_add(mem[addr], val)`'s old value into slot `out`.
+    FetchAdd { addr: u8, val: Word, out: u8 },
+    /// MFENCE.
+    Fence,
+}
+
+/// A named litmus test: one op list per thread.
+#[derive(Clone, Debug)]
+pub struct LitmusTest {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-thread straight-line programs.
+    pub threads: Vec<Vec<LOp>>,
+}
+
+/// Base guest address of abstract location `a` (one cache line apart).
+fn loc(a: u8) -> i64 {
+    0x1000 + (a as i64) * 64
+}
+
+/// Base guest address of observation slot `s`.
+fn out_slot(s: u8) -> i64 {
+    0x4000 + (s as i64) * 64
+}
+
+const LITMUS_MEM: u64 = 1 << 16;
+
+impl LitmusTest {
+    /// Number of observation slots used.
+    pub fn num_outs(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                LOp::Ld { out, .. } | LOp::FetchAdd { out, .. } => Some(*out as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Compiles each thread to a guest program.
+    pub fn to_programs(&self) -> Vec<Program> {
+        self.threads
+            .iter()
+            .map(|ops| {
+                let mut k = Kasm::new();
+                for op in ops {
+                    match *op {
+                        LOp::St { addr, val } => {
+                            k.li(Reg::R1, loc(addr));
+                            k.li(Reg::R2, val as i64);
+                            k.st(Reg::R2, Reg::R1, 0);
+                        }
+                        LOp::Ld { addr, out } => {
+                            k.li(Reg::R1, loc(addr));
+                            k.ld(Reg::R2, Reg::R1, 0);
+                            k.li(Reg::R3, out_slot(out));
+                            k.st(Reg::R2, Reg::R3, 0);
+                        }
+                        LOp::FetchAdd { addr, val, out } => {
+                            k.li(Reg::R1, loc(addr));
+                            k.li(Reg::R2, val as i64);
+                            k.fetch_add(Reg::R3, Reg::R1, 0, Reg::R2);
+                            k.li(Reg::R4, out_slot(out));
+                            k.st(Reg::R3, Reg::R4, 0);
+                        }
+                        LOp::Fence => {
+                            k.fence();
+                        }
+                    }
+                }
+                k.halt();
+                k.finish().expect("litmus programs are straight-line and valid")
+            })
+            .collect()
+    }
+
+    fn to_tso_threads(&self) -> Vec<Vec<TsoOp>> {
+        self.threads
+            .iter()
+            .map(|ops| {
+                ops.iter()
+                    .map(|op| match *op {
+                        LOp::St { addr, val } => TsoOp::St { addr, val },
+                        LOp::Ld { addr, out } => TsoOp::Ld { addr, out_slot: out },
+                        LOp::FetchAdd { addr, val, out } => {
+                            TsoOp::FetchAdd { addr, val, out_slot: out }
+                        }
+                        LOp::Fence => TsoOp::Fence,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// All outcomes the x86-TSO reference model allows.
+    pub fn allowed_outcomes(&self) -> HashSet<Vec<Word>> {
+        enumerate_tso_outcomes(&self.to_tso_threads(), self.num_outs())
+    }
+
+    /// Runs the test once on the detailed simulator and returns the
+    /// observation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine fails to quiesce (forward-progress bug).
+    pub fn run_detailed(
+        &self,
+        cfg: &MachineConfig,
+        offsets: &[u64],
+    ) -> Vec<Word> {
+        let mut m = Machine::new(cfg.clone(), self.to_programs(), GuestMem::new(LITMUS_MEM));
+        if !offsets.is_empty() {
+            let mut o = offsets.to_vec();
+            o.resize(self.threads.len(), 0);
+            m.set_start_offsets(o);
+        }
+        m.run(5_000_000).unwrap_or_else(|e| panic!("litmus {}: {e}", self.name));
+        (0..self.num_outs())
+            .map(|s| m.guest_mem().load(out_slot(s as u8) as u64))
+            .collect()
+    }
+
+    /// Runs under `policy` with a spread of start offsets and asserts every
+    /// observed outcome is TSO-allowed. Returns the set of observed
+    /// outcomes (useful to additionally assert coverage).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any TSO-forbidden observation — the core soundness check
+    /// of this reproduction.
+    pub fn verify_under(
+        &self,
+        base: &MachineConfig,
+        policy: AtomicPolicy,
+        offset_sets: &[&[u64]],
+    ) -> HashSet<Vec<Word>> {
+        let allowed = self.allowed_outcomes();
+        let mut cfg = base.clone();
+        cfg.core.policy = policy;
+        let mut observed = HashSet::new();
+        for offs in offset_sets {
+            let got = self.run_detailed(&cfg, offs);
+            assert!(
+                allowed.contains(&got),
+                "litmus {}: outcome {:?} observed under {:?} (offsets {:?}) is TSO-FORBIDDEN; \
+                 allowed: {:?}",
+                self.name,
+                got,
+                policy,
+                offs,
+                allowed
+            );
+            observed.insert(got);
+        }
+        observed
+    }
+
+    // ---- The standard menagerie -------------------------------------
+
+    /// Store buffering (Dekker) — `0,0` allowed without fences.
+    pub fn sb() -> LitmusTest {
+        LitmusTest {
+            name: "SB",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 1 }, LOp::Ld { addr: 1, out: 0 }],
+                vec![LOp::St { addr: 1, val: 1 }, LOp::Ld { addr: 0, out: 1 }],
+            ],
+        }
+    }
+
+    /// Store buffering with MFENCE — `0,0` forbidden.
+    pub fn sb_fences() -> LitmusTest {
+        LitmusTest {
+            name: "SB+mfence",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 1 }, LOp::Fence, LOp::Ld { addr: 1, out: 0 }],
+                vec![LOp::St { addr: 1, val: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 1 }],
+            ],
+        }
+    }
+
+    /// The paper's Figure 10: Dekker with atomic RMWs to unrelated
+    /// addresses as the fences — `0,0` forbidden by type-1 atomicity.
+    pub fn sb_rmws() -> LitmusTest {
+        LitmusTest {
+            name: "SB+rmw (paper Fig. 10)",
+            threads: vec![
+                vec![
+                    LOp::St { addr: 0, val: 1 },
+                    LOp::FetchAdd { addr: 2, val: 1, out: 2 },
+                    LOp::Ld { addr: 1, out: 0 },
+                ],
+                vec![
+                    LOp::St { addr: 1, val: 1 },
+                    LOp::FetchAdd { addr: 3, val: 1, out: 3 },
+                    LOp::Ld { addr: 0, out: 1 },
+                ],
+            ],
+        }
+    }
+
+    /// Message passing: flag observed ⇒ data observed.
+    pub fn mp() -> LitmusTest {
+        LitmusTest {
+            name: "MP",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 42 }, LOp::St { addr: 1, val: 1 }],
+                vec![LOp::Ld { addr: 1, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+            ],
+        }
+    }
+
+    /// Load buffering shape — `1,1` forbidden under TSO (no load→store
+    /// reordering).
+    pub fn lb() -> LitmusTest {
+        LitmusTest {
+            name: "LB",
+            threads: vec![
+                vec![LOp::Ld { addr: 0, out: 0 }, LOp::St { addr: 1, val: 1 }],
+                vec![LOp::Ld { addr: 1, out: 1 }, LOp::St { addr: 0, val: 1 }],
+            ],
+        }
+    }
+
+    /// Two RMWs racing on one location: strict serialization.
+    pub fn rmw_race() -> LitmusTest {
+        LitmusTest {
+            name: "RMW-race",
+            threads: vec![
+                vec![LOp::FetchAdd { addr: 0, val: 1, out: 0 }],
+                vec![LOp::FetchAdd { addr: 0, val: 1, out: 1 }],
+            ],
+        }
+    }
+
+    /// Independent reads of independent writes (IRIW) with fences. TSO is
+    /// multi-copy atomic, so the two readers must agree on the order.
+    pub fn iriw_fences() -> LitmusTest {
+        LitmusTest {
+            name: "IRIW+mfence",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 1 }],
+                vec![LOp::St { addr: 1, val: 1 }],
+                vec![
+                    LOp::Ld { addr: 0, out: 0 },
+                    LOp::Fence,
+                    LOp::Ld { addr: 1, out: 1 },
+                ],
+                vec![
+                    LOp::Ld { addr: 1, out: 2 },
+                    LOp::Fence,
+                    LOp::Ld { addr: 0, out: 3 },
+                ],
+            ],
+        }
+    }
+
+    /// Write-to-read causality (WRC): T0 writes, T1 observes and writes a
+    /// flag, T2 observes the flag — it must then observe T0's write
+    /// (TSO is multi-copy atomic).
+    pub fn wrc() -> LitmusTest {
+        LitmusTest {
+            name: "WRC",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 1 }],
+                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Fence, LOp::St { addr: 1, val: 1 }],
+                vec![LOp::Ld { addr: 1, out: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 2 }],
+            ],
+        }
+    }
+
+    /// Coherence read-read (CoRR): two loads of one location in program
+    /// order may never observe writes out of coherence order.
+    pub fn corr() -> LitmusTest {
+        LitmusTest {
+            name: "CoRR",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 1 }],
+                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+            ],
+        }
+    }
+
+    /// RMW-vs-store coherence: a store racing a fetch-add on the same
+    /// location; the RMW's read and write must be adjacent in coherence
+    /// order (no store may slip between them).
+    pub fn rmw_store_race() -> LitmusTest {
+        LitmusTest {
+            name: "RMW-store-race",
+            threads: vec![
+                vec![LOp::St { addr: 0, val: 10 }],
+                vec![LOp::FetchAdd { addr: 0, val: 1, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+            ],
+        }
+    }
+
+    /// Every test in the menagerie.
+    pub fn all() -> Vec<LitmusTest> {
+        vec![
+            LitmusTest::sb(),
+            LitmusTest::sb_fences(),
+            LitmusTest::sb_rmws(),
+            LitmusTest::mp(),
+            LitmusTest::lb(),
+            LitmusTest::rmw_race(),
+            LitmusTest::iriw_fences(),
+            LitmusTest::wrc(),
+            LitmusTest::corr(),
+            LitmusTest::rmw_store_race(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compilation_round_trip() {
+        let t = LitmusTest::sb_rmws();
+        assert_eq!(t.num_outs(), 4);
+        let progs = t.to_programs();
+        assert_eq!(progs.len(), 2);
+        assert!(progs[0].len() > 4);
+    }
+
+    #[test]
+    fn allowed_outcomes_match_reference_expectations() {
+        assert!(LitmusTest::sb().allowed_outcomes().contains(&vec![0, 0]));
+        assert!(!LitmusTest::sb_fences().allowed_outcomes().contains(&vec![0, 0]));
+        let rmw = LitmusTest::sb_rmws().allowed_outcomes();
+        assert!(!rmw.iter().any(|o| o[0] == 0 && o[1] == 0));
+        // LB: 1,1 forbidden.
+        assert!(!LitmusTest::lb().allowed_outcomes().contains(&vec![1, 1]));
+    }
+
+    #[test]
+    fn new_shapes_have_expected_reference_outcomes() {
+        // CoRR: out0=1, out1=0 (new-then-old) is coherence-forbidden.
+        assert!(!LitmusTest::corr().allowed_outcomes().contains(&vec![1, 0]));
+        // WRC: flag seen (out1=1) with cause chain (out0=1) forces out2=1.
+        assert!(!LitmusTest::wrc()
+            .allowed_outcomes()
+            .iter()
+            .any(|o| o[0] == 1 && o[1] == 1 && o[2] == 0));
+        // RMW-store-race: the trailing load in the RMW's thread may never
+        // observe a value older than the RMW's own write. If the RMW read 0
+        // its write was 1; later writes (10) or their combination (11) are
+        // fine, but the original 0 may never reappear.
+        for o in LitmusTest::rmw_store_race().allowed_outcomes() {
+            if o[0] == 0 {
+                assert!(o[1] != 0, "{o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_sim_respects_tso_on_quick_shapes() {
+        let base = crate::presets::icelake_like();
+        let offsets: [&[u64]; 3] = [&[], &[0, 40], &[40, 0]];
+        for t in [LitmusTest::sb_rmws(), LitmusTest::mp()] {
+            for policy in AtomicPolicy::ALL {
+                t.verify_under(&base, policy, &offsets);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The multicore machine: N cores + one memory system, one cycle loop.
+
+use fa_core::{Core, CoreConfig, CoreStats};
+use fa_isa::interp::GuestMem;
+use fa_isa::Program;
+use fa_mem::{CoreId, MemConfig, MemStats, MemorySystem};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Machine-level configuration: one core config (homogeneous) + the memory
+/// hierarchy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct MachineConfig {
+    /// Core parameters (shared by every core).
+    pub core: CoreConfig,
+    /// Memory-hierarchy parameters.
+    pub mem: MemConfig,
+}
+
+
+/// The run exceeded its cycle budget without quiescing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunTimeout {
+    /// Budget that was exhausted.
+    pub max_cycles: u64,
+    /// Cores that had halted by then.
+    pub halted: usize,
+    /// Total cores.
+    pub cores: usize,
+}
+
+impl fmt::Display for RunTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "machine did not quiesce within {} cycles ({}/{} cores halted)",
+            self.max_cycles, self.halted, self.cores
+        )
+    }
+}
+
+impl std::error::Error for RunTimeout {}
+
+/// Results of a completed run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Cycle at which the machine quiesced (execution time).
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+}
+
+impl RunResult {
+    /// Roll-up of the per-core statistics (cycles = max across cores; the
+    /// rest summed).
+    pub fn aggregate(&self) -> CoreStats {
+        let mut agg = CoreStats::default();
+        for c in &self.per_core {
+            agg.merge(c);
+        }
+        agg
+    }
+
+    /// Total committed instructions.
+    pub fn instructions(&self) -> u64 {
+        self.per_core.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Committed atomics per kilo-instruction across the machine
+    /// (Figure 12).
+    pub fn apki(&self) -> f64 {
+        let instrs = self.instructions();
+        if instrs == 0 {
+            return 0.0;
+        }
+        let atomics: u64 = self.per_core.iter().map(|c| c.atomics).sum();
+        atomics as f64 * 1000.0 / instrs as f64
+    }
+}
+
+/// A multicore machine ready to run one workload.
+pub struct Machine {
+    mem: MemorySystem,
+    cores: Vec<Core>,
+    start_offsets: Vec<u64>,
+    now: u64,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine with one core per program over `guest_mem`.
+    pub fn new(cfg: MachineConfig, programs: Vec<Program>, guest_mem: GuestMem) -> Machine {
+        let n = programs.len();
+        assert!(n > 0, "at least one program required");
+        let mem_bytes = guest_mem.size();
+        let mem = MemorySystem::new(cfg.mem.clone(), n, guest_mem);
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Core::new(CoreId(i as u16), cfg.core.clone(), p, mem_bytes))
+            .collect();
+        Machine { mem, cores, start_offsets: vec![0; n], now: 0 }
+    }
+
+    /// Delays each core's first cycle by the given offset — the analogue of
+    /// the paper's "randomized sleep timer to alter the architectural
+    /// state" (§5.1).
+    pub fn set_start_offsets(&mut self, offsets: Vec<u64>) {
+        assert_eq!(offsets.len(), self.cores.len());
+        self.start_offsets = offsets;
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Guest memory (to inspect results).
+    pub fn guest_mem(&self) -> &GuestMem {
+        self.mem.backing()
+    }
+
+    /// Guest memory for pre-run initialization.
+    pub fn guest_mem_mut(&mut self) -> &mut GuestMem {
+        self.mem.backing_mut()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// True once every core has halted and every buffered store has
+    /// performed.
+    pub fn quiesced(&self) -> bool {
+        self.cores.iter().all(|c| c.halted() && c.sb_len() == 0)
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.mem.tick();
+        for c in self.cores.iter_mut() {
+            let idx = c.id().index();
+            if self.now > self.start_offsets[idx] {
+                c.tick(self.now, &mut self.mem);
+            }
+        }
+    }
+
+    /// Runs until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunTimeout`] if the machine does not quiesce within
+    /// `max_cycles` — with the deadlock-avoidance watchdog active this
+    /// indicates either an undersized budget or a genuine forward-progress
+    /// bug, which is exactly what the deadlock test suite looks for.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, RunTimeout> {
+        while self.now < max_cycles {
+            self.tick();
+            if self.quiesced() {
+                for c in self.cores.iter_mut() {
+                    c.finalize_stats();
+                }
+                return Ok(RunResult {
+                    cycles: self.now,
+                    per_core: self.cores.iter().map(|c| c.stats.clone()).collect(),
+                    mem: self.mem.stats(),
+                });
+            }
+        }
+        Err(RunTimeout {
+            max_cycles,
+            halted: self.cores.iter().filter(|c| c.halted()).count(),
+            cores: self.cores.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_core::AtomicPolicy;
+    use fa_isa::{Kasm, Reg};
+
+    fn counter_prog(iters: i64) -> Program {
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 0x100);
+        k.li(Reg::R2, 1);
+        k.li(Reg::R3, 0);
+        let top = k.here_label();
+        k.fetch_add(Reg::R4, Reg::R1, 0, Reg::R2);
+        k.addi(Reg::R3, Reg::R3, 1);
+        k.blt_imm(Reg::R3, iters, top);
+        k.halt();
+        k.finish().unwrap()
+    }
+
+    #[test]
+    fn machine_runs_counter_to_completion() {
+        let cfg = MachineConfig::default();
+        let mut m = Machine::new(cfg, vec![counter_prog(50); 2], GuestMem::new(1 << 16));
+        let r = m.run(2_000_000).expect("quiesce");
+        assert_eq!(m.guest_mem().load(0x100), 100);
+        assert!(r.cycles > 0);
+        assert_eq!(r.instructions(), r.per_core.iter().map(|c| c.instructions).sum::<u64>());
+        assert!(r.apki() > 0.0);
+    }
+
+    #[test]
+    fn start_offsets_shift_execution() {
+        let cfg = MachineConfig {
+            core: CoreConfig::default().with_policy(AtomicPolicy::FreeFwd),
+            ..MachineConfig::default()
+        };
+        let mut a = Machine::new(cfg.clone(), vec![counter_prog(20); 2], GuestMem::new(1 << 16));
+        let ra = a.run(1_000_000).unwrap();
+        let mut b = Machine::new(cfg, vec![counter_prog(20); 2], GuestMem::new(1 << 16));
+        b.set_start_offsets(vec![0, 500]);
+        let rb = b.run(1_000_000).unwrap();
+        assert_eq!(b.guest_mem().load(0x100), 40);
+        assert!(rb.cycles >= ra.cycles, "offset run cannot be faster");
+    }
+
+    #[test]
+    fn timeout_reports_progress() {
+        // A spin that never ends: thread 0 waits on a flag nobody sets.
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 0x200);
+        let top = k.here_label();
+        k.ld(Reg::R2, Reg::R1, 0);
+        k.beq_imm(Reg::R2, 0, top);
+        k.halt();
+        let spin = k.finish().unwrap();
+        let mut m = Machine::new(MachineConfig::default(), vec![spin], GuestMem::new(1 << 12));
+        let err = m.run(10_000).unwrap_err();
+        assert_eq!(err.halted, 0);
+        assert_eq!(err.cores, 1);
+        assert!(err.to_string().contains("did not quiesce"));
+    }
+}

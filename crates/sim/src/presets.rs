@@ -1,0 +1,63 @@
+//! Configuration presets matching the paper's evaluated processors.
+
+use crate::machine::MachineConfig;
+use fa_core::CoreConfig;
+use fa_mem::MemConfig;
+
+/// Icelake-like preset — the paper's Table-1 configuration (352-entry ROB).
+pub fn icelake_like() -> MachineConfig {
+    MachineConfig { core: CoreConfig::default(), mem: MemConfig::default() }
+}
+
+/// Skylake-like preset — the smaller machine of Figure 1: 224-entry ROB
+/// with proportionally smaller queues (72-entry LQ, 56-entry SQ) and a
+/// 32 KB 8-way L1D.
+pub fn skylake_like() -> MachineConfig {
+    let core = CoreConfig {
+        fetch_width: 4,
+        issue_width: 8,
+        commit_width: 8,
+        rob_size: 224,
+        lq_size: 72,
+        sq_size: 56,
+        ..CoreConfig::default()
+    };
+    let mem = MemConfig { l1_sets: 64, l1_ways: 8, ..MemConfig::default() };
+    MachineConfig { core, mem }
+}
+
+/// A deliberately tiny machine for stress tests: small queues and the
+/// [`MemConfig::tiny`] hierarchy, exposing eviction livelocks and inclusion
+/// deadlocks quickly.
+pub fn tiny_machine() -> MachineConfig {
+    let core = CoreConfig {
+        fetch_width: 2,
+        issue_width: 4,
+        commit_width: 4,
+        rob_size: 32,
+        lq_size: 8,
+        sq_size: 8,
+        aq_size: 2,
+        watchdog_threshold: 500,
+        ..CoreConfig::default()
+    };
+    MachineConfig { core, mem: MemConfig::tiny() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_rob_size() {
+        assert_eq!(icelake_like().core.rob_size, 352);
+        assert_eq!(skylake_like().core.rob_size, 224);
+        assert!(tiny_machine().core.rob_size < 64);
+    }
+
+    #[test]
+    fn skylake_l1_is_32kb() {
+        let m = skylake_like().mem;
+        assert_eq!(m.l1_sets * m.l1_ways * 64, 32 * 1024);
+    }
+}

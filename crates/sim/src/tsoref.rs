@@ -1,0 +1,219 @@
+//! Bounded operational x86-TSO reference model.
+//!
+//! Enumerates *every* outcome a small concurrent program can produce under
+//! the operational TSO model of Sewell et al. ("x86-TSO: A Rigorous and
+//! Usable Programmer's Model"): per-thread FIFO store buffers, loads that
+//! forward from the local buffer, atomic RMWs that execute only with an
+//! empty local buffer and read-modify-write memory in one step, and MFENCE
+//! draining the buffer.
+//!
+//! The litmus harness uses the resulting outcome set as ground truth: any
+//! outcome observed on the detailed simulator that this enumerator cannot
+//! produce is a consistency bug.
+
+use fa_isa::Word;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// One abstract litmus operation (addresses and values are small integers;
+/// `out` slots index the observation vector).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TsoOp {
+    /// `mem[addr] = val`
+    St { addr: u8, val: Word },
+    /// `out[out_slot] = mem[addr]`
+    Ld { addr: u8, out_slot: u8 },
+    /// `out[out_slot] = fetch_add(mem[addr], val)`
+    FetchAdd { addr: u8, val: Word, out_slot: u8 },
+    /// MFENCE.
+    Fence,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct State {
+    mem: BTreeMap<u8, Word>,
+    pcs: Vec<u8>,
+    sbs: Vec<VecDeque<(u8, Word)>>,
+    outs: Vec<Option<Word>>,
+}
+
+/// Enumerates the set of reachable observation vectors for `threads`.
+///
+/// Each thread is a straight-line list of [`TsoOp`]s (no branches — litmus
+/// tests are loop-free). `num_outs` sizes the observation vector; unwritten
+/// slots read as 0 in the result.
+///
+/// # Panics
+///
+/// Panics if the state space exceeds an internal safety bound (1e6 states) —
+/// keep litmus tests small.
+pub fn enumerate_tso_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSet<Vec<Word>> {
+    let n = threads.len();
+    let init = State {
+        mem: BTreeMap::new(),
+        pcs: vec![0; n],
+        sbs: vec![VecDeque::new(); n],
+        outs: vec![None; num_outs],
+    };
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut work = vec![init];
+    let mut outcomes = HashSet::new();
+    while let Some(st) = work.pop() {
+        if !seen.insert(st.clone()) {
+            continue;
+        }
+        assert!(seen.len() <= 1_000_000, "litmus state space too large");
+        let mut terminal = true;
+        #[allow(clippy::needless_range_loop)] // t indexes parallel vectors
+        for t in 0..n {
+            // Transition 1: drain the oldest store-buffer entry.
+            if let Some(&(a, v)) = st.sbs[t].front() {
+                terminal = false;
+                let mut next = st.clone();
+                next.sbs[t].pop_front();
+                next.mem.insert(a, v);
+                work.push(next);
+            }
+            // Transition 2: execute the next instruction.
+            let pc = st.pcs[t] as usize;
+            let Some(&op) = threads[t].get(pc) else { continue };
+            match op {
+                TsoOp::St { addr, val } => {
+                    terminal = false;
+                    let mut next = st.clone();
+                    next.sbs[t].push_back((addr, val));
+                    next.pcs[t] += 1;
+                    work.push(next);
+                }
+                TsoOp::Ld { addr, out_slot } => {
+                    terminal = false;
+                    let mut next = st.clone();
+                    // Forward from the youngest matching SB entry, else read
+                    // memory.
+                    let v = st.sbs[t]
+                        .iter()
+                        .rev()
+                        .find(|&&(a, _)| a == addr)
+                        .map(|&(_, v)| v)
+                        .unwrap_or_else(|| st.mem.get(&addr).copied().unwrap_or(0));
+                    next.outs[out_slot as usize] = Some(v);
+                    next.pcs[t] += 1;
+                    work.push(next);
+                }
+                TsoOp::FetchAdd { addr, val, out_slot } => {
+                    // Atomic RMW: only with an empty local store buffer;
+                    // read-modify-write is one atomic step (cache locking).
+                    if st.sbs[t].is_empty() {
+                        terminal = false;
+                        let mut next = st.clone();
+                        let old = st.mem.get(&addr).copied().unwrap_or(0);
+                        next.mem.insert(addr, old.wrapping_add(val));
+                        next.outs[out_slot as usize] = Some(old);
+                        next.pcs[t] += 1;
+                        work.push(next);
+                    } else {
+                        terminal = false; // draining is always possible
+                    }
+                }
+                TsoOp::Fence => {
+                    if st.sbs[t].is_empty() {
+                        terminal = false;
+                        let mut next = st.clone();
+                        next.pcs[t] += 1;
+                        work.push(next);
+                    } else {
+                        terminal = false;
+                    }
+                }
+            }
+        }
+        if terminal {
+            outcomes.insert(st.outs.iter().map(|o| o.unwrap_or(0)).collect());
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TsoOp::*;
+
+    #[test]
+    fn sb_litmus_allows_both_zero() {
+        // The classic store-buffering shape: both loads may read 0.
+        let threads = vec![
+            vec![St { addr: 0, val: 1 }, Ld { addr: 1, out_slot: 0 }],
+            vec![St { addr: 1, val: 1 }, Ld { addr: 0, out_slot: 1 }],
+        ];
+        let outs = enumerate_tso_outcomes(&threads, 2);
+        assert!(outs.contains(&vec![0, 0]), "TSO must allow 0,0 for SB");
+        assert!(outs.contains(&vec![1, 1]));
+        assert!(outs.contains(&vec![0, 1]));
+        assert!(outs.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn sb_with_fences_forbids_both_zero() {
+        let threads = vec![
+            vec![St { addr: 0, val: 1 }, Fence, Ld { addr: 1, out_slot: 0 }],
+            vec![St { addr: 1, val: 1 }, Fence, Ld { addr: 0, out_slot: 1 }],
+        ];
+        let outs = enumerate_tso_outcomes(&threads, 2);
+        assert!(!outs.contains(&vec![0, 0]), "MFENCE forbids 0,0");
+        assert_eq!(outs.len(), 3);
+    }
+
+    #[test]
+    fn sb_with_rmws_forbids_both_zero() {
+        // Paper Figure 10: an atomic RMW between the store and the load acts
+        // as a fence (type-1 atomicity).
+        let threads = vec![
+            vec![
+                St { addr: 0, val: 1 },
+                FetchAdd { addr: 2, val: 1, out_slot: 2 },
+                Ld { addr: 1, out_slot: 0 },
+            ],
+            vec![
+                St { addr: 1, val: 1 },
+                FetchAdd { addr: 3, val: 1, out_slot: 3 },
+                Ld { addr: 0, out_slot: 1 },
+            ],
+        ];
+        let outs = enumerate_tso_outcomes(&threads, 4);
+        assert!(
+            !outs.iter().any(|o| o[0] == 0 && o[1] == 0),
+            "type-1 RMWs forbid 0,0 (Dekker, paper §3.4)"
+        );
+    }
+
+    #[test]
+    fn message_passing_is_ordered() {
+        let threads = vec![
+            vec![St { addr: 0, val: 42 }, St { addr: 1, val: 1 }],
+            vec![Ld { addr: 1, out_slot: 0 }, Ld { addr: 0, out_slot: 1 }],
+        ];
+        let outs = enumerate_tso_outcomes(&threads, 2);
+        // flag=1 but data=0 is forbidden under TSO.
+        assert!(!outs.contains(&vec![1, 0]));
+        assert!(outs.contains(&vec![1, 42]));
+        assert!(outs.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn load_forwards_from_own_buffer() {
+        let threads = vec![vec![St { addr: 0, val: 9 }, Ld { addr: 0, out_slot: 0 }]];
+        let outs = enumerate_tso_outcomes(&threads, 1);
+        assert_eq!(outs, HashSet::from([vec![9]]));
+    }
+
+    #[test]
+    fn rmw_pair_on_same_address_serializes() {
+        let threads = vec![
+            vec![FetchAdd { addr: 0, val: 1, out_slot: 0 }],
+            vec![FetchAdd { addr: 0, val: 1, out_slot: 1 }],
+        ];
+        let outs = enumerate_tso_outcomes(&threads, 2);
+        // One sees 0, the other 1 — never both 0.
+        assert_eq!(outs, HashSet::from([vec![0, 1], vec![1, 0]]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Synthetic workload suite for the Free Atomics simulator.
+//!
+//! Twenty-six kernels named after the paper's evaluated applications
+//! (SPLASH-3, PARSEC-3 and the write-intensive suite of Gogte et al. /
+//! Kolli et al.), written in the guest ISA through the [`Kasm`] assembler.
+//! The kernels are *synthetic proxies*: they reproduce each application's
+//! synchronization idiom (locks, barriers, pure atomics), its
+//! atomics-per-kilo-instruction rate (Figure 12), its lock locality, and its
+//! store-buffer pressure — the properties Free Atomics' gains depend on —
+//! not its numerical output.
+//!
+//! [`Kasm`]: fa_isa::Kasm
+//!
+//! # Example
+//!
+//! ```
+//! use fa_workloads::{suite, WorkloadParams};
+//!
+//! let spec = suite::by_name("canneal").unwrap();
+//! let w = spec.build(&WorkloadParams { cores: 4, scale: 0.1, seed: 42 });
+//! assert_eq!(w.programs.len(), 4);
+//! ```
+
+pub mod kernels;
+pub mod runtime;
+pub mod suite;
+
+use fa_isa::interp::GuestMem;
+use fa_isa::Program;
+
+/// Parameters every workload builder receives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of hardware threads (= cores); the paper evaluates 32.
+    pub cores: usize,
+    /// Work multiplier: 1.0 ≈ a few hundred thousand instructions per
+    /// core. Benchmarks shrink it to fit wall-clock budgets.
+    pub scale: f64,
+    /// Seed for data and access-pattern randomization.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> WorkloadParams {
+        WorkloadParams { cores: 32, scale: 1.0, seed: 0xF00D }
+    }
+}
+
+/// A built workload: one program per core plus initialized guest memory.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name (matches the paper's application name).
+    pub name: &'static str,
+    /// Whether the paper classifies it atomic-intensive (≥ 0.75 APKI).
+    pub atomic_intensive: bool,
+    /// One program per core.
+    pub programs: Vec<Program>,
+    /// Initialized guest memory.
+    pub mem: GuestMem,
+}
+
+/// A named workload builder.
+#[derive(Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// Paper classification (§5.2): ≥ 0.75 atomics per kilo-instruction.
+    pub atomic_intensive: bool,
+    builder: fn(&WorkloadParams) -> Workload,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("name", &self.name)
+            .field("atomic_intensive", &self.atomic_intensive)
+            .finish()
+    }
+}
+
+impl WorkloadSpec {
+    pub(crate) const fn new(
+        name: &'static str,
+        atomic_intensive: bool,
+        builder: fn(&WorkloadParams) -> Workload,
+    ) -> WorkloadSpec {
+        WorkloadSpec { name, atomic_intensive, builder }
+    }
+
+    /// Builds the workload for the given parameters.
+    pub fn build(&self, params: &WorkloadParams) -> Workload {
+        (self.builder)(params)
+    }
+}
+
+/// Guest memory size every workload uses (4 MiB).
+pub const WORKLOAD_MEM_BYTES: u64 = 4 << 20;

@@ -1,0 +1,300 @@
+//! Guest-side synchronization runtime: spinlocks, ticket locks, a
+//! sense-reversing barrier, and an inline xorshift PRNG.
+//!
+//! # Register conventions
+//!
+//! Emitters reserve `R20`–`R27`; workload compute code must keep its state
+//! in `R1`–`R19`:
+//!
+//! | register | role |
+//! |---|---|
+//! | `R20`–`R23` | emitter scratch (clobbered) |
+//! | `R24` | PRNG state |
+//! | `R25` | thread id |
+//! | `R26` | barrier sense |
+
+use fa_isa::{Kasm, Reg};
+
+/// Emitter scratch registers.
+pub const RT0: Reg = Reg::R20;
+/// Emitter scratch.
+pub const RT1: Reg = Reg::R21;
+/// Emitter scratch.
+pub const RT2: Reg = Reg::R22;
+/// Emitter scratch.
+pub const RT3: Reg = Reg::R23;
+/// PRNG state register.
+pub const RNG: Reg = Reg::R24;
+/// Thread-id register.
+pub const TID: Reg = Reg::R25;
+/// Barrier sense register.
+pub const SENSE: Reg = Reg::R26;
+
+/// Emits the standard prologue: thread id, PRNG seed, barrier sense.
+pub fn emit_prologue(k: &mut Kasm, tid: usize, seed: u64) {
+    k.li(TID, tid as i64);
+    k.li(RNG, (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (tid as u64 + 1)) as i64 | 1);
+    k.li(SENSE, 0);
+}
+
+/// Emits `dst = next_random()` (xorshift64; clobbers nothing else).
+pub fn emit_rand(k: &mut Kasm, dst: Reg) {
+    debug_assert!(dst != RNG);
+    k.shr(dst, RNG, 12);
+    k.xor(RNG, RNG, dst);
+    k.shl(dst, RNG, 25);
+    k.xor(RNG, RNG, dst);
+    k.shr(dst, RNG, 27);
+    k.xor(RNG, RNG, dst);
+    k.mov(dst, RNG);
+}
+
+/// Emits `dst = next_random() & (pow2 - 1)`.
+///
+/// # Panics
+///
+/// Panics unless `pow2` is a power of two.
+pub fn emit_rand_pow2(k: &mut Kasm, dst: Reg, pow2: i64) {
+    assert!(pow2 > 0 && (pow2 & (pow2 - 1)) == 0, "range must be a power of two");
+    emit_rand(k, dst);
+    k.and(dst, dst, pow2 - 1);
+}
+
+/// How a lock waiter burns time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitKind {
+    /// PAUSE-spin (short critical sections).
+    Spin,
+    /// MonitorWait-sleep (long waits, e.g. barriers) — produces the sleep
+    /// cycles of Figure 14.
+    Mwait,
+}
+
+/// Emits a test-and-set spinlock acquire on `[lock]`.
+///
+/// Test-and-test-and-set with PAUSE or MWAIT backoff; clobbers `RT0`.
+pub fn emit_tas_acquire(k: &mut Kasm, lock: Reg, wait: WaitKind) {
+    let acquired = k.new_label();
+    let try_it = k.here_label();
+    k.test_set(RT0, lock, 0);
+    k.beq_imm(RT0, 0, acquired);
+    let spin = k.here_label();
+    match wait {
+        WaitKind::Spin => {
+            k.pause();
+        }
+        WaitKind::Mwait => {
+            k.monitor_wait(lock, 0);
+        }
+    }
+    k.ld(RT0, lock, 0);
+    k.bne_imm(RT0, 0, spin);
+    k.jump(try_it);
+    k.bind(acquired);
+}
+
+/// Emits a spinlock release on `[lock]` (plain store; TSO suffices).
+pub fn emit_release(k: &mut Kasm, lock: Reg) {
+    k.st(Reg::R0, lock, 0);
+}
+
+/// Emits a ticket-lock acquire. Layout: `[lock]` = next ticket,
+/// `[lock+8]` = now serving. Clobbers `RT0`, `RT1`, `RT2`.
+pub fn emit_ticket_acquire(k: &mut Kasm, lock: Reg, wait: WaitKind) {
+    k.li(RT1, 1);
+    k.fetch_add(RT0, lock, 0, RT1); // my ticket
+    let done = k.new_label();
+    let spin = k.here_label();
+    k.ld(RT2, lock, 8);
+    k.beq(RT2, RT0, done);
+    match wait {
+        WaitKind::Spin => {
+            k.pause();
+        }
+        WaitKind::Mwait => {
+            k.monitor_wait(lock, 8);
+        }
+    }
+    k.jump(spin);
+    k.bind(done);
+}
+
+/// Emits a ticket-lock release (serving += 1). Clobbers `RT0`.
+pub fn emit_ticket_release(k: &mut Kasm, lock: Reg) {
+    k.ld(RT0, lock, 8);
+    k.addi(RT0, RT0, 1);
+    k.st(RT0, lock, 8);
+}
+
+/// Emits a sense-reversing central barrier for `nthreads` threads.
+///
+/// Layout: `[bar]` = release flag, `[bar+8]` = arrival count. Uses
+/// `SENSE`; clobbers `RT0`–`RT3`.
+pub fn emit_barrier(k: &mut Kasm, bar: Reg, nthreads: usize, wait: WaitKind) {
+    // sense = 1 - sense
+    k.li(RT0, 1);
+    k.sub(SENSE, RT0, SENSE);
+    // arrive
+    k.fetch_add(RT1, bar, 8, RT0);
+    let not_last = k.new_label();
+    let done = k.new_label();
+    k.bne_imm(RT1, (nthreads - 1) as i64, not_last);
+    // Last arrival: full ordering before releasing everyone — the one real
+    // MFENCE per barrier episode that no atomic policy may elide
+    // (Table 2's residual, non-omittable fences).
+    k.fence();
+    k.st(Reg::R0, bar, 8);
+    k.st(SENSE, bar, 0);
+    k.jump(done);
+    k.bind(not_last);
+    let spin = k.here_label();
+    k.ld(RT2, bar, 0);
+    k.beq(RT2, SENSE, done);
+    match wait {
+        WaitKind::Spin => {
+            k.pause();
+        }
+        WaitKind::Mwait => {
+            k.monitor_wait(bar, 0);
+        }
+    }
+    k.jump(spin);
+    k.bind(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_isa::interp::McInterp;
+    use fa_isa::Program;
+
+    /// Builds `n` thread programs with `body(k, tid)` and runs them under
+    /// the SC golden interpreter.
+    fn run_mc(n: usize, body: impl Fn(&mut Kasm, usize)) -> McInterp {
+        let progs: Vec<Program> = (0..n)
+            .map(|tid| {
+                let mut k = Kasm::new();
+                emit_prologue(&mut k, tid, 7);
+                body(&mut k, tid);
+                k.halt();
+                k.finish().expect("valid runtime program")
+            })
+            .collect();
+        let mut m = McInterp::new(progs, 1 << 16, 99);
+        m.run(5_000_000).expect("completes");
+        m
+    }
+
+    #[test]
+    fn rand_produces_distinct_values() {
+        let m = run_mc(1, |k, _| {
+            k.li(Reg::R1, 0x100);
+            for i in 0..4 {
+                emit_rand(k, Reg::R2);
+                k.st(Reg::R2, Reg::R1, i * 8);
+            }
+        });
+        let vals: Vec<u64> = (0..4).map(|i| m.mem().load(0x100 + i * 8)).collect();
+        assert!(vals.windows(2).all(|w| w[0] != w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn rand_pow2_stays_in_range() {
+        let m = run_mc(1, |k, _| {
+            k.li(Reg::R1, 0x100);
+            for i in 0..8 {
+                emit_rand_pow2(k, Reg::R2, 16);
+                k.st(Reg::R2, Reg::R1, i * 8);
+            }
+        });
+        for i in 0..8 {
+            assert!(m.mem().load(0x100 + i * 8) < 16);
+        }
+    }
+
+    #[test]
+    fn tas_lock_provides_mutual_exclusion() {
+        let m = run_mc(4, |k, _| {
+            k.li(Reg::R1, 0x100); // lock
+            k.li(Reg::R2, 0x200); // counter
+            k.li(Reg::R3, 0);
+            let top = k.here_label();
+            emit_tas_acquire(k, Reg::R1, WaitKind::Spin);
+            k.ld(Reg::R4, Reg::R2, 0);
+            k.addi(Reg::R4, Reg::R4, 1);
+            k.st(Reg::R4, Reg::R2, 0);
+            emit_release(k, Reg::R1);
+            k.addi(Reg::R3, Reg::R3, 1);
+            k.blt_imm(Reg::R3, 25, top);
+        });
+        assert_eq!(m.mem().load(0x200), 100);
+        assert_eq!(m.mem().load(0x100), 0);
+    }
+
+    #[test]
+    fn ticket_lock_provides_mutual_exclusion() {
+        let m = run_mc(4, |k, _| {
+            k.li(Reg::R1, 0x100);
+            k.li(Reg::R2, 0x200);
+            k.li(Reg::R3, 0);
+            let top = k.here_label();
+            emit_ticket_acquire(k, Reg::R1, WaitKind::Spin);
+            k.ld(Reg::R4, Reg::R2, 0);
+            k.addi(Reg::R4, Reg::R4, 1);
+            k.st(Reg::R4, Reg::R2, 0);
+            emit_ticket_release(k, Reg::R1);
+            k.addi(Reg::R3, Reg::R3, 1);
+            k.blt_imm(Reg::R3, 25, top);
+        });
+        assert_eq!(m.mem().load(0x200), 100);
+        // next == serving == 100 at the end.
+        assert_eq!(m.mem().load(0x100), 100);
+        assert_eq!(m.mem().load(0x108), 100);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Each thread writes its slot, barriers, then sums every slot.
+        // Without a working barrier some thread reads a missing write.
+        let n = 4;
+        let m = run_mc(n, move |k, _| {
+            k.li(Reg::R1, 0x100); // slots base
+            k.li(Reg::R2, 0x300); // barrier
+            k.shl(Reg::R3, TID, 3);
+            k.add(Reg::R3, Reg::R1, Reg::R3);
+            k.li(Reg::R4, 1);
+            k.st(Reg::R4, Reg::R3, 0);
+            emit_barrier(k, Reg::R2, n, WaitKind::Spin);
+            // Sum all slots.
+            k.li(Reg::R5, 0);
+            for i in 0..n as i64 {
+                k.ld(Reg::R6, Reg::R1, i * 8);
+                k.add(Reg::R5, Reg::R5, Reg::R6);
+            }
+            // Publish per-thread sum.
+            k.li(Reg::R7, 0x400);
+            k.shl(Reg::R8, TID, 3);
+            k.add(Reg::R7, Reg::R7, Reg::R8);
+            k.st(Reg::R5, Reg::R7, 0);
+        });
+        for t in 0..n as u64 {
+            assert_eq!(m.mem().load(0x400 + t * 8), n as u64, "thread {t} missed writes");
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_phases() {
+        let n = 3;
+        let m = run_mc(n, move |k, _| {
+            k.li(Reg::R2, 0x300);
+            k.li(Reg::R9, 0x500);
+            for _ in 0..5 {
+                emit_barrier(k, Reg::R2, n, WaitKind::Spin);
+            }
+            // All threads passed 5 barriers: count arrivals.
+            k.li(Reg::R1, 1);
+            k.fetch_add(Reg::R3, Reg::R9, 0, Reg::R1);
+        });
+        assert_eq!(m.mem().load(0x500), n as u64);
+    }
+}

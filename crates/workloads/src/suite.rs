@@ -1,0 +1,527 @@
+//! The 26-application suite (§5.1): SPLASH-3, PARSEC-3, and the
+//! write-intensive benchmarks of Gogte et al. / Kolli et al.
+//!
+//! Each entry is a synthetic proxy assembled from the [`crate::kernels`]
+//! templates, tuned to the application's atomics-per-kilo-instruction
+//! profile (Figure 12), its synchronization idiom (§5.2: canneal is purely
+//! atomic, fluidanimate uses millions of uncontended locks, barnes and
+//! radiosity lock with strong temporal locality, the write-intensive suite
+//! follows the §5.5 hotspot descriptions) and its store-buffer pressure
+//! (Figure 1: fft/radix/ocean pay hundreds of cycles per fenced atomic).
+
+use crate::kernels::{
+    emit_app_loop, emit_atomic_swap_loop, emit_queue_loop, emit_swap_loop, emit_think,
+    emit_tpcc_loop, emit_tree_update_loop, AppSpec, ComputeInner, LockChoice, LockKind, LockPart,
+    DATA_BASE,
+};
+use crate::runtime::{emit_prologue, WaitKind};
+use crate::{Workload, WorkloadParams, WorkloadSpec, WORKLOAD_MEM_BYTES};
+use fa_isa::interp::GuestMem;
+use fa_isa::{Kasm, Program};
+
+fn scaled(base: i64, scale: f64) -> i64 {
+    ((base as f64 * scale).round() as i64).max(2)
+}
+
+fn build_programs(
+    params: &WorkloadParams,
+    body: impl Fn(&mut Kasm, usize),
+) -> Vec<Program> {
+    (0..params.cores)
+        .map(|tid| {
+            let mut k = Kasm::new();
+            emit_prologue(&mut k, tid, params.seed);
+            body(&mut k, tid);
+            k.halt();
+            k.finish().expect("suite kernels are valid by construction")
+        })
+        .collect()
+}
+
+fn plain_mem() -> GuestMem {
+    GuestMem::new(WORKLOAD_MEM_BYTES)
+}
+
+/// Memory with data records initialized to distinct values (swap-style
+/// kernels need a populated array).
+fn records_mem(n: u64, stride: u64, seed: u64) -> GuestMem {
+    let mut m = plain_mem();
+    let mut x = seed | 1;
+    for i in 0..n {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        m.store(DATA_BASE as u64 + i * stride, x.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    }
+    m
+}
+
+fn app(
+    name: &'static str,
+    ai: bool,
+    params: &WorkloadParams,
+    spec: AppSpec,
+) -> Workload {
+    let n = params.cores;
+    let programs = build_programs(params, |k, _| emit_app_loop(k, n, &spec));
+    Workload { name, atomic_intensive: ai, programs, mem: plain_mem() }
+}
+
+macro_rules! suite_entry {
+    ($fn_name:ident, $name:literal, $ai:literal, $body:expr) => {
+        fn $fn_name(params: &WorkloadParams) -> Workload {
+            #[allow(clippy::redundant_closure_call)]
+            ($body)(params)
+        }
+    };
+}
+
+// ---------------------------------------------------------------- SPLASH-3
+
+suite_entry!(watersp, "watersp", false, |p: &WorkloadParams| {
+    app(
+        "watersp",
+        false,
+        p,
+        AppSpec::compute_only(
+            scaled(40, p.scale),
+            ComputeInner { iters: 60, loads: 2, stores: 1, alu: 6, stride: 8, region_pow2: 0x8000, shared: false },
+        ),
+    )
+});
+
+suite_entry!(waternsq, "waternsq", false, |p: &WorkloadParams| {
+    app(
+        "waternsq",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(40, p.scale),
+            compute: Some(ComputeInner { iters: 50, loads: 2, stores: 1, alu: 5, stride: 8, region_pow2: 0x8000, shared: false }),
+            locks: None,
+            barrier_every: Some(8),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(fft, "fft", false, |p: &WorkloadParams| {
+    app(
+        "fft",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(25, p.scale),
+            compute: Some(ComputeInner { iters: 200, loads: 1, stores: 4, alu: 2, stride: 576, region_pow2: 0x10000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 16, kind: LockKind::Tas, choice: LockChoice::Random, cs_work: 1, burst: 2 }),
+            barrier_every: Some(4),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(raytrace, "raytrace", false, |p: &WorkloadParams| {
+    app(
+        "raytrace",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(40, p.scale),
+            compute: Some(ComputeInner { iters: 200, loads: 3, stores: 0, alu: 6, stride: 64, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 64, kind: LockKind::Ticket, choice: LockChoice::Sticky, cs_work: 2, burst: 2 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(lu_ncb, "lu_ncb", false, |p: &WorkloadParams| {
+    app(
+        "lu_ncb",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(30, p.scale),
+            compute: Some(ComputeInner { iters: 180, loads: 3, stores: 1, alu: 5, stride: 8, region_pow2: 0x10000, shared: true }),
+            locks: None,
+            barrier_every: Some(2),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(lu_cb, "lu_cb", false, |p: &WorkloadParams| {
+    app(
+        "lu_cb",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(30, p.scale),
+            compute: Some(ComputeInner { iters: 180, loads: 3, stores: 1, alu: 5, stride: 8, region_pow2: 0x10000, shared: false }),
+            locks: None,
+            barrier_every: Some(2),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(radix, "radix", false, |p: &WorkloadParams| {
+    app(
+        "radix",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(25, p.scale),
+            compute: Some(ComputeInner { iters: 150, loads: 1, stores: 5, alu: 1, stride: 520, region_pow2: 0x10000, shared: true }),
+            locks: None,
+            barrier_every: Some(2),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(ocean_ncp, "ocean_ncp", false, |p: &WorkloadParams| {
+    app(
+        "ocean_ncp",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(30, p.scale),
+            compute: Some(ComputeInner { iters: 160, loads: 2, stores: 2, alu: 3, stride: 640, region_pow2: 0x20000, shared: true }),
+            locks: None,
+            barrier_every: Some(2),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(ocean_cp, "ocean_cp", false, |p: &WorkloadParams| {
+    app(
+        "ocean_cp",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(30, p.scale),
+            compute: Some(ComputeInner { iters: 160, loads: 2, stores: 2, alu: 3, stride: 320, region_pow2: 0x20000, shared: false }),
+            locks: None,
+            barrier_every: Some(2),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(fmm, "fmm", false, |p: &WorkloadParams| {
+    app(
+        "fmm",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(40, p.scale),
+            compute: Some(ComputeInner { iters: 250, loads: 2, stores: 1, alu: 4, stride: 8, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 32, kind: LockKind::Ticket, choice: LockChoice::Sticky, cs_work: 3, burst: 3 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(cholesky, "cholesky", false, |p: &WorkloadParams| {
+    app(
+        "cholesky",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(40, p.scale),
+            compute: Some(ComputeInner { iters: 150, loads: 3, stores: 1, alu: 5, stride: 8, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 16, kind: LockKind::Ticket, choice: LockChoice::Sticky, cs_work: 2, burst: 2 }),
+            barrier_every: Some(8),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(barnes, "barnes", true, |p: &WorkloadParams| {
+    app(
+        "barnes",
+        true,
+        p,
+        AppSpec {
+            outer_iters: scaled(80, p.scale),
+            compute: Some(ComputeInner { iters: 80, loads: 2, stores: 1, alu: 5, stride: 8, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 64, kind: LockKind::Ticket, choice: LockChoice::Sticky, cs_work: 2, burst: 4 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(volrend, "volrend", true, |p: &WorkloadParams| {
+    app(
+        "volrend",
+        true,
+        p,
+        AppSpec {
+            outer_iters: scaled(100, p.scale),
+            compute: Some(ComputeInner { iters: 60, loads: 2, stores: 1, alu: 3, stride: 8, region_pow2: 0x4000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 128, kind: LockKind::Ticket, choice: LockChoice::Random, cs_work: 2, burst: 2 }),
+            barrier_every: Some(25),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(radiosity, "radiosity", true, |p: &WorkloadParams| {
+    app(
+        "radiosity",
+        true,
+        p,
+        AppSpec {
+            outer_iters: scaled(100, p.scale),
+            compute: Some(ComputeInner { iters: 90, loads: 2, stores: 1, alu: 3, stride: 8, region_pow2: 0x4000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 32, kind: LockKind::Ticket, choice: LockChoice::Sticky, cs_work: 3, burst: 3 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+// ---------------------------------------------------------------- PARSEC-3
+
+suite_entry!(blackscholes, "blackscholes", false, |p: &WorkloadParams| {
+    app(
+        "blackscholes",
+        false,
+        p,
+        AppSpec::compute_only(
+            scaled(40, p.scale),
+            ComputeInner { iters: 60, loads: 2, stores: 1, alu: 8, stride: 8, region_pow2: 0x8000, shared: false },
+        ),
+    )
+});
+
+suite_entry!(freqmine, "freqmine", false, |p: &WorkloadParams| {
+    app(
+        "freqmine",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(50, p.scale),
+            compute: Some(ComputeInner { iters: 250, loads: 2, stores: 1, alu: 4, stride: 8, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 64, kind: LockKind::Tas, choice: LockChoice::Random, cs_work: 2, burst: 2 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(facesim, "facesim", false, |p: &WorkloadParams| {
+    app(
+        "facesim",
+        false,
+        p,
+        AppSpec {
+            outer_iters: scaled(50, p.scale),
+            compute: Some(ComputeInner { iters: 120, loads: 2, stores: 3, alu: 3, stride: 256, region_pow2: 0x8000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 32, kind: LockKind::Tas, choice: LockChoice::Random, cs_work: 4, burst: 1 }),
+            barrier_every: Some(16),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(swaptions, "swaptions", false, |p: &WorkloadParams| {
+    app(
+        "swaptions",
+        false,
+        p,
+        AppSpec::compute_only(
+            scaled(30, p.scale),
+            ComputeInner { iters: 300, loads: 2, stores: 1, alu: 10, stride: 8, region_pow2: 0x8000, shared: false },
+        ),
+    )
+});
+
+suite_entry!(fluidanimate, "fluidanimate", true, |p: &WorkloadParams| {
+    app(
+        "fluidanimate",
+        true,
+        p,
+        AppSpec {
+            outer_iters: scaled(150, p.scale),
+            compute: Some(ComputeInner { iters: 30, loads: 1, stores: 1, alu: 2, stride: 8, region_pow2: 0x2000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 64, kind: LockKind::Tas, choice: LockChoice::OwnMostly, cs_work: 1, burst: 3 }),
+            barrier_every: Some(50),
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(canneal, "canneal", true, |p: &WorkloadParams| {
+    let iters = scaled(400, p.scale);
+    let programs = build_programs(p, |k, _| {
+        emit_atomic_swap_loop(k, iters, 4096, 30);
+        k.fence();
+    });
+    Workload {
+        name: "canneal",
+        atomic_intensive: true,
+        programs,
+        mem: records_mem(4096, 8, p.seed),
+    }
+});
+
+// ----------------------------------------------------- write-intensive
+
+suite_entry!(tatp, "TATP", true, |p: &WorkloadParams| {
+    app(
+        "TATP",
+        true,
+        p,
+        AppSpec {
+            outer_iters: scaled(300, p.scale),
+            compute: Some(ComputeInner { iters: 25, loads: 1, stores: 0, alu: 2, stride: 8, region_pow2: 0x2000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 256, kind: LockKind::Tas, choice: LockChoice::Random, cs_work: 2, burst: 1 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(pc, "PC", true, |p: &WorkloadParams| {
+    app(
+        "PC",
+        true,
+        p,
+        AppSpec {
+            // Iterations longer than the ROB (352 µops) keep consecutive
+            // iterations' RMWs from overlapping in flight; the paper's PC
+            // sees only a single watchdog timeout for the same reason.
+            outer_iters: scaled(220, p.scale),
+            compute: Some(ComputeInner { iters: 35, loads: 1, stores: 0, alu: 2, stride: 8, region_pow2: 0x2000, shared: false }),
+            locks: Some(LockPart { locks_pow2: 8, kind: LockKind::Tas, choice: LockChoice::Random, cs_work: 4, burst: 1 }),
+            barrier_every: None,
+            wait: WaitKind::Mwait,
+        },
+    )
+});
+
+suite_entry!(tpcc, "TPCC", true, |p: &WorkloadParams| {
+    let iters = scaled(100, p.scale);
+    let programs = build_programs(p, move |k, _| {
+        emit_tpcc_loop(k, iters, 128, 800, WaitKind::Mwait);
+        k.fence();
+    });
+    Workload { name: "TPCC", atomic_intensive: true, programs, mem: plain_mem() }
+});
+
+suite_entry!(as_bench, "AS", true, |p: &WorkloadParams| {
+    let iters = scaled(250, p.scale);
+    let programs = build_programs(p, move |k, _| {
+        emit_swap_loop(k, iters, 64, 150, WaitKind::Mwait);
+        k.fence();
+    });
+    Workload {
+        name: "AS",
+        atomic_intensive: true,
+        programs,
+        mem: records_mem(64, 64, p.seed),
+    }
+});
+
+suite_entry!(cq, "CQ", true, |p: &WorkloadParams| {
+    let iters = scaled(250, p.scale);
+    let programs = build_programs(p, move |k, _| {
+        emit_queue_loop(k, iters, 64, 30);
+        k.fence();
+    });
+    Workload { name: "CQ", atomic_intensive: true, programs, mem: plain_mem() }
+});
+
+suite_entry!(rbt, "RBT", true, |p: &WorkloadParams| {
+    let iters = scaled(150, p.scale);
+    let programs = build_programs(p, move |k, _| {
+        emit_tree_update_loop(k, iters, 8, 250, WaitKind::Mwait);
+        k.fence();
+        // A short cool-down compute tail keeps the last unlocker busy.
+        emit_think(k, 50);
+    });
+    Workload { name: "RBT", atomic_intensive: true, programs, mem: plain_mem() }
+});
+
+/// The full suite in the paper's Figure-1 presentation order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::new("watersp", false, watersp),
+        WorkloadSpec::new("blackscholes", false, blackscholes),
+        WorkloadSpec::new("waternsq", false, waternsq),
+        WorkloadSpec::new("freqmine", false, freqmine),
+        WorkloadSpec::new("facesim", false, facesim),
+        WorkloadSpec::new("fft", false, fft),
+        WorkloadSpec::new("raytrace", false, raytrace),
+        WorkloadSpec::new("lu_ncb", false, lu_ncb),
+        WorkloadSpec::new("lu_cb", false, lu_cb),
+        WorkloadSpec::new("radix", false, radix),
+        WorkloadSpec::new("swaptions", false, swaptions),
+        WorkloadSpec::new("ocean_ncp", false, ocean_ncp),
+        WorkloadSpec::new("ocean_cp", false, ocean_cp),
+        WorkloadSpec::new("fmm", false, fmm),
+        WorkloadSpec::new("cholesky", false, cholesky),
+        WorkloadSpec::new("TATP", true, tatp),
+        WorkloadSpec::new("PC", true, pc),
+        WorkloadSpec::new("TPCC", true, tpcc),
+        WorkloadSpec::new("AS", true, as_bench),
+        WorkloadSpec::new("CQ", true, cq),
+        WorkloadSpec::new("barnes", true, barnes),
+        WorkloadSpec::new("volrend", true, volrend),
+        WorkloadSpec::new("radiosity", true, radiosity),
+        WorkloadSpec::new("fluidanimate", true, fluidanimate),
+        WorkloadSpec::new("RBT", true, rbt),
+        WorkloadSpec::new("canneal", true, canneal),
+    ]
+}
+
+/// Looks a workload up by its paper name (case-sensitive).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+/// Only the atomic-intensive subset (§5.2).
+pub fn atomic_intensive() -> Vec<WorkloadSpec> {
+    all().into_iter().filter(|s| s.atomic_intensive).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_isa::interp::McInterp;
+
+    #[test]
+    fn suite_has_26_entries_11_atomic_intensive() {
+        let s = all();
+        assert_eq!(s.len(), 26);
+        assert_eq!(s.iter().filter(|w| w.atomic_intensive).count(), 11);
+        assert!(by_name("canneal").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_and_completes_functionally() {
+        // Functional smoke test under the SC golden interpreter at a small
+        // scale: every kernel must terminate.
+        let params = WorkloadParams { cores: 3, scale: 0.08, seed: 9 };
+        for spec in all() {
+            let w = spec.build(&params);
+            assert_eq!(w.programs.len(), 3, "{}", w.name);
+            let mut m = McInterp::new(w.programs, w.mem.size(), 17);
+            *m.mem_mut() = w.mem;
+            m.run(80_000_000).unwrap_or_else(|e| panic!("{} did not finish: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn names_match_paper_order_prefix() {
+        let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        assert_eq!(&names[..5], &["watersp", "blackscholes", "waternsq", "freqmine", "facesim"]);
+        assert_eq!(names[25], "canneal");
+    }
+}

@@ -1,0 +1,86 @@
+//! Lock-contention scaling study.
+//!
+//! Sweeps core counts on a ticket-lock critical section and prints the
+//! execution time of the fenced baseline vs Free Atomics. Uncontended,
+//! unfencing removes the whole serialization cost; under heavy contention
+//! the critical path shifts to coherence hand-off latency, which no atomic
+//! implementation can hide — the same reason the paper's biggest wins come
+//! from kernels with many *uncontended or locality-friendly* atomics
+//! (fluidanimate, barnes, canneal) and from lock-table kernels with
+//! overlap opportunities (TATP, TPCC, AS).
+//!
+//! ```sh
+//! cargo run --example counter_scaling
+//! ```
+
+use free_atomics::prelude::*;
+
+/// Ticket-lock protected increment, `iters` times.
+fn ticket_kernel(iters: i64) -> Program {
+    let mut k = Kasm::new();
+    let (lock, cnt, i, t0, t1, t2) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    k.li(lock, 0x1000);
+    k.li(cnt, 0x2000);
+    k.li(i, 0);
+    let top = k.here_label();
+    // acquire: my = fetch_add(next); spin until serving == my
+    k.li(t1, 1);
+    k.fetch_add(t0, lock, 0, t1);
+    let spin = k.here_label();
+    let go = k.new_label();
+    k.ld(t2, lock, 8);
+    k.beq(t2, t0, go);
+    k.pause();
+    k.jump(spin);
+    k.bind(go);
+    // critical section
+    k.ld(t2, cnt, 0);
+    k.addi(t2, t2, 1);
+    k.st(t2, cnt, 0);
+    // release: serving += 1
+    k.ld(t2, lock, 8);
+    k.addi(t2, t2, 1);
+    k.st(t2, lock, 8);
+    k.addi(i, i, 1);
+    k.blt_imm(i, iters, top);
+    k.halt();
+    k.finish().unwrap()
+}
+
+fn main() {
+    let iters = 60;
+    println!("ticket-lock critical section, {iters} acquisitions per core\n");
+    println!(
+        "{:<7} {:>12} {:>12} {:>9}",
+        "cores", "baseline", "free+fwd", "speedup"
+    );
+    for cores in [1usize, 2, 4, 8, 16] {
+        let mut cycles = Vec::new();
+        for policy in [AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd] {
+            let mut cfg = icelake_like();
+            cfg.core.policy = policy;
+            let mut m = Machine::new(
+                cfg,
+                vec![ticket_kernel(iters); cores],
+                GuestMem::new(1 << 16),
+            );
+            let r = m.run(200_000_000).expect("quiesces");
+            assert_eq!(
+                m.guest_mem().load(0x2000),
+                (cores as u64) * iters as u64,
+                "mutual exclusion violated"
+            );
+            cycles.push(r.cycles);
+        }
+        println!(
+            "{:<7} {:>12} {:>12} {:>8.2}x",
+            cores,
+            cycles[0],
+            cycles[1],
+            cycles[0] as f64 / cycles[1] as f64
+        );
+    }
+    println!("\nUncontended, unfencing wins outright; as contention rises the");
+    println!("critical path becomes the lock hand-off itself (coherence latency),");
+    println!("which bounds every implementation equally.");
+}

@@ -1,0 +1,204 @@
+//! The §3.2.5 deadlock scenarios as integration tests: each must complete
+//! (the watchdog guarantees forward progress) and produce the
+//! architecturally correct result under every policy.
+
+use free_atomics::prelude::*;
+
+const A: i64 = 0x1000;
+const B: i64 = 0x2000;
+const MEM: u64 = 1 << 20;
+
+fn machine(policy: AtomicPolicy, progs: Vec<Program>, threshold: u64) -> Machine {
+    let mut cfg = icelake_like();
+    cfg.core.policy = policy;
+    cfg.core.watchdog_threshold = threshold;
+    Machine::new(cfg, progs, GuestMem::new(MEM))
+}
+
+fn rmw_pair(first: i64, second: i64, iters: i64) -> Program {
+    let mut k = Kasm::new();
+    k.li(Reg::R1, first);
+    k.li(Reg::R2, second);
+    k.li(Reg::R3, 1);
+    k.li(Reg::R4, 0);
+    let top = k.here_label();
+    k.fetch_add(Reg::R5, Reg::R1, 0, Reg::R3);
+    k.fetch_add(Reg::R5, Reg::R2, 0, Reg::R3);
+    k.addi(Reg::R4, Reg::R4, 1);
+    k.blt_imm(Reg::R4, iters, top);
+    k.halt();
+    k.finish().unwrap()
+}
+
+#[test]
+fn rmw_rmw_figure5_completes_with_exact_counts() {
+    let iters = 50;
+    for policy in AtomicPolicy::ALL {
+        let mut m = machine(policy, vec![rmw_pair(A, B, iters), rmw_pair(B, A, iters)], 400);
+        m.run(50_000_000).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        assert_eq!(m.guest_mem().load(A as u64), 2 * iters as u64, "{policy:?}");
+        assert_eq!(m.guest_mem().load(B as u64), 2 * iters as u64, "{policy:?}");
+    }
+}
+
+fn store_then_rmw(store_to: i64, rmw_on: i64, iters: i64) -> Program {
+    let mut k = Kasm::new();
+    k.li(Reg::R1, store_to);
+    k.li(Reg::R2, rmw_on);
+    k.li(Reg::R3, 1);
+    k.li(Reg::R4, 0);
+    let top = k.here_label();
+    k.st(Reg::R4, Reg::R1, 8); // plain store next to the remote atomic's line
+    k.fetch_add(Reg::R5, Reg::R2, 0, Reg::R3);
+    k.addi(Reg::R4, Reg::R4, 1);
+    k.blt_imm(Reg::R4, iters, top);
+    k.halt();
+    k.finish().unwrap()
+}
+
+#[test]
+fn store_rmw_figure6_completes_with_exact_counts() {
+    let iters = 50;
+    for policy in [AtomicPolicy::Free, AtomicPolicy::FreeFwd] {
+        let mut m = machine(
+            policy,
+            vec![store_then_rmw(A, B, iters), store_then_rmw(B, A, iters)],
+            400,
+        );
+        m.run(50_000_000).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        // Each address is RMW'd by exactly one core in the crossed pair.
+        assert_eq!(m.guest_mem().load(A as u64), iters as u64, "{policy:?}");
+        assert_eq!(m.guest_mem().load(B as u64), iters as u64, "{policy:?}");
+    }
+}
+
+fn load_then_rmw(load_from: i64, rmw_on: i64, iters: i64, out: i64) -> Program {
+    let mut k = Kasm::new();
+    k.li(Reg::R1, load_from);
+    k.li(Reg::R2, rmw_on);
+    k.li(Reg::R3, 1);
+    k.li(Reg::R4, 0);
+    k.li(Reg::R7, 0);
+    let top = k.here_label();
+    k.ld(Reg::R5, Reg::R1, 0);
+    k.fetch_add(Reg::R6, Reg::R2, 0, Reg::R3);
+    k.add(Reg::R7, Reg::R7, Reg::R5);
+    k.addi(Reg::R4, Reg::R4, 1);
+    k.blt_imm(Reg::R4, iters, top);
+    k.li(Reg::R1, out);
+    k.st(Reg::R7, Reg::R1, 0);
+    k.halt();
+    k.finish().unwrap()
+}
+
+#[test]
+fn load_rmw_figure7_completes_with_exact_counts() {
+    let iters = 50;
+    for policy in [AtomicPolicy::Free, AtomicPolicy::FreeFwd] {
+        let mut m = machine(
+            policy,
+            vec![
+                load_then_rmw(A, B, iters, 0x3000),
+                load_then_rmw(B, A, iters, 0x3040),
+            ],
+            400,
+        );
+        m.run(50_000_000).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        // Each address is RMW'd by exactly one core in the crossed pair.
+        assert_eq!(m.guest_mem().load(A as u64), iters as u64, "{policy:?}");
+        assert_eq!(m.guest_mem().load(B as u64), iters as u64, "{policy:?}");
+    }
+}
+
+/// Inclusion deadlock (§3.2.5, MAD-style): a tiny directory forces entry
+/// evictions whose back-invalidations hit locked lines.
+#[test]
+fn inclusion_deadlock_resolves_on_tiny_directory() {
+    let iters = 40;
+    let mut cfg = tiny_machine();
+    cfg.core.policy = AtomicPolicy::FreeFwd;
+    cfg.core.watchdog_threshold = 400;
+    // Several cores hammering atomics over more lines than the directory
+    // set can hold.
+    fn prog(iters: i64, lines: i64, stride: i64, base: i64) -> Program {
+        let mut k = Kasm::new();
+        k.li(Reg::R3, 1);
+        k.li(Reg::R4, 0);
+        let top = k.here_label();
+        for i in 0..lines {
+            k.li(Reg::R1, base + i * stride);
+            k.fetch_add(Reg::R5, Reg::R1, 0, Reg::R3);
+        }
+        k.addi(Reg::R4, Reg::R4, 1);
+        k.blt_imm(Reg::R4, iters, top);
+        k.halt();
+        k.finish().unwrap()
+    }
+    // tiny(): dir is 8 sets x 4 ways; stride of 8*64 lands every line in
+    // one directory set.
+    let lines = 6;
+    let stride = 8 * 64;
+    let progs = vec![prog(iters, lines, stride, 0x8000); 3];
+    let mut m = Machine::new(cfg, progs, GuestMem::new(MEM));
+    let r = m.run(80_000_000).expect("inclusion deadlock must resolve");
+    for i in 0..lines {
+        assert_eq!(
+            m.guest_mem().load((0x8000 + i * stride) as u64),
+            3 * iters as u64,
+            "line {i}"
+        );
+    }
+    let dir_evictions = r.mem.dir.entry_evictions;
+    assert!(dir_evictions > 0, "test must actually exercise directory eviction");
+}
+
+/// Eviction livelock (Figure 4): more lock-hungry atomics than cache ways,
+/// under a tiny L2. Locked lines are never victims; fills wait; the
+/// watchdog resolves the resulting stalls. Must terminate with exact
+/// counts.
+#[test]
+fn eviction_pressure_figure4_terminates_exactly() {
+    let iters = 40;
+    let mut cfg = tiny_machine();
+    cfg.core.policy = AtomicPolicy::FreeFwd;
+    cfg.core.aq_size = 4; // allow more concurrent locks than tiny L2 ways
+    cfg.core.watchdog_threshold = 400;
+    fn prog(iters: i64) -> Program {
+        let mut k = Kasm::new();
+        k.li(Reg::R3, 1);
+        k.li(Reg::R4, 0);
+        let top = k.here_label();
+        // Three atomics to lines in the same tiny-L2 set (8 sets * 64B).
+        for i in 0..3 {
+            k.li(Reg::R1, 0x8000 + i * 8 * 64);
+            k.fetch_add(Reg::R5, Reg::R1, 0, Reg::R3);
+        }
+        k.addi(Reg::R4, Reg::R4, 1);
+        k.blt_imm(Reg::R4, iters, top);
+        k.halt();
+        k.finish().unwrap()
+    }
+    let mut m = Machine::new(cfg, vec![prog(iters); 2], GuestMem::new(MEM));
+    m.run(80_000_000).expect("figure-4 pressure must terminate");
+    for i in 0..3u64 {
+        assert_eq!(m.guest_mem().load(0x8000 + i * 8 * 64), 2 * iters as u64);
+    }
+}
+
+/// The progress invariant (§3.2.5): after any deadlock recovery the
+/// machine still reaches the exact architectural result — nothing is lost
+/// or duplicated by watchdog squashes. Stress with a very small threshold.
+#[test]
+fn aggressive_watchdog_never_corrupts_state() {
+    let iters = 60;
+    for threshold in [120, 600, 10_000] {
+        let mut m = machine(
+            AtomicPolicy::FreeFwd,
+            vec![rmw_pair(A, B, iters), rmw_pair(B, A, iters)],
+            threshold,
+        );
+        m.run(80_000_000).unwrap_or_else(|e| panic!("threshold {threshold}: {e}"));
+        assert_eq!(m.guest_mem().load(A as u64), 2 * iters as u64);
+        assert_eq!(m.guest_mem().load(B as u64), 2 * iters as u64);
+    }
+}
