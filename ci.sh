@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Local CI gate: build, full test suite, lints, and a seeded fuzz smoke
+# campaign. Everything is offline and deterministic; a clean exit here is
+# the bar for merging.
+set -eux
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+# Differential litmus fuzzing under fault injection (seeded — replayable).
+FA_FUZZ_CASES=100 FA_FUZZ_SEED=193459 cargo run -q -p fa-bench --bin fuzz

@@ -12,9 +12,20 @@ fn main() {
     if std::env::var("FA_CORES").is_err() {
         opts.cores = 4;
     }
+    let mut failed = false;
     for spec in opts.workloads() {
         for policy in AtomicPolicy::ALL {
-            let r = fa_bench::run_once(&spec, policy, &icelake_like(), &opts);
+            // A failed run prints its diagnostic snapshot (per-core ROB
+            // heads, locked lines, busy directory entries) and moves on, so
+            // one wedged configuration doesn't hide the rest of the table.
+            let r = match fa_bench::run_once_checked(&spec, policy, &icelake_like(), &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    failed = true;
+                    eprintln!("{:<14} {:<16} FAILED: {e}", spec.name, policy.label());
+                    continue;
+                }
+            };
             let a = r.aggregate();
             println!(
                 "{:<14} {:<16} cycles={:<8} atomics={:<6} wd={:<4} sq_br={:<5} sq_mdv={:<5} \
@@ -34,5 +45,8 @@ fn main() {
                 r.mem.cores.iter().map(|c| c.parked_on_lock).sum::<u64>(),
             );
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

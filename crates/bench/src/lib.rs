@@ -18,6 +18,7 @@
 pub mod figures;
 
 use fa_core::AtomicPolicy;
+use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{measure, Methodology, MultiRun};
 use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
@@ -122,12 +123,29 @@ pub fn run_once(
     base: &MachineConfig,
     opts: &BenchOpts,
 ) -> RunResult {
+    run_once_checked(spec, policy, base, opts)
+        .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
+}
+
+/// Like [`run_once`] but hands the failure — timeout or invariant-audit
+/// violation, each carrying a full machine snapshot — back to the caller.
+/// The `diag` binary uses this to print the snapshot instead of unwinding.
+///
+/// # Errors
+///
+/// Any [`SimError`] raised by the run.
+pub fn run_once_checked(
+    spec: &WorkloadSpec,
+    policy: AtomicPolicy,
+    base: &MachineConfig,
+    opts: &BenchOpts,
+) -> Result<RunResult, Box<SimError>> {
     let mut cfg = base.clone();
     cfg.core.policy = policy;
     let params = opts.params();
     let w = spec.build(&params);
     let mut m = fa_sim::Machine::new(cfg, w.programs, w.mem);
-    m.run(400_000_000).unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
+    m.run(400_000_000).map_err(Box::new)
 }
 
 /// Geometric-mean helper (the paper reports averages over normalized

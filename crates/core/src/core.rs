@@ -17,7 +17,58 @@ use crate::stats::{CoreStats, SquashCause};
 use fa_isa::reg::NUM_REGS;
 use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
 use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
+
+/// A point-in-time snapshot of a core's hang-relevant pipeline state,
+/// attached to timeout diagnostics by the machine driver.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDiag {
+    /// Terminal halt reached.
+    pub halted: bool,
+    /// Asleep in MonitorWait.
+    pub sleeping: bool,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// In-flight micro-ops.
+    pub rob_len: usize,
+    /// Committed stores waiting to perform.
+    pub sb_len: usize,
+    /// Consecutive cycles the oldest atomic has waited (watchdog input).
+    pub wd_counter: u64,
+    /// `(seq, pc, kind, issued, done)` of the ROB-head micro-op, if any.
+    pub rob_head: Option<(u64, u32, String, bool, bool)>,
+    /// Cache lines locked on behalf of this core's Atomic Queue.
+    pub aq_locked: Vec<Line>,
+}
+
+impl fmt::Display for CoreDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.halted {
+            return write!(f, "halted after {} instructions", self.committed);
+        }
+        write!(
+            f,
+            "{}{} committed, rob {}, sb {}, wd {}",
+            if self.sleeping { "sleeping, " } else { "" },
+            self.committed,
+            self.rob_len,
+            self.sb_len,
+            self.wd_counter
+        )?;
+        if let Some((seq, pc, kind, issued, done)) = &self.rob_head {
+            write!(f, ", head µop #{seq} {kind} @pc {pc} (issued={issued} done={done})")?;
+        }
+        if !self.aq_locked.is_empty() {
+            write!(f, ", locked:")?;
+            for l in &self.aq_locked {
+                write!(f, " {l:#x}")?;
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Debug switch (`FA_WD_DEBUG=1`): log watchdog flushes with pipeline
 /// context.
@@ -1191,5 +1242,30 @@ impl Core {
     /// Atomic-queue occupancy (tests).
     pub fn aq_len(&self) -> usize {
         self.aq.len()
+    }
+
+    /// Snapshot of the hang-relevant pipeline state for timeout reports.
+    pub fn diag(&self) -> CoreDiag {
+        let mut aq_locked: Vec<Line> = self
+            .aq
+            .locked()
+            .filter_map(|e| match e.state {
+                AqState::Locked(line) => Some(line),
+                _ => None,
+            })
+            .collect();
+        aq_locked.sort_unstable();
+        CoreDiag {
+            halted: self.halted(),
+            sleeping: self.sleeping(),
+            committed: self.stats.instructions,
+            rob_len: self.rob.len(),
+            sb_len: self.sb.len(),
+            wd_counter: self.wd_counter,
+            rob_head: self.rob.front().map(|e| {
+                (e.seq, e.uop.pc, format!("{:?}", e.uop.kind), e.issued, e.done)
+            }),
+            aq_locked,
+        }
     }
 }

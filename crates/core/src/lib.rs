@@ -45,7 +45,7 @@ pub mod predictor;
 pub mod rob;
 pub mod stats;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, CoreDiag};
 pub use aq::{aq_storage, AqEntry, AqState, AqStorage, AtomicQueue};
 pub use config::{AtomicPolicy, CoreConfig};
 pub use stats::{CoreStats, SquashCause};

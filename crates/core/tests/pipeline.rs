@@ -166,7 +166,7 @@ fn rmw_rmw_deadlock_is_broken_by_watchdog() {
         cfg.watchdog_threshold = 200;
         let mut mem =
             MemorySystem::new(MemConfig::default(), 2, GuestMem::new(MEM_BYTES));
-        let mut cores = vec![
+        let mut cores = [
             Core::new(CoreId(0), cfg.clone(), prog(0x100, 0x200, iters), MEM_BYTES),
             Core::new(CoreId(1), cfg.clone(), prog(0x200, 0x100, iters), MEM_BYTES),
         ];

@@ -1,5 +1,7 @@
 //! Memory-hierarchy configuration.
 
+use crate::audit::AuditConfig;
+use crate::chaos::ChaosConfig;
 use serde::{Deserialize, Serialize};
 
 /// Geometry and latency parameters for the memory system.
@@ -48,6 +50,10 @@ pub struct MemConfig {
     pub stride_prefetch: bool,
     /// Prefetch degree: lines fetched ahead on a detected stride (default 2).
     pub prefetch_degree: usize,
+    /// Deterministic fault injection (default: off).
+    pub chaos: ChaosConfig,
+    /// Cycle-level invariant auditing (default: off).
+    pub audit: AuditConfig,
 }
 
 impl Default for MemConfig {
@@ -70,6 +76,8 @@ impl Default for MemConfig {
             mshrs: 16,
             stride_prefetch: true,
             prefetch_degree: 2,
+            chaos: ChaosConfig::default(),
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -114,5 +122,12 @@ mod tests {
     fn tiny_is_small() {
         let c = MemConfig::tiny();
         assert!(c.l1_sets * c.l1_ways <= 8);
+    }
+
+    #[test]
+    fn chaos_and_audit_default_off() {
+        let c = MemConfig::default();
+        assert!(!c.chaos.enabled);
+        assert!(!c.audit.enabled);
     }
 }

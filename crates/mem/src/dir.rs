@@ -172,7 +172,7 @@ impl Directory {
                 return; // waiting for a way; req was queued
             };
             // Fresh entry: requester is the sole holder.
-            let e = self.entries.peek_mut(req.line).unwrap();
+            let e = self.entries.peek_mut(req.line).expect("entry just allocated");
             e.excl = Some(req.from);
             e.sharers = bit(req.from);
             e.busy = Some(Txn::unblock_of(req.from));
@@ -183,7 +183,7 @@ impl Directory {
             });
             return;
         }
-        let e = self.entries.peek_mut(req.line).unwrap();
+        let e = self.entries.peek_mut(req.line).expect("peeked non-absent above");
         if e.busy.is_some() {
             self.stat_parked_busy += 1;
             e.parked.push_back(req);
@@ -196,7 +196,8 @@ impl Directory {
     fn process_on_idle_entry(&mut self, req: DirReq, out: &mut Vec<DirAction>) {
         let dir_lat = self.dir_lat;
         let llc_extra = self.class_extra(LatClass::Llc);
-        let e = self.entries.peek_mut(req.line).unwrap();
+        // Callers guarantee the entry exists and is idle.
+        let e = self.entries.peek_mut(req.line).expect("idle entry exists");
         debug_assert!(e.busy.is_none());
         match req.kind {
             DirReqKind::GetS => {
@@ -305,19 +306,7 @@ impl Directory {
                 .find(|(_, e)| e.busy.is_none())
                 .map(|(l, _)| l);
             if let Some(vline) = victim {
-                self.stat_entry_evictions += 1;
-                let dir_lat = self.dir_lat;
-                let e = self.entries.peek_mut(vline).unwrap();
-                let targets = e.sharers;
-                e.busy = Some(Txn::acks(targets, None, true));
-                for c in cores_in(targets) {
-                    self.stat_invals_sent += 1;
-                    out.push(DirAction::ToL1 {
-                        core: c,
-                        msg: L1Msg::Inv { line: vline },
-                        extra: dir_lat,
-                    });
-                }
+                self.begin_back_inval(vline, out);
             }
             // If every entry is mid-transaction, simply wait for one to
             // finish — the poll below retries.
@@ -325,6 +314,44 @@ impl Directory {
         self.stat_alloc_waits += 1;
         out.push(DirAction::Redispatch(req));
         None
+    }
+
+    /// Starts an inclusion eviction of `vline`: back-invalidate every
+    /// (superset) sharer and free the entry once the acks collect.
+    fn begin_back_inval(&mut self, vline: Line, out: &mut Vec<DirAction>) {
+        self.stat_entry_evictions += 1;
+        let dir_lat = self.dir_lat;
+        let e = self.entries.peek_mut(vline).expect("eviction victim resident");
+        let targets = e.sharers;
+        e.busy = Some(Txn::acks(targets, None, true));
+        for c in cores_in(targets) {
+            self.stat_invals_sent += 1;
+            out.push(DirAction::ToL1 {
+                core: c,
+                msg: L1Msg::Inv { line: vline },
+                extra: dir_lat,
+            });
+        }
+    }
+
+    /// Fault injection: force inclusion evictions of up to `n` idle entries
+    /// with live sharers (a back-invalidation storm). Reuses the ordinary
+    /// `free_after` transaction path, so storms are protocol-
+    /// indistinguishable from real directory-conflict evictions — including
+    /// the §3.2.5 hazard of a back-invalidation parking on a locked line.
+    /// Returns the number of evictions started.
+    pub(crate) fn storm_evict(&mut self, n: u32, out: &mut Vec<DirAction>) -> u64 {
+        let victims: Vec<Line> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.busy.is_none() && e.sharers != 0)
+            .map(|(l, _)| l)
+            .take(n as usize)
+            .collect();
+        for &vline in &victims {
+            self.begin_back_inval(vline, out);
+        }
+        victims.len() as u64
     }
 
     fn llc_class(&mut self, line: Line) -> LatClass {
@@ -419,6 +446,24 @@ impl Directory {
     /// Number of resident directory entries.
     pub fn resident_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// True if the directory tracks `line` at all.
+    pub fn has_entry(&self, line: Line) -> bool {
+        self.entries.peek(line).is_some()
+    }
+
+    /// Lines whose entries have a transaction in flight, in deterministic
+    /// set order (diagnostics).
+    pub(crate) fn busy_lines(&self) -> impl Iterator<Item = Line> + '_ {
+        self.entries.iter().filter(|(_, e)| e.busy.is_some()).map(|(l, _)| l)
+    }
+
+    /// Test-only: forcibly drops the entry for `line`, bypassing the
+    /// protocol. Exists solely to prove the inclusion audit fires.
+    #[cfg(test)]
+    pub(crate) fn force_drop_entry(&mut self, line: Line) {
+        self.entries.remove(line);
     }
 }
 

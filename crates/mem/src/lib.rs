@@ -28,6 +28,12 @@
 //! deadlock — by design, since breaking that deadlock is the job of the
 //! *core's* watchdog.
 
+// Non-test code must justify every panic site; see the `expect` messages
+// documenting each invariant. Tests keep plain unwrap for brevity.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod audit;
+pub mod chaos;
 pub mod config;
 pub mod dir;
 pub mod msgs;
@@ -38,10 +44,12 @@ pub mod system;
 pub mod tagarray;
 pub mod wheel;
 
+pub use audit::{AuditConfig, AuditViolation};
+pub use chaos::{ChaosConfig, SplitMix64};
 pub use config::MemConfig;
 pub use msgs::{CoreNotice, CoreResp, LatClass};
 pub use stats::MemStats;
-pub use system::MemorySystem;
+pub use system::{MemDiag, MemorySystem};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -58,6 +58,12 @@ pub(crate) struct StalledFill {
     pub line: Line,
     pub excl: bool,
     pub class: LatClass,
+    /// Cycle the fill first stalled (starvation accounting).
+    pub since: Cycle,
+    /// Earliest cycle the next retry may run (exponential backoff).
+    pub next_retry: Cycle,
+    /// Failed retry attempts so far.
+    pub retries: u32,
 }
 
 /// Actions the controller asks the system to carry out (scheduling events,
@@ -97,12 +103,17 @@ pub struct PrivCache {
     mshr_cap: usize,
     l1_lat: Cycle,
     l2_lat: Cycle,
+    /// Current cycle, refreshed by [`PrivCache::retry_stalled_fills`] at the
+    /// top of every system tick (used for stall aging and backoff).
+    now: Cycle,
     // Counters surfaced through MemStats by the system.
     pub(crate) stat_l1_hits: u64,
     pub(crate) stat_l2_hits: u64,
     pub(crate) stat_parked: u64,
     pub(crate) stat_evictions: u64,
     pub(crate) stat_fill_stalled: u64,
+    pub(crate) stat_fill_retries: u64,
+    pub(crate) stat_fill_stall_max: Cycle,
     pub(crate) stat_prefetches: u64,
     pub(crate) stat_invals: u64,
     pub(crate) stat_stores: u64,
@@ -124,11 +135,14 @@ impl PrivCache {
             mshr_cap: cfg.mshrs,
             l1_lat: cfg.l1_lat,
             l2_lat: cfg.l2_lat,
+            now: 0,
             stat_l1_hits: 0,
             stat_l2_hits: 0,
             stat_parked: 0,
             stat_evictions: 0,
             stat_fill_stalled: 0,
+            stat_fill_retries: 0,
+            stat_fill_stall_max: 0,
             stat_prefetches: 0,
             stat_invals: 0,
             stat_stores: 0,
@@ -315,6 +329,12 @@ impl PrivCache {
         *cnt -= 1;
         if *cnt == 0 {
             self.locks.remove(&line);
+            // A freed lock may unblock a stalled fill in this set: cancel any
+            // backoff so the oldest waiter retries on the very next tick
+            // instead of sleeping out its backoff window.
+            for f in self.stalled_fills.iter_mut() {
+                f.next_retry = self.now;
+            }
             if let Some(queue) = self.parked_ext.remove(&line) {
                 for msg in queue {
                     self.handle_ext(msg, out);
@@ -370,28 +390,57 @@ impl PrivCache {
         crate::trace(line, || format!("{:?} Grant excl={excl}", self.id));
         if !self.try_fill(line, excl, class, out) {
             self.stat_fill_stalled += 1;
-            self.stalled_fills.push_back(StalledFill { line, excl, class });
+            self.stalled_fills.push_back(StalledFill {
+                line,
+                excl,
+                class,
+                since: self.now,
+                next_retry: self.now,
+                retries: 0,
+            });
         }
     }
 
-    /// Retries fills stalled on all-ways-locked sets. Called every cycle.
-    pub(crate) fn retry_stalled_fills(&mut self, out: &mut Vec<Action>) {
-        for _ in 0..self.stalled_fills.len() {
-            let f = self.stalled_fills.pop_front().unwrap();
-            if !self.try_fill(f.line, f.excl, f.class, out) {
-                self.stalled_fills.push_back(f);
-            } else if let Some(queue) = self.parked_ext.remove(&f.line) {
-                // External requests parked behind the pending fill replay now
-                // (unless the fill locked the line, in which case they stay).
-                if self.is_locked(f.line) {
-                    self.parked_ext.insert(f.line, queue);
-                } else {
-                    for msg in queue {
-                        self.handle_ext(msg, out);
+    /// Retries fills stalled on all-ways-locked sets. Called once per cycle
+    /// by the system with the current time.
+    ///
+    /// Fairness and starvation bounds: the queue is serviced strictly
+    /// oldest-first, failed attempts back off exponentially (capped at 64
+    /// cycles) so a long-locked set is not hammered every cycle, and any
+    /// unlock resets the backoff so a freed way is claimed on the next tick.
+    /// The longest observed stall is tracked in `stat_fill_stall_max`.
+    pub(crate) fn retry_stalled_fills(&mut self, now: Cycle, out: &mut Vec<Action>) {
+        self.now = now;
+        if self.stalled_fills.is_empty() {
+            return;
+        }
+        let mut still_stalled = VecDeque::new();
+        while let Some(mut f) = self.stalled_fills.pop_front() {
+            self.stat_fill_stall_max = self.stat_fill_stall_max.max(now.saturating_sub(f.since));
+            if now < f.next_retry {
+                still_stalled.push_back(f);
+                continue;
+            }
+            if self.try_fill(f.line, f.excl, f.class, out) {
+                if let Some(queue) = self.parked_ext.remove(&f.line) {
+                    // External requests parked behind the pending fill replay
+                    // now (unless the fill locked the line — then they stay).
+                    if self.is_locked(f.line) {
+                        self.parked_ext.insert(f.line, queue);
+                    } else {
+                        for msg in queue {
+                            self.handle_ext(msg, out);
+                        }
                     }
                 }
+            } else {
+                self.stat_fill_retries += 1;
+                f.retries += 1;
+                f.next_retry = now + (1u64 << f.retries.min(6));
+                still_stalled.push_back(f);
             }
         }
+        self.stalled_fills = still_stalled;
     }
 
     fn try_fill(&mut self, line: Line, excl: bool, class: LatClass, out: &mut Vec<Action>) -> bool {
@@ -409,8 +458,9 @@ impl PrivCache {
                 Err(_) => return false,
             }
         } else if excl {
-            // Upgrade grant for a line we still hold in S.
-            *self.l2.peek_mut(line).unwrap() = Mesi::E;
+            // Upgrade grant for a line we still hold in S. The `contains`
+            // check above guarantees presence.
+            *self.l2.peek_mut(line).expect("upgrade target resident") = Mesi::E;
         }
         self.fill_l1(line);
         // Fill complete: release the directory's serialization on the line.
@@ -485,6 +535,34 @@ impl PrivCache {
     /// True if an external request is parked on `line`.
     pub fn has_parked(&self, line: Line) -> bool {
         self.parked_ext.contains_key(&line)
+    }
+
+    /// All resident L2 lines with their MESI state, in deterministic set
+    /// order (invariant auditing).
+    pub(crate) fn resident_lines(&self) -> impl Iterator<Item = (Line, Mesi)> + '_ {
+        self.l2.iter().map(|(l, s)| (l, *s))
+    }
+
+    /// All currently locked lines with their counts (auditing/diagnostics;
+    /// order is unspecified — callers sort).
+    pub(crate) fn locks_iter(&self) -> impl Iterator<Item = (Line, u32)> + '_ {
+        self.locks.iter().map(|(l, c)| (*l, *c))
+    }
+
+    /// Lines whose fills are stalled on all-ways-locked sets (diagnostics).
+    pub(crate) fn stalled_fill_lines(&self) -> impl Iterator<Item = Line> + '_ {
+        self.stalled_fills.iter().map(|f| f.line)
+    }
+
+    /// Test-only: forcibly sets a line's MESI state, bypassing the protocol.
+    /// Exists solely to prove the invariant auditor detects corruption.
+    #[cfg(test)]
+    pub(crate) fn force_state(&mut self, line: Line, st: Mesi) {
+        if let Some(s) = self.l2.peek_mut(line) {
+            *s = st;
+        } else {
+            let _ = self.l2.insert(line, st, |_| false);
+        }
     }
 }
 
@@ -703,8 +781,51 @@ mod tests {
         // Unlock one way; the retry succeeds.
         c.unlock(0, &mut out);
         out.clear();
-        c.retry_stalled_fills(&mut out);
+        c.retry_stalled_fills(0, &mut out);
         assert!(out.iter().any(|a| matches!(a, Action::ReadDone { seq: 9, .. })));
+    }
+
+    #[test]
+    fn stalled_fill_backs_off_then_retries_promptly_after_unlock() {
+        let mut cfg = MemConfig::tiny();
+        cfg.l2_ways = 2;
+        cfg.l2_sets = 2;
+        cfg.l1_sets = 2;
+        cfg.l1_ways = 2;
+        let mut c = PrivCache::new(CoreId(0), &cfg);
+        let mut out = Vec::new();
+        let stride = 2 * 64;
+        for i in 0..2u64 {
+            let line = i * stride;
+            c.read(i, line, true, true, &mut out);
+            grant(&mut c, line, true, &mut out);
+        }
+        out.clear();
+        c.read(9, 2 * stride, false, false, &mut out);
+        grant(&mut c, 2 * stride, false, &mut out);
+        assert_eq!(c.stat_fill_stalled, 1);
+        // 1000 cycles with the set still fully locked: exponential backoff
+        // (capped at 64 cycles) bounds the wasted retry attempts, where the
+        // old every-cycle rotation would have burned 1000.
+        for now in 1..=1000u64 {
+            c.retry_stalled_fills(now, &mut out);
+        }
+        assert!(
+            c.stat_fill_retries < 30,
+            "backoff should bound retries, got {}",
+            c.stat_fill_retries
+        );
+        assert!(c.stat_fill_stall_max >= 900, "stall age must be tracked");
+        // Unlock resets the backoff: the fill completes on the very next
+        // tick, not after sleeping out its backoff window.
+        c.unlock(0, &mut out);
+        out.clear();
+        c.retry_stalled_fills(1001, &mut out);
+        assert!(
+            out.iter().any(|a| matches!(a, Action::ReadDone { seq: 9, .. })),
+            "freed way must be claimed immediately after unlock"
+        );
+        assert!(c.stat_fill_stall_max >= 1000);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Memory-system statistics.
 
+use crate::audit::AuditStats;
+use crate::chaos::ChaosStats;
+use crate::Cycle;
 use serde::{Deserialize, Serialize};
 
 /// Per-core memory counters.
@@ -23,6 +26,9 @@ pub struct CoreMemStats {
     pub evictions: u64,
     /// Fills that had to retry because every way in the set was locked.
     pub fill_stalled_all_locked: u64,
+    /// Longest cycles any single fill spent stalled on an all-ways-locked
+    /// set before completing (starvation metric).
+    pub max_fill_stall: Cycle,
     /// Prefetch requests issued.
     pub prefetches: u64,
     /// Stores performed (backing store writes).
@@ -55,6 +61,10 @@ pub struct MemStats {
     pub dir: DirStats,
     /// Total protocol messages delivered (for the energy model).
     pub messages: u64,
+    /// Fault-injection counters (all zero when chaos is off).
+    pub chaos: ChaosStats,
+    /// Invariant-audit counters (all zero when auditing is off).
+    pub audit: AuditStats,
 }
 
 impl MemStats {

@@ -7,6 +7,8 @@
 //! unlock transfers) apply to controller state immediately, which closes the
 //! read-then-lock race window without transient protocol states.
 
+use crate::audit::AuditViolation;
+use crate::chaos::ChaosEngine;
 use crate::dir::{DirAction, Directory};
 use crate::msgs::{CoreNotice, CoreResp, DirMsg, L1Msg, LatClass};
 use crate::privcache::{Action, PrivCache, ReqOutcome};
@@ -15,6 +17,9 @@ use crate::wheel::Wheel;
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::interp::GuestMem;
 use fa_isa::{Addr, Word};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
 
 #[derive(Clone, Copy, Debug)]
 enum Ev {
@@ -35,6 +40,46 @@ enum Ev {
     },
 }
 
+/// A point-in-time snapshot of memory-system state, attached to timeout
+/// reports so a hang names the locked lines and in-flight transactions
+/// instead of dying silently.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemDiag {
+    /// `(core, line, lock count)` for every locked line, sorted.
+    pub locked: Vec<(u16, Line, u32)>,
+    /// Lines whose directory entry has a transaction in flight.
+    pub busy_lines: Vec<Line>,
+    /// `(core, line)` for fills stalled on all-ways-locked sets.
+    pub stalled_fills: Vec<(u16, Line)>,
+    /// Protocol events still in flight on the wheel.
+    pub pending_events: usize,
+}
+
+impl fmt::Display for MemDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "  mem: {} events in flight", self.pending_events)?;
+        if !self.locked.is_empty() {
+            write!(f, "\n  locked lines:")?;
+            for (core, line, count) in &self.locked {
+                write!(f, " c{core}:{line:#x}(x{count})")?;
+            }
+        }
+        if !self.busy_lines.is_empty() {
+            write!(f, "\n  busy directory lines:")?;
+            for line in &self.busy_lines {
+                write!(f, " {line:#x}")?;
+            }
+        }
+        if !self.stalled_fills.is_empty() {
+            write!(f, "\n  stalled fills:")?;
+            for (core, line) in &self.stalled_fills {
+                write!(f, " c{core}:{line:#x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The full memory hierarchy for `n` cores plus the global backing store.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -47,14 +92,22 @@ pub struct MemorySystem {
     outbox: Vec<Vec<CoreResp>>,
     notices: Vec<Vec<CoreNotice>>,
     stats: MemStats,
+    chaos: ChaosEngine,
+    /// First cycle each `(core, line)` lock was observed held, maintained by
+    /// the audit sweep (empty while auditing is off).
+    lock_ages: HashMap<(CoreId, Line), Cycle>,
     trace_line: Option<Line>,
 }
 
 impl MemorySystem {
     /// Creates a memory system for `n_cores` cores over `backing`.
     pub fn new(cfg: MemConfig, n_cores: usize, backing: GuestMem) -> MemorySystem {
+        let chaos = ChaosEngine::new(cfg.chaos.clone());
+        // Fault injection may clamp the effective MSHR count.
+        let mut cache_cfg = cfg.clone();
+        cache_cfg.mshrs = chaos.effective_mshrs(cfg.mshrs);
         MemorySystem {
-            caches: (0..n_cores).map(|i| PrivCache::new(CoreId(i as u16), &cfg)).collect(),
+            caches: (0..n_cores).map(|i| PrivCache::new(CoreId(i as u16), &cache_cfg)).collect(),
             dir: Directory::new(&cfg),
             backing,
             outbox: vec![Vec::new(); n_cores],
@@ -62,6 +115,8 @@ impl MemorySystem {
             stats: MemStats::new(n_cores),
             now: 0,
             wheel: Wheel::new(),
+            chaos,
+            lock_ages: HashMap::new(),
             cfg,
             trace_line: std::env::var("FA_TRACE_LINE")
                 .ok()
@@ -104,10 +159,20 @@ impl MemorySystem {
     /// Advances one cycle and processes all protocol events now due.
     pub fn tick(&mut self) {
         self.now += 1;
+        // Fault injection: periodic back-invalidation storms.
+        if self.chaos.enabled() {
+            let burst = self.chaos.storm_due(self.now);
+            if burst > 0 {
+                let mut dout = Vec::new();
+                let evicted = self.dir.storm_evict(burst, &mut dout);
+                self.chaos.stats.storm_evictions += evicted;
+                self.apply_dir_actions(dout);
+            }
+        }
         // Retry fills stalled on all-ways-locked sets.
         for i in 0..self.caches.len() {
             let mut acts = Vec::new();
-            self.caches[i].retry_stalled_fills(&mut acts);
+            self.caches[i].retry_stalled_fills(self.now, &mut acts);
             self.apply_cache_actions(i, acts);
         }
         while let Some(ev) = self.wheel.pop_due(self.now) {
@@ -120,20 +185,7 @@ impl MemorySystem {
             Ev::ToDir(msg) => {
                 let mut dout = Vec::new();
                 self.dir.handle(msg, &mut dout);
-                for a in dout {
-                    match a {
-                        DirAction::ToL1 { core, msg, extra } => {
-                            self.stats.messages += 1;
-                            self.wheel.schedule(
-                                self.now + extra + self.cfg.net_lat,
-                                Ev::ToL1(core, msg),
-                            );
-                        }
-                        DirAction::Redispatch(req) => {
-                            self.wheel.schedule(self.now + 1, Ev::ToDir(DirMsg::Req(req)));
-                        }
-                    }
-                }
+                self.apply_dir_actions(dout);
             }
             Ev::ToL1(core, msg) => {
                 let mut acts = Vec::new();
@@ -168,12 +220,37 @@ impl MemorySystem {
         }
     }
 
+    /// Schedules directory output with the configured latencies plus any
+    /// injected directory-response jitter. Grants, invalidations and
+    /// downgrades are all per-line-serialized by the `Unblock` protocol, so
+    /// delaying them reorders only independent messages (requests arriving
+    /// "early" park) — TSO outcomes stay legal under any jitter.
+    fn apply_dir_actions(&mut self, actions: Vec<DirAction>) {
+        for a in actions {
+            match a {
+                DirAction::ToL1 { core, msg, extra } => {
+                    self.stats.messages += 1;
+                    let jitter = self.chaos.dir_response_jitter();
+                    self.wheel.schedule(
+                        self.now + extra + self.cfg.net_lat + jitter,
+                        Ev::ToL1(core, msg),
+                    );
+                }
+                DirAction::Redispatch(req) => {
+                    // Allocation polling, not a protocol message: no jitter.
+                    self.wheel.schedule(self.now + 1, Ev::ToDir(DirMsg::Req(req)));
+                }
+            }
+        }
+    }
+
     fn apply_cache_actions(&mut self, core: usize, actions: Vec<Action>) {
         for a in actions {
             match a {
                 Action::ReadDone { delay, seq, addr, class, had_write_perm, locked } => {
+                    let jitter = self.chaos.event_jitter();
                     self.wheel.schedule(
-                        self.now + delay,
+                        self.now + delay + jitter,
                         Ev::ReadDone {
                             core: CoreId(core as u16),
                             seq,
@@ -185,14 +262,16 @@ impl MemorySystem {
                     );
                 }
                 Action::StoreReady { delay, seq, line } => {
+                    let jitter = self.chaos.event_jitter();
                     self.wheel.schedule(
-                        self.now + delay,
+                        self.now + delay + jitter,
                         Ev::StoreReady { core: CoreId(core as u16), seq, line },
                     );
                 }
                 Action::ToDir(msg) => {
                     self.stats.messages += 1;
-                    self.wheel.schedule(self.now + self.cfg.net_lat, Ev::ToDir(msg));
+                    let jitter = self.chaos.event_jitter();
+                    self.wheel.schedule(self.now + self.cfg.net_lat + jitter, Ev::ToDir(msg));
                 }
                 Action::LineLost { line, remote_write } => {
                     self.notices[core].push(CoreNotice::LineLost { line, remote_write });
@@ -303,6 +382,93 @@ impl MemorySystem {
         self.wheel.len()
     }
 
+    /// Runs one invariant-audit sweep. Free when `cfg.audit.enabled` is
+    /// false; otherwise checks SWMR, directory–L1 inclusion and the
+    /// lock-hold bound (see [`crate::audit`]), returning the first violation
+    /// in a deterministic order.
+    pub fn audit(&mut self) -> Result<(), AuditViolation> {
+        if !self.cfg.audit.enabled {
+            return Ok(());
+        }
+        self.stats.audit.sweeps += 1;
+        // SWMR and inclusion, from the caches' resident lines.
+        let mut holders: HashMap<Line, (Vec<CoreId>, Vec<CoreId>)> = HashMap::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            let id = CoreId(i as u16);
+            for (line, st) in c.resident_lines() {
+                // Inclusion: every private copy must be covered by a
+                // directory sharer bit (the directory is a superset due to
+                // silent evictions, never a subset).
+                if self.dir.sharers(line) & (1u64 << i) == 0 {
+                    return Err(AuditViolation::InclusionHole {
+                        line,
+                        core: id,
+                        entry_missing: !self.dir.has_entry(line),
+                    });
+                }
+                let h = holders.entry(line).or_default();
+                h.1.push(id);
+                if st.writable() {
+                    h.0.push(id);
+                }
+            }
+        }
+        let mut lines: Vec<Line> = holders.keys().copied().collect();
+        lines.sort_unstable();
+        for line in lines {
+            let (writers, all) = &holders[&line];
+            if !writers.is_empty() && all.len() > 1 {
+                return Err(AuditViolation::MultipleWriters {
+                    line,
+                    writers: writers.clone(),
+                    holders: all.clone(),
+                });
+            }
+        }
+        // Lock-pairing bound: age every live lock; drop ages for released
+        // locks; flag any lock held continuously past the bound.
+        let mut live: Vec<(CoreId, Line, u32)> = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            for (line, count) in c.locks_iter() {
+                live.push((CoreId(i as u16), line, count));
+            }
+        }
+        live.sort_unstable_by_key(|&(c, l, _)| (c, l));
+        self.lock_ages.retain(|&(c, l), _| live.iter().any(|&(lc, ll, _)| (lc, ll) == (c, l)));
+        for &(core, line, count) in &live {
+            let since = *self.lock_ages.entry((core, line)).or_insert(self.now);
+            let held_for = self.now - since;
+            self.stats.audit.max_lock_hold_seen =
+                self.stats.audit.max_lock_hold_seen.max(held_for);
+            if held_for > self.cfg.audit.max_lock_hold {
+                return Err(AuditViolation::LockLeak { line, core, held_for, count });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the hang-relevant state for diagnostics.
+    pub fn diag(&self) -> MemDiag {
+        let mut locked: Vec<(u16, Line, u32)> = Vec::new();
+        let mut stalled: Vec<(u16, Line)> = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            for (line, count) in c.locks_iter() {
+                locked.push((i as u16, line, count));
+            }
+            for line in c.stalled_fill_lines() {
+                stalled.push((i as u16, line));
+            }
+        }
+        locked.sort_unstable();
+        stalled.sort_unstable();
+        MemDiag {
+            locked,
+            busy_lines: self.dir.busy_lines().collect(),
+            stalled_fills: stalled,
+            pending_events: self.wheel.len(),
+        }
+    }
+
     /// Snapshot of the statistics, merging controller counters.
     pub fn stats(&self) -> MemStats {
         let mut s = self.stats.clone();
@@ -311,6 +477,7 @@ impl MemorySystem {
             cs.parked_on_lock = c.stat_parked;
             cs.evictions = c.stat_evictions;
             cs.fill_stalled_all_locked = c.stat_fill_stalled;
+            cs.max_fill_stall = c.stat_fill_stall_max;
             cs.prefetches = c.stat_prefetches;
             cs.invals_received = c.stat_invals;
         }
@@ -320,6 +487,7 @@ impl MemorySystem {
         s.dir.downgrades_sent = self.dir.stat_downgrades_sent;
         s.dir.entry_evictions = self.dir.stat_entry_evictions;
         s.dir.alloc_waits = self.dir.stat_alloc_waits;
+        s.chaos = self.chaos.stats.clone();
         s
     }
 }
@@ -513,5 +681,152 @@ mod tests {
         assert!(m.try_store_perform(C1, 0x200, 1, false, true));
         let r = run_until_resp(&mut m, C0, 4000);
         assert!(matches!(r[0], CoreResp::ReadResp { seq: 3, locked: true, .. }));
+    }
+
+    // ---- Invariant auditor: clean runs pass, corruption is caught ----
+
+    #[test]
+    fn auditor_catches_forced_swmr_violation() {
+        let mut cfg = MemConfig::tiny();
+        cfg.audit = crate::AuditConfig::on();
+        let mut m = MemorySystem::new(cfg, 2, GuestMem::new(1 << 16));
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        m.read(C1, 2, 0x100, false, false);
+        run_until_resp(&mut m, C1, 2000);
+        m.audit().expect("legal sharing must pass the audit");
+        // Corrupt the protocol: core 0 claims write permission while core 1
+        // still holds a shared copy.
+        m.caches[0].force_state(0x100, crate::privcache::Mesi::M);
+        match m.audit() {
+            Err(AuditViolation::MultipleWriters { line: 0x100, writers, holders }) => {
+                assert_eq!(writers, vec![C0]);
+                assert!(holders.contains(&C1));
+            }
+            other => panic!("expected MultipleWriters, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auditor_catches_forced_inclusion_hole() {
+        let mut cfg = MemConfig::tiny();
+        cfg.audit = crate::AuditConfig::on();
+        let mut m = MemorySystem::new(cfg, 1, GuestMem::new(1 << 16));
+        m.read(C0, 1, 0x100, false, false);
+        run_until_resp(&mut m, C0, 1000);
+        m.audit().expect("covered copy must pass the audit");
+        m.dir.force_drop_entry(0x100);
+        match m.audit() {
+            Err(AuditViolation::InclusionHole { line: 0x100, core, entry_missing: true }) => {
+                assert_eq!(core, C0);
+            }
+            other => panic!("expected InclusionHole, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auditor_catches_lock_leak() {
+        let mut cfg = MemConfig::tiny();
+        cfg.audit =
+            crate::AuditConfig { enabled: true, max_lock_hold: 10, ..crate::AuditConfig::on() };
+        let mut m = MemorySystem::new(cfg, 1, GuestMem::new(1 << 16));
+        // A load_lock whose store_unlock never drains: the lock leaks.
+        m.read(C0, 1, 0x100, true, true);
+        run_until_resp(&mut m, C0, 1000);
+        let mut leaked = None;
+        for _ in 0..50 {
+            m.tick();
+            if let Err(v) = m.audit() {
+                leaked = Some(v);
+                break;
+            }
+        }
+        match leaked {
+            Some(AuditViolation::LockLeak { line: 0x100, core, held_for, count: 1 }) => {
+                assert_eq!(core, C0);
+                assert!(held_for > 10);
+            }
+            other => panic!("expected LockLeak, got {other:?}"),
+        }
+        assert!(m.stats().audit.sweeps > 0);
+    }
+
+    #[test]
+    fn diag_reports_locked_lines_and_busy_state() {
+        let mut m = sys(2);
+        m.read(C0, 1, 0x100, true, true);
+        run_until_resp(&mut m, C0, 1000);
+        // Remote GetX parks on the locked line; the dir entry stays busy.
+        m.store_acquire(C1, 2, 0x100);
+        for _ in 0..200 {
+            m.tick();
+        }
+        let d = m.diag();
+        assert_eq!(d.locked, vec![(0, 0x100, 1)]);
+        assert!(d.busy_lines.contains(&0x100));
+        let text = d.to_string();
+        assert!(text.contains("0x100") && text.contains("c0"), "got: {text}");
+    }
+
+    // ---- Fault injection: invariants hold, schedules are reproducible ----
+
+    /// A contended lock/unlock workload under the aggressive chaos preset,
+    /// auditing every round. Returns (final cycle, final stats).
+    fn chaos_run(seed: u64) -> (Cycle, MemStats) {
+        let mut cfg = MemConfig::tiny();
+        cfg.chaos = crate::ChaosConfig::stress(seed);
+        cfg.audit = crate::AuditConfig::on();
+        let mut m = MemorySystem::new(cfg, 2, GuestMem::new(1 << 16));
+        for round in 0..6u64 {
+            let addr = 0x400 + round * 0x40;
+            m.read(C0, round * 10 + 1, addr, true, true);
+            run_until_resp(&mut m, C0, 100_000);
+            m.read(C1, round * 10 + 2, 0x2000 + round * 0x40, false, false);
+            run_until_resp(&mut m, C1, 100_000);
+            assert!(
+                m.try_store_perform(C0, addr, round, false, true),
+                "locked line must stay writable under chaos"
+            );
+            m.audit().expect("invariants must hold under chaos");
+        }
+        for _ in 0..200_000 {
+            if m.pending_events() == 0 {
+                break;
+            }
+            m.tick();
+            m.audit().expect("invariants must hold while draining");
+        }
+        assert_eq!(m.pending_events(), 0, "chaos must not wedge the protocol");
+        (m.now(), m.stats())
+    }
+
+    #[test]
+    fn chaos_stress_preserves_invariants_and_is_deterministic() {
+        let (t1, s1) = chaos_run(42);
+        let (t2, s2) = chaos_run(42);
+        assert_eq!(t1, t2, "same seed must reproduce the same schedule");
+        assert_eq!(s1, s2, "same seed must reproduce identical stats");
+        assert!(s1.chaos.delayed_events > 0, "jitter must actually fire");
+        assert!(s1.chaos.storms > 0, "storms must actually fire");
+        assert!(s1.chaos.storm_evictions > 0, "storms must evict entries");
+    }
+
+    #[test]
+    fn mshr_clamp_limits_outstanding_misses() {
+        let mut cfg = MemConfig::tiny();
+        cfg.chaos = crate::ChaosConfig {
+            enabled: true,
+            seed: 1,
+            mshr_clamp: 2,
+            ..crate::ChaosConfig::default()
+        };
+        let mut m = MemorySystem::new(cfg, 1, GuestMem::new(1 << 16));
+        assert_eq!(m.read(C0, 1, 0x1000, false, false), ReqOutcome::Accepted);
+        assert_eq!(m.read(C0, 2, 0x2000, false, false), ReqOutcome::Accepted);
+        assert_eq!(
+            m.read(C0, 3, 0x3000, false, false),
+            ReqOutcome::Retry,
+            "third miss must hit the clamped MSHR limit"
+        );
     }
 }

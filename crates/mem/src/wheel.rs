@@ -60,7 +60,8 @@ impl<E> Wheel<E> {
     /// Pops the next event due at or before `now`, if any.
     pub fn pop_due(&mut self, now: Cycle) -> Option<E> {
         if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
-            Some(self.heap.pop().unwrap().event)
+            // Invariant: peek() just returned Some, pop() cannot fail.
+            self.heap.pop().map(|e| e.event)
         } else {
             None
         }

@@ -1,0 +1,79 @@
+//! Structured simulation errors.
+//!
+//! A run that goes wrong produces a [`SimError`] carrying a full
+//! [`MachineSnapshot`](crate::machine::MachineSnapshot) — per-core ROB-head
+//! micro-ops, locked lines, in-flight directory transactions — instead of a
+//! bare "did not quiesce" string or a panic deep inside the hierarchy.
+
+use crate::machine::{MachineSnapshot, RunTimeout};
+use fa_mem::AuditViolation;
+use std::fmt;
+
+/// Why a simulation run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine did not quiesce within its cycle budget.
+    Timeout(RunTimeout),
+    /// The invariant auditor caught a violated coherence/locking/progress
+    /// invariant (only possible when `MemConfig::audit` is enabled).
+    Audit {
+        /// Cycle at which the violation was detected.
+        cycle: u64,
+        /// The violated invariant.
+        violation: AuditViolation,
+        /// Machine state at detection time.
+        snapshot: MachineSnapshot,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout(t) => t.fmt(f),
+            SimError::Audit { cycle, violation, snapshot } => {
+                write!(f, "invariant audit failed at cycle {cycle}: {violation}\n{snapshot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<RunTimeout> for SimError {
+    fn from(t: RunTimeout) -> SimError {
+        SimError::Timeout(t)
+    }
+}
+
+impl SimError {
+    /// The machine snapshot attached to this error.
+    pub fn snapshot(&self) -> &MachineSnapshot {
+        match self {
+            SimError::Timeout(t) => &t.snapshot,
+            SimError::Audit { snapshot, .. } => snapshot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_mem::CoreId;
+
+    #[test]
+    fn display_includes_violation_and_snapshot() {
+        let e = SimError::Audit {
+            cycle: 42,
+            violation: AuditViolation::LockLeak {
+                line: 0x100,
+                core: CoreId(1),
+                held_for: 99,
+                count: 1,
+            },
+            snapshot: MachineSnapshot::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cycle 42") && s.contains("lock leak"));
+        assert!(e.snapshot().cores.is_empty());
+    }
+}

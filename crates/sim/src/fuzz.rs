@@ -1,0 +1,260 @@
+//! Differential litmus fuzzer.
+//!
+//! Generates small random concurrent programs, runs each under fault
+//! injection ([`ChaosConfig`]) crossed with every requested
+//! [`AtomicPolicy`], and checks every observed outcome against the
+//! operational x86-TSO enumerator ([`crate::tsoref`]). The invariant
+//! auditor runs on every cycle of every case, so a fuzzing campaign
+//! simultaneously checks consistency (outcomes) and coherence/locking/
+//! progress invariants (audit) — the empirical analogue of the paper's
+//! §3.2.5 deadlock-avoidance argument, exercised under adversarial timing.
+//!
+//! Everything is seeded and deterministic: the same `FuzzConfig` replays
+//! the same campaign bit-for-bit, so a reported case is a repro.
+
+use crate::error::SimError;
+use crate::litmus::{LOp, LitmusTest};
+use crate::machine::MachineConfig;
+use fa_core::AtomicPolicy;
+use fa_isa::Word;
+use fa_mem::{AuditConfig, ChaosConfig, SplitMix64};
+use std::fmt;
+
+/// Campaign settings. Everything derives from `seed`, so a config is a
+/// complete repro recipe.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of generated programs.
+    pub cases: u64,
+    /// Master seed: drives program shape, start offsets, and per-case
+    /// chaos seeds.
+    pub seed: u64,
+    /// Maximum threads per generated program (min 2).
+    pub max_threads: usize,
+    /// Maximum ops per thread (min 1).
+    pub max_ops: usize,
+    /// Distinct abstract addresses (small ⇒ more racing).
+    pub max_addrs: usize,
+    /// Policies every case is run under.
+    pub policies: Vec<AtomicPolicy>,
+    /// Fault-injection shape; its `seed` field is overridden per case.
+    pub chaos: ChaosConfig,
+    /// Per-run cycle budget (fault injection stretches runs).
+    pub max_cycles: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            cases: 64,
+            seed: 0xF1A7_F1A7_2022,
+            max_threads: 3,
+            max_ops: 3,
+            max_addrs: 3,
+            policies: AtomicPolicy::ALL.to_vec(),
+            chaos: ChaosConfig::stress(0),
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+/// One failed run, with everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Index of the generated case.
+    pub case: u64,
+    /// Policy the failing run used.
+    pub policy: AtomicPolicy,
+    /// The generated program.
+    pub test: LitmusTest,
+    /// What went wrong.
+    pub kind: FailureKind,
+}
+
+/// Failure classification.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// The simulator produced an outcome the TSO enumerator cannot.
+    TsoViolation {
+        /// The forbidden observation vector.
+        observed: Vec<Word>,
+    },
+    /// Audit violation or timeout, with full machine snapshot.
+    Run(Box<SimError>),
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {} under {}: ", self.case, self.policy.label())?;
+        match &self.kind {
+            FailureKind::TsoViolation { observed } => {
+                write!(f, "TSO-FORBIDDEN outcome {observed:?} for {:?}", self.test.threads)
+            }
+            FailureKind::Run(e) => write!(f, "{e} (program {:?})", self.test.threads),
+        }
+    }
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Generated cases.
+    pub cases: u64,
+    /// Detailed-simulator runs (cases × policies).
+    pub runs: u64,
+    /// Distinct TSO-legal outcomes observed across the campaign — a
+    /// coverage signal (chaos should surface many legal interleavings).
+    pub distinct_outcomes: u64,
+    /// Every failed run.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when the whole campaign passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fuzz: {} cases, {} runs, {} distinct legal outcomes, {} failures",
+            self.cases,
+            self.runs,
+            self.distinct_outcomes,
+            self.failures.len()
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  {fail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates one random straight-line litmus program.
+///
+/// Shape: 2..=`max_threads` threads, 1..=`max_ops` ops each, over
+/// `max_addrs` addresses. Stores and loads dominate; fetch-adds and fences
+/// are salted in. Observation slots are assigned in generation order. A
+/// program with no observer gets one appended — an outcome vector is the
+/// whole point.
+fn gen_test(rng: &mut SplitMix64, cfg: &FuzzConfig) -> LitmusTest {
+    let threads = 2 + rng.below(cfg.max_threads.max(2) as u64 - 1) as usize;
+    let addrs = cfg.max_addrs.max(1) as u64;
+    let mut out: u8 = 0;
+    let mut body: Vec<Vec<LOp>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let ops = 1 + rng.below(cfg.max_ops.max(1) as u64) as usize;
+        let mut tops = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let addr = rng.below(addrs) as u8;
+            let op = match rng.below(16) {
+                0..=5 => LOp::St { addr, val: 1 + rng.below(3) },
+                6..=11 => {
+                    let o = out;
+                    out += 1;
+                    LOp::Ld { addr, out: o }
+                }
+                12..=14 => {
+                    let o = out;
+                    out += 1;
+                    LOp::FetchAdd { addr, val: 1 + rng.below(2), out: o }
+                }
+                _ => LOp::Fence,
+            };
+            tops.push(op);
+        }
+        body.push(tops);
+    }
+    if out == 0 {
+        body[0].push(LOp::Ld { addr: 0, out: 0 });
+    }
+    LitmusTest { name: "fuzz", threads: body }
+}
+
+/// Runs a differential fuzzing campaign: random programs × policies ×
+/// fault injection, outcomes checked against the TSO enumerator, the
+/// invariant auditor armed throughout. Never panics on a finding — every
+/// failure is collected into the report with a replayable identity.
+pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = SplitMix64::new(fcfg.seed);
+    let mut report = FuzzReport::default();
+    let mut outcomes = std::collections::HashSet::new();
+    for case in 0..fcfg.cases {
+        let test = gen_test(&mut rng, fcfg);
+        let allowed = test.allowed_outcomes();
+        let offsets: Vec<u64> =
+            (0..test.threads.len()).map(|_| rng.below(120)).collect();
+        let case_seed = rng.next_u64();
+        for &policy in &fcfg.policies {
+            let mut cfg = base.clone();
+            cfg.core.policy = policy;
+            cfg.mem.chaos = ChaosConfig { seed: case_seed, ..fcfg.chaos.clone() };
+            cfg.mem.audit = AuditConfig::on();
+            report.runs += 1;
+            match test.run_checked(&cfg, &offsets, fcfg.max_cycles) {
+                Ok(got) => {
+                    if allowed.contains(&got) {
+                        outcomes.insert(got);
+                    } else {
+                        report.failures.push(FuzzFailure {
+                            case,
+                            policy,
+                            test: test.clone(),
+                            kind: FailureKind::TsoViolation { observed: got },
+                        });
+                    }
+                }
+                Err(e) => report.failures.push(FuzzFailure {
+                    case,
+                    policy,
+                    test: test.clone(),
+                    kind: FailureKind::Run(e),
+                }),
+            }
+        }
+        report.cases += 1;
+    }
+    report.distinct_outcomes = outcomes.len() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let fcfg = FuzzConfig::default();
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..50 {
+            let ta = gen_test(&mut a, &fcfg);
+            let tb = gen_test(&mut b, &fcfg);
+            assert_eq!(ta.threads, tb.threads);
+            assert!(ta.threads.len() >= 2 && ta.threads.len() <= fcfg.max_threads);
+            for t in &ta.threads {
+                assert!(t.len() <= fcfg.max_ops + 1); // +1 for the appended observer
+            }
+            assert!(ta.num_outs() >= 1);
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let base = crate::presets::tiny_machine();
+        let fcfg = FuzzConfig {
+            cases: 12,
+            policies: vec![AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd],
+            ..FuzzConfig::default()
+        };
+        let r1 = fuzz_litmus(&base, &fcfg);
+        let r2 = fuzz_litmus(&base, &fcfg);
+        assert!(r1.ok(), "{r1}");
+        assert_eq!(r1.runs, 24);
+        assert_eq!(r1.distinct_outcomes, r2.distinct_outcomes);
+        assert_eq!(r1.runs, r2.runs);
+    }
+}

@@ -10,7 +10,13 @@
 //! that checks the detailed simulator's outcomes against the reference,
 //! under every atomic policy.
 
+// Non-test code must justify every panic site; see the `expect` messages
+// documenting each invariant. Tests keep plain unwrap for brevity.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod energy;
+pub mod error;
+pub mod fuzz;
 pub mod litmus;
 pub mod machine;
 pub mod methodology;
@@ -18,7 +24,9 @@ pub mod presets;
 pub mod tsoref;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use error::SimError;
+pub use fuzz::{fuzz_litmus, FuzzConfig, FuzzReport};
 pub use litmus::{LOp, LitmusTest};
-pub use machine::{Machine, MachineConfig, RunResult, RunTimeout};
+pub use machine::{Machine, MachineConfig, MachineSnapshot, RunResult, RunTimeout};
 pub use methodology::{measure, Methodology, MultiRun};
 pub use presets::{icelake_like, skylake_like, tiny_machine};

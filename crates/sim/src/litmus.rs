@@ -2,6 +2,7 @@
 //! simulator and check every observed outcome against the operational TSO
 //! reference enumerator.
 
+use crate::error::SimError;
 use crate::machine::{Machine, MachineConfig};
 use crate::tsoref::{enumerate_tso_outcomes, TsoOp};
 use fa_core::AtomicPolicy;
@@ -129,16 +130,33 @@ impl LitmusTest {
         cfg: &MachineConfig,
         offsets: &[u64],
     ) -> Vec<Word> {
+        self.run_checked(cfg, offsets, 5_000_000)
+            .unwrap_or_else(|e| panic!("litmus {}: {e}", self.name))
+    }
+
+    /// Like [`run_detailed`](Self::run_detailed) but returns the failure
+    /// (timeout or audit violation) instead of panicking — the entry point
+    /// used by the differential fuzzer, which must keep going and report.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by the run.
+    pub fn run_checked(
+        &self,
+        cfg: &MachineConfig,
+        offsets: &[u64],
+        max_cycles: u64,
+    ) -> Result<Vec<Word>, Box<SimError>> {
         let mut m = Machine::new(cfg.clone(), self.to_programs(), GuestMem::new(LITMUS_MEM));
         if !offsets.is_empty() {
             let mut o = offsets.to_vec();
             o.resize(self.threads.len(), 0);
             m.set_start_offsets(o);
         }
-        m.run(5_000_000).unwrap_or_else(|e| panic!("litmus {}: {e}", self.name));
-        (0..self.num_outs())
+        m.run(max_cycles).map_err(Box::new)?;
+        Ok((0..self.num_outs())
             .map(|s| m.guest_mem().load(out_slot(s as u8) as u64))
-            .collect()
+            .collect())
     }
 
     /// Runs under `policy` with a spread of start offsets and asserts every

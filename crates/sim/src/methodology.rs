@@ -2,7 +2,8 @@
 //! several times with randomized start perturbations, drop the slowest
 //! outliers, and average the rest.
 
-use crate::machine::{Machine, MachineConfig, RunResult, RunTimeout};
+use crate::error::SimError;
+use crate::machine::{Machine, MachineConfig, RunResult};
 use fa_isa::interp::GuestMem;
 use fa_isa::Program;
 
@@ -61,12 +62,15 @@ fn xorshift(state: &mut u64) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns the first [`RunTimeout`] encountered.
+/// Returns the first [`SimError`] encountered (timeout or invariant-audit
+/// failure).
+// Cold failure path; the error's diagnostic snapshot dominates its size.
+#[allow(clippy::result_large_err)]
 pub fn measure(
     cfg: &MachineConfig,
     meth: &Methodology,
     mut build: impl FnMut() -> (Vec<Program>, GuestMem),
-) -> Result<MultiRun, RunTimeout> {
+) -> Result<MultiRun, SimError> {
     let mut results: Vec<RunResult> = Vec::with_capacity(meth.runs);
     let mut rng = meth.seed | 1;
     for _ in 0..meth.runs {

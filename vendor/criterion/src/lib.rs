@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace builds where no crates registry is reachable, so external
+//! dependencies are vendored as local stubs. This one keeps the `benches/`
+//! targets compiling and *executing*: each registered benchmark closure runs
+//! a small fixed number of iterations and the mean wall-clock time is
+//! printed. No warm-up, outlier rejection, or statistics — for real
+//! measurements swap the workspace manifest back to the published crate.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const ITERS: u32 = 3;
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a default instance.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { nanos_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.nanos_per_iter);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+
+    /// Accepted for API compatibility; the stub has no configuration.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub writes no reports.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { nanos_per_iter: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), b.nanos_per_iter);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { nanos_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.nanos_per_iter);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Opaque-value helper mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn report(name: &str, nanos: f64) {
+    if nanos >= 1e9 {
+        println!("{name:<48} {:.3} s/iter", nanos / 1e9);
+    } else if nanos >= 1e6 {
+        println!("{name:<48} {:.3} ms/iter", nanos / 1e6);
+    } else {
+        println!("{name:<48} {:.3} µs/iter", nanos / 1e3);
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::new();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, ITERS);
+    }
+
+    #[test]
+    fn group_runs_parameterized_benches() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        let mut total = 0u64;
+        for p in [2u64, 3] {
+            g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+                b.iter(|| total += p)
+            });
+        }
+        g.finish();
+        assert_eq!(total, (2 + 3) * ITERS as u64);
+    }
+}

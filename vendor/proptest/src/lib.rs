@@ -1,0 +1,179 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace builds where no crates registry is reachable, so external
+//! dependencies are vendored as local stubs. This one keeps the property
+//! tests *running* rather than gating them out: it implements the subset of
+//! the proptest API the repository uses — `proptest!`, `prop_oneof!`,
+//! `prop::collection::vec`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, `prop_map`, and `prop_assert*` — on top of a deterministic
+//! SplitMix64 generator seeded from the test name.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message (all strategies produce `Debug` values in this repo).
+//! - **Deterministic.** Each test function derives its seed from its own
+//!   name, so failures reproduce exactly across runs and machines.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// The `prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union, VecStrategy};
+pub use test_runner::TestRng;
+
+/// Subset of proptest's run configuration honoured by the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+    };
+}
+
+/// Runs each `#[test]` body against `config.cases` deterministically
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: case {case}/{} of {} failed with inputs:",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(#[test] fn $name( $($arg in $strat),+ ) $body)+
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $s:expr),+ $(,)?) => {
+        $crate::prop_oneof![$($s),+]
+    };
+    ($($s:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![
+            $({
+                let s = $s;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3i64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let u = (0usize..4).generate(&mut rng);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let strat = prop::collection::vec(any::<u8>(), 1..8);
+        let mut a = crate::TestRng::from_name("det");
+        let mut b = crate::TestRng::from_name("det");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_round_trip(
+            xs in prop::collection::vec(any::<u8>(), 1..5),
+            k in 1u64..9,
+            pick in prop_oneof![Just(0u8), Just(1u8)],
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!((1..9u64).contains(&k));
+            prop_assert!(pick <= 1u8);
+            let doubled = (any::<u8>(), 0i64..4).prop_map(|(a, b)| a as i64 + b);
+            let mut rng = crate::TestRng::from_name("inner");
+            prop_assert!(doubled.generate(&mut rng) <= 255 + 3);
+        }
+    }
+}

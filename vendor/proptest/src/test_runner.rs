@@ -1,0 +1,64 @@
+//! Deterministic random source for the proptest stub.
+
+/// SplitMix64 — tiny, fast, and deterministic across platforms. Each test
+/// function gets a seed derived from its own name (FNV-1a hash) so case
+/// sequences are stable run-to-run and machine-to-machine.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Creates a generator seeded from a test name.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0)");
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn name_seeding_differs_per_test() {
+        let a = TestRng::from_name("alpha").next_u64();
+        let b = TestRng::from_name("beta").next_u64();
+        assert_ne!(a, b);
+    }
+}

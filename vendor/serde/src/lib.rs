@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in environments with no access to a crates
+//! registry, so external dependencies are vendored as minimal local stubs.
+//! The real codebase only uses `#[derive(Serialize, Deserialize)]` as
+//! annotations (no runtime serialization calls anywhere), so marker traits
+//! with blanket implementations plus no-op derive macros are fully
+//! sufficient. Swapping back to the real `serde` is a one-line change in
+//! the workspace manifest.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        _x: u64,
+    }
+
+    #[test]
+    fn blanket_impls_cover_everything() {
+        assert_serialize::<Derived>();
+        assert_deserialize::<Derived>();
+        assert_serialize::<Vec<String>>();
+    }
+}
