@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Local CI gate: build, full test suite, lints, and a seeded fuzz smoke
-# campaign. Everything is offline and deterministic; a clean exit here is
-# the bar for merging.
+# Local CI gate: build, full test suite, lints, a seeded fuzz smoke
+# campaign, and a timed mini-sweep. Everything is offline and
+# deterministic; a clean exit here is the bar for merging.
 set -eux
 
 cargo build --release
@@ -9,3 +9,11 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 # Differential litmus fuzzing under fault injection (seeded — replayable).
 FA_FUZZ_CASES=100 FA_FUZZ_SEED=193459 cargo run -q -p fa-bench --bin fuzz
+# Timed mini-sweep on the parallel engine: 2 kernels x 2 policies, writing
+# the BENCH_sweep.json throughput report, then sanity-check its shape.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_BENCH_JSON=target/BENCH_sweep.json \
+    cargo run -q --release -p fa-bench --bin sweep
+grep -q '"schema": "fa-sweep-v1"' target/BENCH_sweep.json
+grep -c '"kernel":' target/BENCH_sweep.json | grep -qx 4

@@ -1,20 +1,32 @@
 //! `cargo bench` entry point that regenerates every table and figure of
 //! the paper's evaluation section (sized via FA_CORES / FA_SCALE /
-//! FA_RUNS; see fa-bench's crate docs).
+//! FA_RUNS / FA_THREADS; see fa-bench's crate docs).
+
+use fa_sim::error::SimError;
+
+type Step = fn(&fa_bench::BenchOpts) -> Result<(), Box<SimError>>;
 
 fn main() {
     // `cargo bench` passes --bench (and possibly filter args); ignore them.
     let opts = fa_bench::BenchOpts::from_env();
     println!("# Free Atomics — evaluation reproduction");
     println!(
-        "(cores={}, scale={}, runs={}, drop={})",
-        opts.cores, opts.scale, opts.runs, opts.drop_slowest
+        "(cores={}, scale={}, runs={}, drop={}, threads={})",
+        opts.cores, opts.scale, opts.runs, opts.drop_slowest, opts.threads
     );
     fa_bench::figures::table1_config();
-    fa_bench::figures::fig01_atomic_cost(&opts);
-    fa_bench::figures::fig12_apki(&opts);
-    fa_bench::figures::table2_characterization(&opts);
-    fa_bench::figures::fig13_locality(&opts);
-    fa_bench::figures::fig14_exec_time(&opts);
-    fa_bench::figures::fig15_energy(&opts);
+    let steps: Vec<(&str, Step)> = vec![
+        ("fig01_atomic_cost", fa_bench::figures::fig01_atomic_cost),
+        ("fig12_apki", fa_bench::figures::fig12_apki),
+        ("table2_characterization", fa_bench::figures::table2_characterization),
+        ("fig13_locality", fa_bench::figures::fig13_locality),
+        ("fig14_exec_time", fa_bench::figures::fig14_exec_time),
+        ("fig15_energy", fa_bench::figures::fig15_energy),
+    ];
+    for (name, step) in steps {
+        if let Err(e) = step(&opts) {
+            eprintln!("{name} failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -8,9 +8,11 @@
 //!   livelock; sweep 0/1/4/32.
 //!
 //! Uses a representative atomic-intensive subset to keep runtime sane;
-//! select other workloads with `FA_WORKLOADS`.
+//! select other workloads with `FA_WORKLOADS`. Each `(workload, value)`
+//! cell is independent, so the grid fans across `FA_THREADS` sweep
+//! workers; a failed cell is reported and the binary exits nonzero.
 
-use fa_bench::{fmt, row, run_once, BenchOpts};
+use fa_bench::{fmt, row, run_once_checked, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_sim::machine::MachineConfig;
 use fa_sim::presets::icelake_like;
@@ -26,29 +28,50 @@ fn subset(opts: &BenchOpts) -> Vec<fa_workloads::WorkloadSpec> {
         .collect()
 }
 
+/// Runs one ablation axis: every `(workload, value)` cell on the sweep
+/// engine, rows normalized to the leftmost value. Returns false if any
+/// cell failed.
 fn sweep(
     title: &str,
     opts: &BenchOpts,
     values: &[u64],
-    apply: impl Fn(&mut MachineConfig, u64),
-) {
+    apply: impl Fn(&mut MachineConfig, u64) + Sync,
+) -> bool {
     println!("\n## Ablation — {title}\n");
     let mut header = vec!["workload".to_string()];
     header.extend(values.iter().map(|v| v.to_string()));
     println!("{}", row(&header));
-    for spec in subset(opts) {
+    let specs = subset(opts);
+    let jobs: Vec<(fa_workloads::WorkloadSpec, u64)> = specs
+        .iter()
+        .flat_map(|&s| values.iter().map(move |&v| (s, v)))
+        .collect();
+    let results = fa_sim::run_cells(&jobs, opts.threads, |_, &(spec, v)| {
+        let mut cfg = icelake_like();
+        cfg.core.policy = AtomicPolicy::FreeFwd;
+        apply(&mut cfg, v);
+        run_once_checked(&spec, AtomicPolicy::FreeFwd, &cfg, opts)
+    });
+    let mut ok = true;
+    for (spec, chunk) in specs.iter().zip(results.chunks(values.len())) {
         let mut cells = vec![spec.name.to_string()];
         let mut base = None;
-        for &v in values {
-            let mut cfg = icelake_like();
-            cfg.core.policy = AtomicPolicy::FreeFwd;
-            apply(&mut cfg, v);
-            let r = run_once(&spec, AtomicPolicy::FreeFwd, &cfg, opts);
-            let b = *base.get_or_insert(r.cycles as f64);
-            cells.push(fmt(r.cycles as f64 / b, 3));
+        for (r, &v) in chunk.iter().zip(values) {
+            match r {
+                Ok(r) => {
+                    let b = *base.get_or_insert(r.cycles as f64);
+                    cells.push(fmt(r.cycles as f64 / b, 3));
+                }
+                Err(e) => {
+                    ok = false;
+                    eprintln!("{} at {title}={v}: {e}", spec.name);
+                    cells.push("FAIL".to_string());
+                }
+            }
         }
         println!("{}", row(&cells));
     }
+    ok
 }
 
 fn main() {
@@ -60,10 +83,11 @@ fn main() {
         opts.cores = 4;
     }
     println!("(cycles normalized to the leftmost configuration; lower is better)");
-    sweep("Atomic Queue entries (paper: 4)", &opts, &[1, 2, 4, 8], |c, v| {
+    let mut ok = true;
+    ok &= sweep("Atomic Queue entries (paper: 4)", &opts, &[1, 2, 4, 8], |c, v| {
         c.core.aq_size = v as usize;
     });
-    sweep(
+    ok &= sweep(
         "watchdog threshold in cycles (paper: 10000)",
         &opts,
         &[300, 1_000, 10_000, 100_000],
@@ -71,7 +95,7 @@ fn main() {
             c.core.watchdog_threshold = v;
         },
     );
-    sweep(
+    ok &= sweep(
         "forwarding chain limit (paper: 32; 0 disables forwarding)",
         &opts,
         &[0, 1, 4, 32],
@@ -79,4 +103,7 @@ fn main() {
             c.core.fwd_chain_max = v as u32;
         },
     );
+    if !ok {
+        std::process::exit(1);
+    }
 }

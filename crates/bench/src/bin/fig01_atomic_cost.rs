@@ -1,5 +1,8 @@
 //! Regenerates **Figure 1**: the cost of fenced atomic RMWs.
 
 fn main() {
-    fa_bench::figures::fig01_atomic_cost(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::fig01_atomic_cost(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig01_atomic_cost failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,5 +1,8 @@
 //! Regenerates **Figure 12**: atomics per kilo-instruction.
 
 fn main() {
-    fa_bench::figures::fig12_apki(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::fig12_apki(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig12_apki failed: {e}");
+        std::process::exit(1);
+    }
 }

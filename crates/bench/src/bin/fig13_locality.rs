@@ -1,5 +1,8 @@
 //! Regenerates **Figure 13**: locality of atomics.
 
 fn main() {
-    fa_bench::figures::fig13_locality(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::fig13_locality(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig13_locality failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,6 +1,10 @@
 //! Regenerates **Figure 14**: normalized execution time of the four
-//! atomic policies, including the §5.5 headline averages.
+//! atomic policies, including the §5.5 headline averages. Runs on the
+//! parallel sweep engine (`FA_THREADS`) and writes `BENCH_sweep.json`.
 
 fn main() {
-    fa_bench::figures::fig14_exec_time(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::fig14_exec_time(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig14_exec_time failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,5 +1,9 @@
-//! Regenerates **Figure 15**: normalized energy consumption.
+//! Regenerates **Figure 15**: normalized energy consumption. Runs on the
+//! parallel sweep engine (`FA_THREADS`) and writes `BENCH_sweep.json`.
 
 fn main() {
-    fa_bench::figures::fig15_energy(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::fig15_energy(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig15_energy failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,10 @@
 //! | `FA_FUZZ_SEED` | 0xF1A7F1A72022 | master campaign seed |
 //! | `FA_FUZZ_MAX_THREADS` | 3 | max threads per program |
 //! | `FA_FUZZ_MAX_OPS` | 3 | max ops per thread |
+//! | `FA_THREADS` | 0 (auto) | campaign worker threads |
+//!
+//! Case generation is serial and seeded, so the report is bit-identical
+//! at any `FA_THREADS` value.
 
 use fa_sim::fuzz::{fuzz_litmus, FuzzConfig};
 use fa_sim::presets::tiny_machine;
@@ -32,6 +36,7 @@ fn main() {
         seed: env_u64("FA_FUZZ_SEED", base.seed),
         max_threads: env_u64("FA_FUZZ_MAX_THREADS", base.max_threads as u64) as usize,
         max_ops: env_u64("FA_FUZZ_MAX_OPS", base.max_ops as u64) as usize,
+        threads: env_u64("FA_THREADS", base.threads as u64) as usize,
         ..base
     };
     let report = fuzz_litmus(&tiny_machine(), &fcfg);

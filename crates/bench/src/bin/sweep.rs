@@ -1,0 +1,109 @@
+//! Standalone sweep driver: measures a `(kernel, policy, preset)` grid on
+//! the parallel sweep engine, prints one row per cell, and writes the
+//! `BENCH_sweep.json` throughput report (wall clock, simulated cycles/sec,
+//! simulated MIPS).
+//!
+//! Sized by the usual `FA_*` variables; additionally:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `FA_POLICIES` | all four | comma-separated policy labels |
+//! | `FA_PRESETS` | `icelake` | comma-separated preset names |
+//! | `FA_THREADS` | 0 (auto) | sweep worker threads |
+//! | `FA_BENCH_JSON` | `BENCH_sweep.json` | report destination |
+//!
+//! Rows are a pure function of the simulated cells, so re-running with a
+//! different `FA_THREADS` must reproduce them byte-for-byte; only the
+//! timing block changes.
+
+use fa_bench::sweep::{grid, run_grid, Preset, SweepReport, SweepRow};
+use fa_bench::{row, BenchOpts};
+use fa_core::AtomicPolicy;
+
+fn policies() -> Vec<AtomicPolicy> {
+    match std::env::var("FA_POLICIES") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .map(|name| {
+                AtomicPolicy::ALL
+                    .into_iter()
+                    .find(|p| p.label() == name)
+                    .unwrap_or_else(|| {
+                        let known: Vec<_> = AtomicPolicy::ALL.iter().map(|p| p.label()).collect();
+                        panic!("FA_POLICIES: unknown policy {name:?} (known: {known:?})")
+                    })
+            })
+            .collect(),
+        Err(_) => AtomicPolicy::ALL.to_vec(),
+    }
+}
+
+fn presets() -> Vec<Preset> {
+    match std::env::var("FA_PRESETS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .map(|name| {
+                Preset::by_name(name)
+                    .unwrap_or_else(|| panic!("FA_PRESETS: unknown preset {name:?}"))
+            })
+            .collect(),
+        Err(_) => vec![Preset::Icelake],
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let cells = grid(&opts.workloads(), &policies(), &presets());
+    println!(
+        "# sweep: {} cells (cores={}, scale={}, runs={}, drop={}, threads={})",
+        cells.len(),
+        opts.cores,
+        opts.scale,
+        opts.runs,
+        opts.drop_slowest,
+        opts.threads
+    );
+    let (results, timing) = match run_grid(&opts, &cells) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        row(&[
+            "kernel".into(),
+            "policy".into(),
+            "preset".into(),
+            "mean cycles".into(),
+            "rep cycles".into(),
+            "instrs".into(),
+        ])
+    );
+    for r in &results {
+        let rw = SweepRow::from_result(opts.runs, r);
+        println!(
+            "{}",
+            row(&[
+                rw.kernel,
+                rw.policy,
+                rw.preset,
+                format!("{:.1}", rw.mean_cycles),
+                rw.rep_cycles.to_string(),
+                rw.instructions.to_string(),
+            ])
+        );
+    }
+    let report = SweepReport::new("sweep", &opts, &results, timing);
+    println!("\n{}", report.timing_line());
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("sweep: could not write report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

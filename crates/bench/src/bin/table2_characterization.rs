@@ -1,5 +1,8 @@
 //! Regenerates **Table 2**: characterization of Free atomics.
 
 fn main() {
-    fa_bench::figures::table2_characterization(&fa_bench::BenchOpts::from_env());
+    if let Err(e) = fa_bench::figures::table2_characterization(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("table2_characterization failed: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,10 +1,19 @@
 //! Regeneration of every table and figure in the paper's evaluation
 //! section. Each function prints the same rows/series the paper reports;
 //! EXPERIMENTS.md records the measured-vs-paper comparison.
+//!
+//! Every simulating function returns `Result` — a failed measure (timeout,
+//! invariant-audit violation, invalid methodology) propagates so the bins
+//! can exit nonzero instead of printing a clean-looking partial table. The
+//! policy-comparison figures (14, 15) and the characterization table run on
+//! the parallel sweep engine and the figure-14/15 drivers emit the
+//! `BENCH_sweep.json` throughput report.
 
-use crate::{fmt, mean, row, run_once, run_workload, BenchOpts};
+use crate::sweep::{grid, run_grid, CellResult, Preset, SweepReport};
+use crate::{fmt, mean, row, run_once_checked, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_sim::energy::EnergyModel;
+use fa_sim::error::SimError;
 use fa_sim::machine::RunResult;
 use fa_sim::presets::{icelake_like, skylake_like};
 
@@ -12,10 +21,37 @@ fn agg(r: &RunResult) -> fa_core::CoreStats {
     r.aggregate()
 }
 
+/// Measures the `(workload × every policy)` grid on the Icelake-like
+/// preset and returns per-workload groups of four [`CellResult`]s (policy
+/// order as [`AtomicPolicy::ALL`]) plus the emitted sweep report.
+fn policy_grid(bin: &str, opts: &BenchOpts) -> Result<(Vec<Vec<CellResult>>, SweepReport), Box<SimError>> {
+    let workloads = opts.workloads();
+    let cells = grid(&workloads, &AtomicPolicy::ALL, &[Preset::Icelake]);
+    let (results, timing) = run_grid(opts, &cells)?;
+    let report = SweepReport::new(bin, opts, &results, timing);
+    let groups = results
+        .chunks(AtomicPolicy::ALL.len())
+        .map(<[CellResult]>::to_vec)
+        .collect();
+    Ok((groups, report))
+}
+
+fn emit_report(report: &SweepReport) {
+    println!("\n{}", report.timing_line());
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write sweep report: {e}"),
+    }
+}
+
 /// **Figure 1** — average cost (cycles) of a fenced atomic RMW, split into
 /// Drain_SB and Atomic, on Skylake-like (224 ROB) and Icelake-like
 /// (352 ROB) machines.
-pub fn fig01_atomic_cost(opts: &BenchOpts) {
+///
+/// # Errors
+///
+/// The first failed run.
+pub fn fig01_atomic_cost(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Figure 1 — cost of fenced atomic RMWs (cycles per atomic)\n");
     println!(
         "{}",
@@ -30,8 +66,8 @@ pub fn fig01_atomic_cost(opts: &BenchOpts) {
     let mut sky_tot = Vec::new();
     let mut ice_tot = Vec::new();
     for spec in opts.workloads() {
-        let sky = run_once(&spec, AtomicPolicy::FencedBaseline, &skylake_like(), opts);
-        let ice = run_once(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts);
+        let sky = run_once_checked(&spec, AtomicPolicy::FencedBaseline, &skylake_like(), opts)?;
+        let ice = run_once_checked(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts)?;
         let (sd, sa) = agg(&sky).atomic_cost();
         let (id, ia) = agg(&ice).atomic_cost();
         sky_tot.push(sd + sa);
@@ -47,6 +83,7 @@ pub fn fig01_atomic_cost(opts: &BenchOpts) {
         mean(&sky_tot),
         mean(&ice_tot)
     );
+    Ok(())
 }
 
 /// **Table 1** — the simulated system configuration.
@@ -81,21 +118,31 @@ pub fn table1_config() {
 }
 
 /// **Figure 12** — committed atomics per kilo-instruction.
-pub fn fig12_apki(opts: &BenchOpts) {
+///
+/// # Errors
+///
+/// The first failed run.
+pub fn fig12_apki(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Figure 12 — atomic RMWs per kilo-instruction (APKI)\n");
     println!("{}", row(&["workload".into(), "APKI".into(), "class".into()]));
     for spec in opts.workloads() {
-        let r = run_once(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts);
+        let r = run_once_checked(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts)?;
         let cls = if spec.atomic_intensive { "atomic-intensive" } else { "non-atomic-intensive" };
         println!("{}", row(&[spec.name.into(), fmt(r.apki(), 2), cls.into()]));
     }
     println!("\n(the paper draws the atomic-intensive threshold at 0.75 APKI)");
+    Ok(())
 }
 
 /// **Table 2** — characterization of Free atomics (FreeAtomics+Fwd on the
 /// Icelake-like machine): omitted fences, watchdog timeouts, memory-
-/// dependence-violation squashes, forwarding sources.
-pub fn table2_characterization(opts: &BenchOpts) {
+/// dependence-violation squashes, forwarding sources. The per-workload
+/// runs are independent, so they fan across the sweep workers.
+///
+/// # Errors
+///
+/// The first failed run, in workload order.
+pub fn table2_characterization(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Table 2 — characterization of Free atomics (FreeAtomics+Fwd)\n");
     println!(
         "{}",
@@ -108,11 +155,14 @@ pub fn table2_characterization(opts: &BenchOpts) {
             "FbS (% atomics)".into(),
         ])
     );
+    let specs = opts.workloads();
+    let runs = fa_sim::run_cells(&specs, opts.threads, |_, spec| {
+        run_once_checked(spec, AtomicPolicy::FreeFwd, &icelake_like(), opts)
+    });
     let (mut of, mut to, mut mdv, mut fba, mut fbs) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    for spec in opts.workloads() {
-        let r = run_once(&spec, AtomicPolicy::FreeFwd, &icelake_like(), opts);
-        let a = agg(&r);
+    for (spec, r) in specs.iter().zip(runs) {
+        let a = agg(&r?);
         let omitted = a.omitted_fence_ratio() * 100.0;
         let timeouts = a.watchdog_fires;
         let mdv_pct = if a.total_squashes() == 0 {
@@ -156,12 +206,17 @@ pub fn table2_characterization(opts: &BenchOpts) {
         mean(&fba),
         mean(&fbs)
     );
+    Ok(())
 }
 
 /// **Figure 13** — locality of atomics: fraction of load_locks whose data
 /// was found locally (SQ forward or write-permission hit), baseline vs
 /// FreeAtomics+Fwd, with the forwarded component split out.
-pub fn fig13_locality(opts: &BenchOpts) {
+///
+/// # Errors
+///
+/// The first failed run.
+pub fn fig13_locality(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Figure 13 — locality of atomics (ratio of load_locks)\n");
     println!(
         "{}",
@@ -174,8 +229,8 @@ pub fn fig13_locality(opts: &BenchOpts) {
         ])
     );
     for spec in opts.workloads() {
-        let b = run_once(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts);
-        let f = run_once(&spec, AtomicPolicy::FreeFwd, &icelake_like(), opts);
+        let b = run_once_checked(&spec, AtomicPolicy::FencedBaseline, &icelake_like(), opts)?;
+        let f = run_once_checked(&spec, AtomicPolicy::FreeFwd, &icelake_like(), opts)?;
         let (b_tot, _) = agg(&b).atomic_locality();
         let (f_tot, f_fwd) = agg(&f).atomic_locality();
         println!(
@@ -189,11 +244,17 @@ pub fn fig13_locality(opts: &BenchOpts) {
             ])
         );
     }
+    Ok(())
 }
 
 /// **Figure 14** — execution time of each policy normalized to the fenced
 /// baseline, with the active/sleep split, plus the §5.5 headline averages.
-pub fn fig14_exec_time(opts: &BenchOpts) {
+/// Runs on the sweep engine and emits `BENCH_sweep.json`.
+///
+/// # Errors
+///
+/// The first failed `(cell, run)` job.
+pub fn fig14_exec_time(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Figure 14 — normalized execution time (lower is better)\n");
     println!(
         "{}",
@@ -206,24 +267,22 @@ pub fn fig14_exec_time(opts: &BenchOpts) {
             "sleep frac (fwd)".into(),
         ])
     );
+    let (groups, report) = policy_grid("fig14_exec_time", opts)?;
     let mut norm: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut norm_ai: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for spec in opts.workloads() {
-        let runs: Vec<_> = AtomicPolicy::ALL
-            .iter()
-            .map(|&p| run_workload(&spec, p, &icelake_like(), opts))
-            .collect();
-        let base = runs[0].mean_cycles;
+    for runs in &groups {
+        let spec = runs[0].cell.workload;
+        let base = runs[0].summary.mean_cycles;
         let mut cells = vec![spec.name.to_string()];
-        for (i, mr) in runs.iter().enumerate() {
-            let n = mr.mean_cycles / base;
+        for (i, r) in runs.iter().enumerate() {
+            let n = r.summary.mean_cycles / base;
             norm[i].push(n);
             if spec.atomic_intensive {
                 norm_ai[i].push(n);
             }
             cells.push(fmt(n, 3));
         }
-        let rep = runs[3].representative();
+        let rep = runs[3].summary.representative();
         let total_core_cycles = rep.cycles as f64 * rep.per_core.len() as f64;
         let sleep: f64 = rep.per_core.iter().map(|c| c.sleep_cycles as f64).sum();
         cells.push(fmt(sleep / total_core_cycles, 3));
@@ -246,11 +305,18 @@ pub fn fig14_exec_time(opts: &BenchOpts) {
         full * 100.0,
         ai * 100.0
     );
+    emit_report(&report);
+    Ok(())
 }
 
 /// **Figure 15** — processor energy of each policy normalized to the
-/// fenced baseline, split dynamic/static.
-pub fn fig15_energy(opts: &BenchOpts) {
+/// fenced baseline, split dynamic/static. Runs on the sweep engine and
+/// emits `BENCH_sweep.json`.
+///
+/// # Errors
+///
+/// The first failed `(cell, run)` job.
+pub fn fig15_energy(opts: &BenchOpts) -> Result<(), Box<SimError>> {
     println!("\n## Figure 15 — normalized energy (lower is better)\n");
     println!(
         "{}",
@@ -264,16 +330,13 @@ pub fn fig15_energy(opts: &BenchOpts) {
         ])
     );
     let model = EnergyModel::default();
+    let (groups, report) = policy_grid("fig15_energy", opts)?;
     let mut norm: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut norm_ai: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for spec in opts.workloads() {
-        let energies: Vec<_> = AtomicPolicy::ALL
-            .iter()
-            .map(|&p| {
-                let mr = run_workload(&spec, p, &icelake_like(), opts);
-                model.evaluate(mr.representative())
-            })
-            .collect();
+    for runs in &groups {
+        let spec = runs[0].cell.workload;
+        let energies: Vec<_> =
+            runs.iter().map(|r| model.evaluate(r.summary.representative())).collect();
         let base = energies[0].total_nj();
         let mut cells = vec![spec.name.to_string()];
         for (i, e) in energies.iter().enumerate() {
@@ -297,4 +360,6 @@ pub fn fig15_energy(opts: &BenchOpts) {
         (1.0 - mean(&norm[3])) * 100.0,
         (1.0 - mean(&norm_ai[3])) * 100.0
     );
+    emit_report(&report);
+    Ok(())
 }

@@ -13,14 +13,17 @@
 //! | `FA_SCALE` | 0.25 | workload size multiplier |
 //! | `FA_RUNS` | 3 | runs per configuration (paper: 10, drop 3) |
 //! | `FA_DROP` | 1 | slowest runs dropped |
+//! | `FA_THREADS` | 0 | sweep worker threads (0 = host parallelism) |
 //! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
+//! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
 
 pub mod figures;
+pub mod sweep;
 
 use fa_core::AtomicPolicy;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
-use fa_sim::methodology::{measure, Methodology, MultiRun};
+use fa_sim::methodology::{measure_parallel, Methodology, MultiRun};
 use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
 
 /// Experiment sizing, read from the environment.
@@ -36,11 +39,14 @@ pub struct BenchOpts {
     pub drop_slowest: usize,
     /// Base seed.
     pub seed: u64,
+    /// Sweep worker threads (0 = host parallelism). Results are
+    /// bit-identical at any value; this only trades wall clock.
+    pub threads: usize,
 }
 
 impl Default for BenchOpts {
     fn default() -> BenchOpts {
-        BenchOpts { cores: 8, scale: 0.25, runs: 3, drop_slowest: 1, seed: 0xF00D }
+        BenchOpts { cores: 8, scale: 0.25, runs: 3, drop_slowest: 1, seed: 0xF00D, threads: 0 }
     }
 }
 
@@ -59,6 +65,9 @@ impl BenchOpts {
         }
         if let Ok(v) = std::env::var("FA_DROP") {
             o.drop_slowest = v.parse().expect("FA_DROP must be a number");
+        }
+        if let Ok(v) = std::env::var("FA_THREADS") {
+            o.threads = v.parse().expect("FA_THREADS must be a number");
         }
         o
     }
@@ -80,21 +89,47 @@ impl BenchOpts {
     }
 
     /// The workload subset selected via `FA_WORKLOADS`, or the full suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name in `FA_WORKLOADS` — a typo used to be
+    /// silently dropped, turning the sweep into a no-op.
     pub fn workloads(&self) -> Vec<WorkloadSpec> {
         match std::env::var("FA_WORKLOADS") {
             Ok(list) => {
                 let names: Vec<&str> = list.split(',').map(str::trim).collect();
-                suite::all()
-                    .into_iter()
-                    .filter(|s| names.contains(&s.name))
-                    .collect()
+                suite::select(&names).unwrap_or_else(|e| panic!("FA_WORKLOADS: {e}"))
             }
             Err(_) => suite::all(),
         }
     }
 }
 
-/// Runs `spec` under `policy` with the multi-run methodology.
+/// Runs `spec` under `policy` with the multi-run methodology, the
+/// independent runs fanned across `opts.threads` sweep workers.
+///
+/// # Errors
+///
+/// Any [`SimError`] raised by a run (timeout or invariant-audit failure),
+/// or an invalid methodology.
+pub fn try_run_workload(
+    spec: &WorkloadSpec,
+    policy: AtomicPolicy,
+    base: &MachineConfig,
+    opts: &BenchOpts,
+) -> Result<MultiRun, Box<SimError>> {
+    let mut cfg = base.clone();
+    cfg.core.policy = policy;
+    let params = opts.params();
+    measure_parallel(&cfg, &opts.methodology(), opts.threads, || {
+        let w = spec.build(&params);
+        (w.programs, w.mem)
+    })
+    .map_err(Box::new)
+}
+
+/// [`try_run_workload`], panicking on failure — for callers (tests,
+/// micro-benches) where a failed run is a straight bug.
 ///
 /// # Panics
 ///
@@ -105,14 +140,8 @@ pub fn run_workload(
     base: &MachineConfig,
     opts: &BenchOpts,
 ) -> MultiRun {
-    let mut cfg = base.clone();
-    cfg.core.policy = policy;
-    let params = opts.params();
-    measure(&cfg, &opts.methodology(), || {
-        let w = spec.build(&params);
-        (w.programs, w.mem)
-    })
-    .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
+    try_run_workload(spec, policy, base, opts)
+        .unwrap_or_else(|e| panic!("{} under {policy:?}: {e}", spec.name))
 }
 
 /// Runs `spec` once (single run, no offsets) — for characterization tables

@@ -1,0 +1,373 @@
+//! Grid sweeps over `(kernel, policy, preset)` cells on the parallel
+//! sweep engine, with wall-clock / simulated-MIPS accounting emitted as
+//! `BENCH_sweep.json`.
+//!
+//! Work fans out at `(cell, run)` granularity — every methodology run of
+//! every cell is an independent job on [`fa_sim::sweep::run_cells_timed`] —
+//! then per-cell runs are regrouped in run order and summarized with
+//! [`Methodology::summarize`]. Because each run derives its perturbations
+//! from its own `seed + run` stream, the per-cell summaries (and therefore
+//! the emitted rows) are bit-identical at any worker-thread count; only the
+//! timing block differs. The JSON is hand-rolled — the vendored `serde` is
+//! derive-markers only — and keeps the scheduling-dependent wall-clock
+//! fields out of `rows` so serial and parallel sweeps agree byte-for-byte
+//! there.
+
+use crate::BenchOpts;
+use fa_core::AtomicPolicy;
+use fa_sim::error::SimError;
+use fa_sim::machine::MachineConfig;
+use fa_sim::methodology::MultiRun;
+use fa_sim::sweep::{run_cells_timed, SweepTiming};
+use fa_workloads::WorkloadSpec;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A named machine preset — the grid's third axis, and the name recorded
+/// in each emitted row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's Icelake-like Table-1 machine (352-entry ROB).
+    Icelake,
+    /// The Skylake-like variant (224-entry ROB).
+    Skylake,
+    /// The small audit-friendly machine used by tests and the fuzzer.
+    Tiny,
+}
+
+impl Preset {
+    /// The row label (also accepted by [`Preset::by_name`]).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Preset::Icelake => "icelake",
+            Preset::Skylake => "skylake",
+            Preset::Tiny => "tiny",
+        }
+    }
+
+    /// The machine configuration this preset names.
+    pub fn config(self) -> MachineConfig {
+        match self {
+            Preset::Icelake => fa_sim::presets::icelake_like(),
+            Preset::Skylake => fa_sim::presets::skylake_like(),
+            Preset::Tiny => fa_sim::presets::tiny_machine(),
+        }
+    }
+
+    /// Parses a preset name (as printed by [`Preset::name`]).
+    pub fn by_name(name: &str) -> Option<Preset> {
+        [Preset::Icelake, Preset::Skylake, Preset::Tiny]
+            .into_iter()
+            .find(|p| p.name() == name)
+    }
+}
+
+/// One independent sweep cell: a kernel under a policy on a preset. The
+/// run-seed axis is added by the driver (one job per methodology run).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCell {
+    /// The workload (kernel) to run.
+    pub workload: WorkloadSpec,
+    /// The atomic policy under test.
+    pub policy: AtomicPolicy,
+    /// The machine preset.
+    pub preset: Preset,
+}
+
+/// The full cross product, in row-major `(workload, policy, preset)` order
+/// — the canonical cell enumeration every driver shares so row order is
+/// stable across bins.
+pub fn grid(
+    workloads: &[WorkloadSpec],
+    policies: &[AtomicPolicy],
+    presets: &[Preset],
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(workloads.len() * policies.len() * presets.len());
+    for &workload in workloads {
+        for &policy in policies {
+            for &preset in presets {
+                cells.push(SweepCell { workload, policy, preset });
+            }
+        }
+    }
+    cells
+}
+
+/// One measured cell: the cell identity plus its multi-run summary.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell that was measured.
+    pub cell: SweepCell,
+    /// Multi-run summary (mean over retained runs, fastest first).
+    pub summary: MultiRun,
+}
+
+/// Runs every `(cell, run)` job of the grid across `opts.threads` workers
+/// and returns per-cell summaries in cell order plus the sweep timing.
+///
+/// # Errors
+///
+/// [`SimError::InvalidMethodology`] for a configuration retaining no runs;
+/// otherwise the first failing `(cell, run)` job's error, in job order
+/// (every job is still attempted).
+pub fn run_grid(
+    opts: &BenchOpts,
+    cells: &[SweepCell],
+) -> Result<(Vec<CellResult>, SweepTiming), Box<SimError>> {
+    let meth = opts.methodology();
+    meth.validate().map_err(Box::new)?;
+    let params = opts.params();
+    let jobs: Vec<(usize, usize)> = (0..cells.len())
+        .flat_map(|c| (0..meth.runs).map(move |r| (c, r)))
+        .collect();
+    let (results, timing) = run_cells_timed(
+        &jobs,
+        opts.threads,
+        // Cold failure path; the error's diagnostic snapshot dominates.
+        #[allow(clippy::result_large_err)]
+        |_, &(ci, run)| {
+            let cell = &cells[ci];
+            let mut cfg = cell.preset.config();
+            cfg.core.policy = cell.policy;
+            let w = cell.workload.build(&params);
+            meth.run_single(&cfg, run, w.programs, w.mem)
+        },
+        |r| r.as_ref().map(|rr| (rr.cycles, rr.instructions())).unwrap_or((0, 0)),
+    );
+    let mut out = Vec::with_capacity(cells.len());
+    let mut it = results.into_iter();
+    for &cell in cells {
+        let runs: Result<Vec<_>, SimError> = it.by_ref().take(meth.runs).collect();
+        let summary = meth.summarize(runs.map_err(Box::new)?).map_err(Box::new)?;
+        out.push(CellResult { cell, summary });
+    }
+    Ok((out, timing))
+}
+
+/// One emitted row of `BENCH_sweep.json`. Deliberately excludes every
+/// wall-clock quantity: rows depend only on the deterministic simulation,
+/// so serial and parallel sweeps emit byte-identical row arrays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Workload name.
+    pub kernel: String,
+    /// Policy label (as [`AtomicPolicy::label`]).
+    pub policy: String,
+    /// Preset name.
+    pub preset: String,
+    /// Runs executed for this cell.
+    pub runs: usize,
+    /// Mean cycles over the retained runs.
+    pub mean_cycles: f64,
+    /// Cycles of the representative (fastest retained) run.
+    pub rep_cycles: u64,
+    /// Committed instructions of the representative run.
+    pub instructions: u64,
+}
+
+impl SweepRow {
+    /// Builds the row for one measured cell.
+    pub fn from_result(runs: usize, r: &CellResult) -> SweepRow {
+        let rep = r.summary.representative();
+        SweepRow {
+            kernel: r.cell.workload.name.to_string(),
+            policy: r.cell.policy.label().to_string(),
+            preset: r.cell.preset.name().to_string(),
+            runs,
+            mean_cycles: r.summary.mean_cycles,
+            rep_cycles: rep.cycles,
+            instructions: rep.instructions(),
+        }
+    }
+
+    /// The row as a single-line JSON object (stable field order).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"kernel\":\"{}\",\"policy\":\"{}\",\"preset\":\"{}\",\"runs\":{},\
+             \"mean_cycles\":{:.6},\"rep_cycles\":{},\"instructions\":{}}}",
+            self.kernel, self.policy, self.preset, self.runs, self.mean_cycles,
+            self.rep_cycles, self.instructions
+        )
+    }
+}
+
+/// A complete sweep report: rows plus the timing block.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The driver that produced the report (e.g. `"sweep"`, `"fig14"`).
+    pub bin: String,
+    /// Measured rows, in grid (cell) order.
+    pub rows: Vec<SweepRow>,
+    /// Wall-clock / simulated-throughput accounting.
+    pub timing: SweepTiming,
+}
+
+impl SweepReport {
+    /// Summarizes a finished grid under `bin`'s name.
+    pub fn new(bin: &str, opts: &BenchOpts, results: &[CellResult], timing: SweepTiming) -> SweepReport {
+        let rows = results.iter().map(|r| SweepRow::from_result(opts.runs, r)).collect();
+        SweepReport { bin: bin.to_string(), rows, timing }
+    }
+
+    /// The whole report as pretty-stable JSON: a `fa-sweep-v1` header, the
+    /// timing block, then one row object per line.
+    pub fn json(&self) -> String {
+        let t = &self.timing;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n  \"schema\": \"fa-sweep-v1\",\n  \"bin\": \"{}\",\n  \"threads\": {},\n  \
+             \"cells\": {},\n  \"wall_secs\": {:.6},\n  \"sim_cycles\": {},\n  \
+             \"sim_instructions\": {},\n  \"cycles_per_sec\": {:.1},\n  \"mips\": {:.3},\n  \
+             \"rows\": [\n",
+            self.bin,
+            t.threads,
+            self.rows.len(),
+            t.wall.as_secs_f64(),
+            t.sim_cycles,
+            t.sim_instructions,
+            t.cycles_per_sec(),
+            t.mips()
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(s, "    {}{}", row.json(), sep);
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// The destination honoring `FA_BENCH_JSON` (default
+    /// `BENCH_sweep.json` in the working directory).
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("FA_BENCH_JSON")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"))
+    }
+
+    /// Writes the report to [`SweepReport::default_path`] and returns the
+    /// path written.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the file.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = SweepReport::default_path();
+        std::fs::write(&path, self.json())?;
+        Ok(path)
+    }
+
+    /// One-line human summary of the timing block.
+    pub fn timing_line(&self) -> String {
+        let t = &self.timing;
+        format!(
+            "sweep: {} cells x {} runs on {} thread(s): {:.2}s wall, {} sim cycles \
+             ({:.2e} cyc/s), {} instrs ({:.2} MIPS)",
+            self.rows.len(),
+            self.rows.first().map_or(0, |r| r.runs),
+            t.threads,
+            t.wall.as_secs_f64(),
+            t.sim_cycles,
+            t.cycles_per_sec(),
+            t.sim_instructions,
+            t.mips()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_workloads::suite;
+
+    fn small_opts(threads: usize) -> BenchOpts {
+        BenchOpts {
+            cores: 2,
+            scale: 0.05,
+            runs: 3,
+            drop_slowest: 1,
+            seed: 0xF00D,
+            threads,
+        }
+    }
+
+    fn small_grid() -> Vec<SweepCell> {
+        let ws =
+            suite::select(&["TATP", "PC"]).expect("suite names");
+        grid(
+            &ws,
+            &[AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd],
+            &[Preset::Tiny],
+        )
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in [Preset::Icelake, Preset::Skylake, Preset::Tiny] {
+            assert_eq!(Preset::by_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::by_name("epyc"), None);
+    }
+
+    #[test]
+    fn grid_is_row_major_and_complete() {
+        let cells = small_grid();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].workload.name, "TATP");
+        assert_eq!(cells[0].policy, AtomicPolicy::FencedBaseline);
+        assert_eq!(cells[1].policy, AtomicPolicy::FreeFwd);
+        assert_eq!(cells[2].workload.name, "PC");
+    }
+
+    #[test]
+    fn parallel_rows_are_byte_identical_to_serial() {
+        let cells = small_grid();
+        let (serial, _) = run_grid(&small_opts(1), &cells).expect("serial grid");
+        let (parallel, _) = run_grid(&small_opts(4), &cells).expect("parallel grid");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (rs, rp) =
+                (SweepRow::from_result(3, s).json(), SweepRow::from_result(3, p).json());
+            assert_eq!(rs, rp, "rows must be byte-identical at any thread count");
+        }
+        // The full reports differ only in the timing block.
+        let o = small_opts(1);
+        let a = SweepReport::new("test", &o, &serial, sweep_timing_stub());
+        let b = SweepReport::new("test", &o, &parallel, sweep_timing_stub());
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.json(), b.json());
+    }
+
+    fn sweep_timing_stub() -> SweepTiming {
+        SweepTiming {
+            cells: 4,
+            threads: 1,
+            wall: std::time::Duration::from_millis(10),
+            sim_cycles: 100,
+            sim_instructions: 50,
+        }
+    }
+
+    #[test]
+    fn invalid_methodology_is_rejected_before_any_run() {
+        let cells = small_grid();
+        let opts = BenchOpts { runs: 2, drop_slowest: 2, ..small_opts(1) };
+        let err = run_grid(&opts, &cells).expect_err("must reject");
+        assert_eq!(*err, SimError::InvalidMethodology { runs: 2, drop_slowest: 2 });
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let opts = small_opts(1);
+        let cells = small_grid()[..1].to_vec();
+        let (results, timing) = run_grid(&opts, &cells).expect("grid");
+        let rep = SweepReport::new("unit", &opts, &results, timing);
+        let j = rep.json();
+        assert!(j.starts_with("{\n  \"schema\": \"fa-sweep-v1\""));
+        assert!(j.contains("\"bin\": \"unit\""));
+        assert!(j.contains("\"kernel\":\"TATP\""));
+        assert!(j.contains("\"mips\":"));
+        assert!(j.ends_with("  ]\n}\n"));
+        assert!(!rep.timing_line().is_empty());
+    }
+}

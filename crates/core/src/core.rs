@@ -193,6 +193,41 @@ impl Core {
         matches!(self.state, CoreState::Sleeping { .. })
     }
 
+    /// The cycle at which a sleeping core's monitor timeout fires (`None`
+    /// while not sleeping). Until then the core only wakes on a `LineLost`
+    /// notice for its monitored line, so a driver that knows no traffic is
+    /// pending may skip its ticks entirely.
+    pub fn wake_at(&self) -> Option<u64> {
+        match self.state {
+            CoreState::Sleeping { wake_at, .. } => Some(wake_at),
+            _ => None,
+        }
+    }
+
+    /// True when ticking this core would be a pure no-op apart from sleep
+    /// accounting: halted or MonitorWait-sleeping, with an empty store
+    /// buffer. Callers must additionally confirm no responses/notices are
+    /// queued for the core and (for a sleeper) that the monitor timeout has
+    /// not come due.
+    pub fn idle_skippable(&self) -> bool {
+        (self.halted() || self.sleeping()) && self.sb.is_empty()
+    }
+
+    /// Accounts `n` skipped cycles for a sleeping core, exactly as `n`
+    /// ticks in `CoreState::Sleeping` would have: the cycle and
+    /// sleep-cycle counters advance, nothing else changes. Halted cores
+    /// need no accounting (their tick path does not count cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the core is not sleeping — crediting sleep cycles
+    /// to a running core would corrupt its statistics.
+    pub fn credit_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.sleeping(), "idle credit is only defined while sleeping");
+        self.stats.cycles += n;
+        self.stats.sleep_cycles += n;
+    }
+
     /// The core's id.
     pub fn id(&self) -> CoreId {
         self.id

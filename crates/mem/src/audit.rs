@@ -42,11 +42,24 @@ pub struct AuditConfig {
     /// Maximum cycles an unhalted core may go without committing an
     /// instruction (enforced by the machine driver, which sees commits).
     pub max_core_stall: Cycle,
+    /// Run the full state sweep only every `sweep_every` cycles (0 is
+    /// treated as 1). The per-core forward-progress bound is still enforced
+    /// every cycle; only the O(resident lines) coherence/lock sweep is
+    /// amortized. Detection latency for a violation grows by at most
+    /// `sweep_every - 1` cycles; whether a violation is caught does not
+    /// change, because sweeps inspect accumulated state, not per-cycle
+    /// deltas.
+    pub sweep_every: Cycle,
 }
 
 impl Default for AuditConfig {
     fn default() -> AuditConfig {
-        AuditConfig { enabled: false, max_lock_hold: 100_000, max_core_stall: 1_000_000 }
+        AuditConfig {
+            enabled: false,
+            max_lock_hold: 100_000,
+            max_core_stall: 1_000_000,
+            sweep_every: 1,
+        }
     }
 }
 

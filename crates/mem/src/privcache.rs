@@ -554,6 +554,12 @@ impl PrivCache {
         self.stalled_fills.iter().map(|f| f.line)
     }
 
+    /// True while any fill is stalled (its retry poll runs every cycle, so
+    /// the clock cannot be fast-forwarded past it).
+    pub(crate) fn has_stalled_fills(&self) -> bool {
+        !self.stalled_fills.is_empty()
+    }
+
     /// Test-only: forcibly sets a line's MESI state, bypassing the protocol.
     /// Exists solely to prove the invariant auditor detects corruption.
     #[cfg(test)]

@@ -382,6 +382,42 @@ impl MemorySystem {
         self.wheel.len()
     }
 
+    /// True when `core` has undelivered responses or notices queued — a
+    /// halted or sleeping core with traffic pending must still be ticked so
+    /// it can drain them (and, for a sleeper, observe its wake condition).
+    pub fn has_core_traffic(&self, core: CoreId) -> bool {
+        !self.outbox[core.index()].is_empty() || !self.notices[core.index()].is_empty()
+    }
+
+    /// Cycle of the earliest in-flight protocol event, if any.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        self.wheel.next_at()
+    }
+
+    /// True when ticking this memory system over a span of idle cycles is a
+    /// pure clock advance: no fault injection (storm scheduling is
+    /// per-cycle) and no fills stalled on all-ways-locked sets (their retry
+    /// poll is per-cycle). The machine driver uses this to fast-forward
+    /// `now` to the next event while every core is quiescent-waiting.
+    pub fn fast_forwardable(&self) -> bool {
+        !self.chaos.enabled() && self.caches.iter().all(|c| !c.has_stalled_fills())
+    }
+
+    /// Jumps the clock to `cycle` without processing the intervening
+    /// (empty) cycles. Callers must have established that the skip is a
+    /// no-op: `cycle` precedes the next scheduled event, the system is
+    /// [`fast_forwardable`](Self::fast_forwardable), and no core issues a
+    /// request in the skipped span.
+    pub fn skip_to(&mut self, cycle: Cycle) {
+        debug_assert!(cycle >= self.now, "skip_to cannot rewind the clock");
+        debug_assert!(
+            self.wheel.next_at().map(|at| at > cycle).unwrap_or(true),
+            "skip_to must not jump over a scheduled event"
+        );
+        debug_assert!(self.fast_forwardable(), "skip_to requires a pure clock advance");
+        self.now = cycle;
+    }
+
     /// Runs one invariant-audit sweep. Free when `cfg.audit.enabled` is
     /// false; otherwise checks SWMR, directory–L1 inclusion and the
     /// lock-hold bound (see [`crate::audit`]), returning the first violation

@@ -24,6 +24,17 @@ pub enum SimError {
         /// Machine state at detection time.
         snapshot: MachineSnapshot,
     },
+    /// A measurement methodology that cannot produce a mean: zero runs, or
+    /// `drop_slowest` discarding every run. Returned by
+    /// [`measure`](crate::methodology::measure) before any simulation
+    /// starts, so misconfigured sweeps fail loudly instead of averaging a
+    /// surprising subset.
+    InvalidMethodology {
+        /// Configured total runs.
+        runs: usize,
+        /// Configured number of slowest runs to discard.
+        drop_slowest: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +44,11 @@ impl fmt::Display for SimError {
             SimError::Audit { cycle, violation, snapshot } => {
                 write!(f, "invariant audit failed at cycle {cycle}: {violation}\n{snapshot}")
             }
+            SimError::InvalidMethodology { runs, drop_slowest } => write!(
+                f,
+                "invalid methodology: {runs} runs with {drop_slowest} dropped leaves no \
+                 retained run to average"
+            ),
         }
     }
 }
@@ -46,11 +62,13 @@ impl From<RunTimeout> for SimError {
 }
 
 impl SimError {
-    /// The machine snapshot attached to this error.
-    pub fn snapshot(&self) -> &MachineSnapshot {
+    /// The machine snapshot attached to this error, when one exists
+    /// (configuration errors are raised before any machine is built).
+    pub fn snapshot(&self) -> Option<&MachineSnapshot> {
         match self {
-            SimError::Timeout(t) => &t.snapshot,
-            SimError::Audit { snapshot, .. } => snapshot,
+            SimError::Timeout(t) => Some(&t.snapshot),
+            SimError::Audit { snapshot, .. } => Some(snapshot),
+            SimError::InvalidMethodology { .. } => None,
         }
     }
 }
@@ -74,6 +92,14 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("cycle 42") && s.contains("lock leak"));
-        assert!(e.snapshot().cores.is_empty());
+        assert!(e.snapshot().expect("audit errors carry a snapshot").cores.is_empty());
+    }
+
+    #[test]
+    fn invalid_methodology_is_structured_and_snapshotless() {
+        let e = SimError::InvalidMethodology { runs: 2, drop_slowest: 2 };
+        assert!(e.snapshot().is_none());
+        let s = e.to_string();
+        assert!(s.contains("2 runs") && s.contains("2 dropped"), "got: {s}");
     }
 }

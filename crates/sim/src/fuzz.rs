@@ -41,6 +41,10 @@ pub struct FuzzConfig {
     pub chaos: ChaosConfig,
     /// Per-run cycle budget (fault injection stretches runs).
     pub max_cycles: u64,
+    /// Worker threads for the campaign (0 = host parallelism). Case
+    /// generation stays serial (it threads one rng), so the report is
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for FuzzConfig {
@@ -54,6 +58,7 @@ impl Default for FuzzConfig {
             policies: AtomicPolicy::ALL.to_vec(),
             chaos: ChaosConfig::stress(0),
             max_cycles: 2_000_000,
+            threads: 0,
         }
     }
 }
@@ -174,48 +179,76 @@ fn gen_test(rng: &mut SplitMix64, cfg: &FuzzConfig) -> LitmusTest {
     LitmusTest { name: "fuzz", threads: body }
 }
 
+/// One pre-generated case: everything a worker needs to run it in
+/// isolation. Generation is serial (the campaign threads one rng), running
+/// is embarrassingly parallel.
+struct FuzzCase {
+    case: u64,
+    test: LitmusTest,
+    offsets: Vec<u64>,
+    chaos_seed: u64,
+}
+
 /// Runs a differential fuzzing campaign: random programs × policies ×
 /// fault injection, outcomes checked against the TSO enumerator, the
 /// invariant auditor armed throughout. Never panics on a finding — every
 /// failure is collected into the report with a replayable identity.
+///
+/// The case runs fan out across [`FuzzConfig::threads`] workers on the
+/// [`crate::sweep`] engine. Each `(case, policy)` run is deterministic and
+/// independent, and results merge in case order, so the report —
+/// failures, run counts and the distinct-outcome coverage set — is
+/// bit-identical to the serial campaign at any thread count.
 pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
     let mut rng = SplitMix64::new(fcfg.seed);
-    let mut report = FuzzReport::default();
-    let mut outcomes = std::collections::HashSet::new();
-    for case in 0..fcfg.cases {
-        let test = gen_test(&mut rng, fcfg);
-        let allowed = test.allowed_outcomes();
-        let offsets: Vec<u64> =
-            (0..test.threads.len()).map(|_| rng.below(120)).collect();
-        let case_seed = rng.next_u64();
+    let cases: Vec<FuzzCase> = (0..fcfg.cases)
+        .map(|case| {
+            let test = gen_test(&mut rng, fcfg);
+            let offsets: Vec<u64> =
+                (0..test.threads.len()).map(|_| rng.below(120)).collect();
+            let chaos_seed = rng.next_u64();
+            FuzzCase { case, test, offsets, chaos_seed }
+        })
+        .collect();
+    let per_case = crate::sweep::run_cells(&cases, fcfg.threads, |_, fc| {
+        let allowed = fc.test.allowed_outcomes();
+        let mut outcomes = Vec::new();
+        let mut failures = Vec::new();
         for &policy in &fcfg.policies {
             let mut cfg = base.clone();
             cfg.core.policy = policy;
-            cfg.mem.chaos = ChaosConfig { seed: case_seed, ..fcfg.chaos.clone() };
+            cfg.mem.chaos = ChaosConfig { seed: fc.chaos_seed, ..fcfg.chaos.clone() };
             cfg.mem.audit = AuditConfig::on();
-            report.runs += 1;
-            match test.run_checked(&cfg, &offsets, fcfg.max_cycles) {
+            match fc.test.run_checked(&cfg, &fc.offsets, fcfg.max_cycles) {
                 Ok(got) => {
                     if allowed.contains(&got) {
-                        outcomes.insert(got);
+                        outcomes.push(got);
                     } else {
-                        report.failures.push(FuzzFailure {
-                            case,
+                        failures.push(FuzzFailure {
+                            case: fc.case,
                             policy,
-                            test: test.clone(),
+                            test: fc.test.clone(),
                             kind: FailureKind::TsoViolation { observed: got },
                         });
                     }
                 }
-                Err(e) => report.failures.push(FuzzFailure {
-                    case,
+                Err(e) => failures.push(FuzzFailure {
+                    case: fc.case,
                     policy,
-                    test: test.clone(),
+                    test: fc.test.clone(),
                     kind: FailureKind::Run(e),
                 }),
             }
         }
+        (outcomes, failures)
+    });
+    let mut report = FuzzReport::default();
+    let mut outcomes = std::collections::HashSet::new();
+    for (legal, failures) in per_case {
         report.cases += 1;
+        report.runs += fcfg.policies.len() as u64;
+        outcomes.extend(legal);
+        report.failures.extend(failures);
     }
     report.distinct_outcomes = outcomes.len() as u64;
     report
@@ -256,5 +289,23 @@ mod tests {
         assert_eq!(r1.runs, 24);
         assert_eq!(r1.distinct_outcomes, r2.distinct_outcomes);
         assert_eq!(r1.runs, r2.runs);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_report() {
+        let base = crate::presets::tiny_machine();
+        let serial = FuzzConfig {
+            cases: 10,
+            threads: 1,
+            policies: vec![AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd],
+            ..FuzzConfig::default()
+        };
+        let parallel = FuzzConfig { threads: 4, ..serial.clone() };
+        let rs = fuzz_litmus(&base, &serial);
+        let rp = fuzz_litmus(&base, &parallel);
+        assert_eq!(rs.cases, rp.cases);
+        assert_eq!(rs.runs, rp.runs);
+        assert_eq!(rs.distinct_outcomes, rp.distinct_outcomes);
+        assert_eq!(rs.to_string(), rp.to_string(), "reports must be bit-identical");
     }
 }

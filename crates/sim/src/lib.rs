@@ -5,7 +5,9 @@
 //! deterministic cycle loop ([`Machine`]), provides the paper's Table-1
 //! configuration presets ([`presets`]), a McPAT-flavoured event-count energy
 //! model ([`energy`]), the multi-run measurement methodology of §5.1
-//! ([`methodology`]), and a verification substrate: an operational x86-TSO
+//! ([`methodology`]), a parallel sweep engine fanning independent
+//! deterministic cells across worker threads ([`sweep`]), and a
+//! verification substrate: an operational x86-TSO
 //! reference enumerator ([`tsoref`]) plus a litmus-test harness ([`litmus`])
 //! that checks the detailed simulator's outcomes against the reference,
 //! under every atomic policy.
@@ -21,6 +23,7 @@ pub mod litmus;
 pub mod machine;
 pub mod methodology;
 pub mod presets;
+pub mod sweep;
 pub mod tsoref;
 
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -28,5 +31,6 @@ pub use error::SimError;
 pub use fuzz::{fuzz_litmus, FuzzConfig, FuzzReport};
 pub use litmus::{LOp, LitmusTest};
 pub use machine::{Machine, MachineConfig, MachineSnapshot, RunResult, RunTimeout};
-pub use methodology::{measure, Methodology, MultiRun};
+pub use methodology::{measure, measure_parallel, Methodology, MultiRun};
 pub use presets::{icelake_like, skylake_like, tiny_machine};
+pub use sweep::{run_cells, run_cells_timed, SweepTiming};

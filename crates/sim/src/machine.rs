@@ -113,6 +113,9 @@ pub struct Machine {
     cores: Vec<Core>,
     start_offsets: Vec<u64>,
     now: u64,
+    /// Idle-skip / fast-forward optimizations (on by default; switched off
+    /// only by differential tests proving they preserve results).
+    fast_paths: bool,
 }
 
 impl fmt::Debug for Machine {
@@ -136,7 +139,15 @@ impl Machine {
             .enumerate()
             .map(|(i, p)| Core::new(CoreId(i as u16), cfg.core.clone(), p, mem_bytes))
             .collect();
-        Machine { mem, cores, start_offsets: vec![0; n], now: 0 }
+        Machine { mem, cores, start_offsets: vec![0; n], now: 0, fast_paths: true }
+    }
+
+    /// Disables (or re-enables) the cycle-loop fast paths — skipping
+    /// halted/sleeping cores and fast-forwarding over all-quiescent spans.
+    /// The fast paths are semantics-preserving (bit-identical results and
+    /// statistics); this switch exists so differential tests can prove it.
+    pub fn set_fast_paths(&mut self, on: bool) {
+        self.fast_paths = on;
     }
 
     /// Delays each core's first cycle by the given offset — the analogue of
@@ -173,16 +184,76 @@ impl Machine {
         self.cores.iter().all(|c| c.halted() && c.sb_len() == 0)
     }
 
-    /// Advances one cycle.
+    /// True when ticking `c` this cycle would change nothing but idle
+    /// accounting: the core is halted or MonitorWait-sleeping with an empty
+    /// store buffer, no responses or notices are queued for it, and a
+    /// sleeper's monitor timeout has not come due.
+    fn core_skippable(c: &Core, mem: &MemorySystem, now: u64) -> bool {
+        c.idle_skippable()
+            && !mem.has_core_traffic(c.id())
+            && c.wake_at().map(|w| now < w).unwrap_or(true)
+    }
+
+    /// Advances one cycle. With the fast paths on, cores whose tick would
+    /// be a no-op (halted, or asleep with nothing pending) are skipped;
+    /// skipped sleep cycles are credited so statistics stay bit-identical
+    /// to the always-tick loop.
     pub fn tick(&mut self) {
         self.now += 1;
         self.mem.tick();
         for c in self.cores.iter_mut() {
             let idx = c.id().index();
-            if self.now > self.start_offsets[idx] {
-                c.tick(self.now, &mut self.mem);
+            if self.now <= self.start_offsets[idx] {
+                continue;
+            }
+            if self.fast_paths && Self::core_skippable(c, &self.mem, self.now) {
+                if c.sleeping() {
+                    c.credit_idle_cycles(1);
+                }
+                continue;
+            }
+            c.tick(self.now, &mut self.mem);
+        }
+    }
+
+    /// When every core is quiescent-waiting (halted and drained, asleep
+    /// with nothing pending, or not yet past its start offset) and the
+    /// memory system is a pure clock between events, jumps `now` to one
+    /// cycle before the earliest thing that can happen — the next protocol
+    /// event, the earliest monitor timeout, the next core start, or the
+    /// cycle budget — so the following [`Machine::tick`] lands exactly
+    /// there. A no-op whenever any core is active.
+    fn try_fast_forward(&mut self, max_cycles: u64) {
+        if !self.mem.fast_forwardable() {
+            return;
+        }
+        let mut target = max_cycles;
+        for (i, c) in self.cores.iter().enumerate() {
+            if self.now <= self.start_offsets[i] {
+                // First tick happens at offset + 1.
+                target = target.min(self.start_offsets[i] + 1);
+            } else if Self::core_skippable(c, &self.mem, self.now) {
+                if let Some(wake_at) = c.wake_at() {
+                    target = target.min(wake_at);
+                }
+            } else {
+                return;
             }
         }
+        if let Some(at) = self.mem.next_event_at() {
+            target = target.min(at);
+        }
+        if target <= self.now + 1 {
+            return;
+        }
+        let skipped = target - 1 - self.now;
+        self.mem.skip_to(target - 1);
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            if self.now > self.start_offsets[i] && c.sleeping() {
+                c.credit_idle_cycles(skipped);
+            }
+        }
+        self.now = target - 1;
     }
 
     /// Snapshot of the whole machine for diagnostics.
@@ -196,10 +267,12 @@ impl Machine {
 
     /// Runs until quiescence.
     ///
-    /// When `MemConfig::audit` is enabled, every cycle is swept by the
-    /// invariant auditor and every core is held to the forward-progress
-    /// bound (`max_core_stall` cycles without a commit while unhalted and
-    /// awake), converting silent livelock into [`SimError::Audit`].
+    /// When `MemConfig::audit` is enabled, the invariant auditor sweeps the
+    /// machine every `audit.sweep_every` cycles (default: every cycle) and
+    /// every core is held to the forward-progress bound (`max_core_stall`
+    /// cycles without a commit while unhalted and awake, checked every
+    /// cycle), converting silent livelock into [`SimError::Audit`].
+    /// Audited runs never fast-forward, so the sweep cadence is exact.
     ///
     /// # Errors
     ///
@@ -215,18 +288,26 @@ impl Machine {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
         let audit_on = self.mem.config().audit.enabled;
         let max_stall = self.mem.config().audit.max_core_stall;
+        let sweep_every = self.mem.config().audit.sweep_every.max(1);
         // (instructions, cycle) at each core's last observed commit.
         let mut progress: Vec<(u64, u64)> =
             self.cores.iter().map(|c| (c.stats.instructions, self.now)).collect();
         while self.now < max_cycles {
+            // Fast-forward only outside audited runs: the auditor's sweep
+            // cadence and forward-progress bookkeeping observe every cycle.
+            if self.fast_paths && !audit_on {
+                self.try_fast_forward(max_cycles);
+            }
             self.tick();
             if audit_on {
-                if let Err(violation) = self.mem.audit() {
-                    return Err(SimError::Audit {
-                        cycle: self.now,
-                        violation,
-                        snapshot: self.snapshot(),
-                    });
+                if self.now.is_multiple_of(sweep_every) {
+                    if let Err(violation) = self.mem.audit() {
+                        return Err(SimError::Audit {
+                            cycle: self.now,
+                            violation,
+                            snapshot: self.snapshot(),
+                        });
+                    }
                 }
                 for (i, c) in self.cores.iter().enumerate() {
                     if c.halted() || c.sleeping() || c.stats.instructions != progress[i].0 {
@@ -363,6 +444,81 @@ mod tests {
             } => assert!(stalled_for > 2),
             other => panic!("expected NoProgress, got {other:?}"),
         }
+    }
+
+    /// A two-core kernel with long quiescent-wait spans: core 0 sleeps in
+    /// MonitorWait on a flag line until its monitor timeout or until core 1
+    /// (delayed by a start offset) finally writes it, then both count.
+    fn sleepy_pair() -> Vec<Program> {
+        let mut waiter = Kasm::new();
+        waiter.li(Reg::R1, 0x200);
+        let top = waiter.here_label();
+        waiter.monitor_wait(Reg::R1, 0);
+        waiter.ld(Reg::R2, Reg::R1, 0);
+        waiter.beq_imm(Reg::R2, 0, top);
+        waiter.halt();
+        let mut setter = Kasm::new();
+        setter.li(Reg::R1, 0x200);
+        setter.li(Reg::R2, 1);
+        setter.st(Reg::R2, Reg::R1, 0);
+        setter.halt();
+        vec![waiter.finish().unwrap(), setter.finish().unwrap()]
+    }
+
+    /// Runs `programs` with the given offsets, fast paths on or off, and
+    /// returns the full result plus the flag value.
+    fn run_pair(fast: bool, offsets: Vec<u64>) -> (RunResult, fa_isa::Word) {
+        let mut m =
+            Machine::new(MachineConfig::default(), sleepy_pair(), GuestMem::new(1 << 12));
+        m.set_fast_paths(fast);
+        m.set_start_offsets(offsets);
+        let r = m.run(2_000_000).expect("quiesce");
+        (r, m.guest_mem().load(0x200))
+    }
+
+    #[test]
+    fn fast_paths_preserve_results_bitwise() {
+        // The setter starts 20k cycles late, so the waiter cycles through
+        // several full MonitorWait sleep periods — exactly the span the
+        // idle-skip and fast-forward paths elide.
+        for offsets in [vec![0, 20_000], vec![0, 0], vec![300, 0]] {
+            let (slow, slow_flag) = run_pair(false, offsets.clone());
+            let (fast, fast_flag) = run_pair(true, offsets.clone());
+            assert_eq!(slow.cycles, fast.cycles, "offsets {offsets:?}");
+            assert_eq!(slow.per_core, fast.per_core, "offsets {offsets:?}");
+            assert_eq!(slow.mem, fast.mem, "offsets {offsets:?}");
+            assert_eq!(slow_flag, fast_flag);
+            assert_eq!(fast_flag, 1);
+        }
+    }
+
+    #[test]
+    fn fast_paths_skip_sleep_heavy_wall_work() {
+        // Not a timing assertion (CI boxes vary) — a structural one: the
+        // sleep-heavy run must still account every sleep cycle while the
+        // fast loop skips the ticks.
+        let (fast, _) = run_pair(true, vec![0, 50_000]);
+        let sleep: u64 = fast.per_core.iter().map(|c| c.sleep_cycles).sum();
+        assert!(sleep > 10_000, "waiter must have slept through the delay, got {sleep}");
+    }
+
+    #[test]
+    fn amortized_audit_sweeps_match_per_cycle_results() {
+        let mut every = MachineConfig::default();
+        every.mem.audit = fa_mem::AuditConfig::on();
+        let mut m1 =
+            Machine::new(every, vec![counter_prog(40); 2], GuestMem::new(1 << 16));
+        let r1 = m1.run(2_000_000).expect("clean run");
+        let mut amortized = MachineConfig::default();
+        amortized.mem.audit =
+            fa_mem::AuditConfig { sweep_every: 64, ..fa_mem::AuditConfig::on() };
+        let mut m2 =
+            Machine::new(amortized, vec![counter_prog(40); 2], GuestMem::new(1 << 16));
+        let r2 = m2.run(2_000_000).expect("clean run");
+        assert_eq!(r1.cycles, r2.cycles, "sweep cadence must not perturb execution");
+        assert_eq!(r1.per_core, r2.per_core);
+        assert!(r2.mem.audit.sweeps > 0);
+        assert!(r2.mem.audit.sweeps < r1.mem.audit.sweeps);
     }
 
     #[test]

@@ -1,23 +1,31 @@
 //! The paper's measurement methodology (§5.1): run each configuration
 //! several times with randomized start perturbations, drop the slowest
 //! outliers, and average the rest.
+//!
+//! Each run derives its perturbation stream independently from the base
+//! seed (run `i` uses a SplitMix64 stream seeded with `seed + i`, the same
+//! generator as [`fa_mem::chaos`]), so runs are replayable in isolation and
+//! can execute in any order — including concurrently on the
+//! [`crate::sweep`] engine — with bit-identical results.
 
 use crate::error::SimError;
 use crate::machine::{Machine, MachineConfig, RunResult};
+use crate::sweep;
 use fa_isa::interp::GuestMem;
 use fa_isa::Program;
+use fa_mem::SplitMix64;
 
 /// Multi-run settings. The paper uses 10 runs and drops the 3 slowest; the
 /// default here is a faster 5-drop-1 with identical structure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Methodology {
-    /// Total runs.
+    /// Total runs. Must be nonzero.
     pub runs: usize,
-    /// Slowest runs discarded.
+    /// Slowest runs discarded. Must be less than `runs`.
     pub drop_slowest: usize,
     /// Maximum random start offset per core, in cycles.
     pub max_offset: u64,
-    /// Base seed; run `i` uses `seed + i`.
+    /// Base seed; run `i` uses a fresh SplitMix64 stream seeded `seed + i`.
     pub seed: u64,
     /// Per-run cycle budget.
     pub max_cycles: u64,
@@ -26,6 +34,82 @@ pub struct Methodology {
 impl Default for Methodology {
     fn default() -> Methodology {
         Methodology { runs: 5, drop_slowest: 1, max_offset: 2000, seed: 0xF5EE_A706, max_cycles: 80_000_000 }
+    }
+}
+
+impl Methodology {
+    /// Checks that the configuration retains at least one run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidMethodology`] when `runs == 0` (the mean would
+    /// divide by zero) or `drop_slowest >= runs` (every run discarded).
+    // Cold validation path; SimError's large variants dominate its size.
+    #[allow(clippy::result_large_err)]
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.runs == 0 || self.drop_slowest >= self.runs {
+            return Err(SimError::InvalidMethodology {
+                runs: self.runs,
+                drop_slowest: self.drop_slowest,
+            });
+        }
+        Ok(())
+    }
+
+    /// The start offsets run `run` applies to `cores` cores: drawn from a
+    /// SplitMix64 stream seeded `seed + run`, uniformly in
+    /// `[0, max_offset]`. Public so replay tooling (and the seeding
+    /// regression tests) can reproduce a single run without the harness.
+    pub fn run_offsets(&self, run: usize, cores: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(self.seed.wrapping_add(run as u64));
+        (0..cores).map(|_| rng.below(self.max_offset.saturating_add(1))).collect()
+    }
+
+    /// Executes run `run` of this methodology in isolation: fresh machine,
+    /// run `run`'s start offsets, run to quiescence. The unit of work the
+    /// sweep engine fans out.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] the run raises.
+    // Cold failure path; the error's diagnostic snapshot dominates its size.
+    #[allow(clippy::result_large_err)]
+    pub fn run_single(
+        &self,
+        cfg: &MachineConfig,
+        run: usize,
+        programs: Vec<Program>,
+        mem: GuestMem,
+    ) -> Result<RunResult, SimError> {
+        let n = programs.len();
+        let mut m = Machine::new(cfg.clone(), programs, mem);
+        m.set_start_offsets(self.run_offsets(run, n));
+        m.run(self.max_cycles)
+    }
+
+    /// Sorts, trims and averages per-run results collected in run order
+    /// (fastest first; the `drop_slowest` tail discarded). Because the sort
+    /// is stable over run-ordered input, the retained set is identical no
+    /// matter where or in what order the runs executed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidMethodology`] as [`Methodology::validate`], or if
+    /// `results` does not hold exactly `runs` entries.
+    // Cold validation path; SimError's large variants dominate its size.
+    #[allow(clippy::result_large_err)]
+    pub fn summarize(&self, mut results: Vec<RunResult>) -> Result<MultiRun, SimError> {
+        self.validate()?;
+        if results.len() != self.runs {
+            return Err(SimError::InvalidMethodology {
+                runs: results.len(),
+                drop_slowest: self.drop_slowest,
+            });
+        }
+        results.sort_by_key(|r| r.cycles);
+        results.truncate(self.runs - self.drop_slowest);
+        let mean = results.iter().map(|r| r.cycles as f64).sum::<f64>() / results.len() as f64;
+        Ok(MultiRun { mean_cycles: mean, runs: results })
     }
 }
 
@@ -45,15 +129,6 @@ impl MultiRun {
     }
 }
 
-fn xorshift(state: &mut u64) -> u64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-}
-
 /// Runs `build` (a factory producing identical fresh workloads) under the
 /// methodology and averages the retained runs.
 ///
@@ -62,7 +137,8 @@ fn xorshift(state: &mut u64) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns the first [`SimError`] encountered (timeout or invariant-audit
+/// [`SimError::InvalidMethodology`] for a configuration retaining no runs;
+/// otherwise the first [`SimError`] encountered (timeout or invariant-audit
 /// failure).
 // Cold failure path; the error's diagnostic snapshot dominates its size.
 #[allow(clippy::result_large_err)]
@@ -71,21 +147,43 @@ pub fn measure(
     meth: &Methodology,
     mut build: impl FnMut() -> (Vec<Program>, GuestMem),
 ) -> Result<MultiRun, SimError> {
+    meth.validate()?;
     let mut results: Vec<RunResult> = Vec::with_capacity(meth.runs);
-    let mut rng = meth.seed | 1;
-    for _ in 0..meth.runs {
+    for run in 0..meth.runs {
         let (programs, mem) = build();
-        let n = programs.len();
-        let mut m = Machine::new(cfg.clone(), programs, mem);
-        let offsets: Vec<u64> =
-            (0..n).map(|_| xorshift(&mut rng) % (meth.max_offset + 1)).collect();
-        m.set_start_offsets(offsets);
-        results.push(m.run(meth.max_cycles)?);
+        results.push(meth.run_single(cfg, run, programs, mem)?);
     }
-    results.sort_by_key(|r| r.cycles);
-    results.truncate(meth.runs - meth.drop_slowest.min(meth.runs - 1));
-    let mean = results.iter().map(|r| r.cycles as f64).sum::<f64>() / results.len() as f64;
-    Ok(MultiRun { mean_cycles: mean, runs: results })
+    meth.summarize(results)
+}
+
+/// [`measure`], with the independent runs fanned across `threads` worker
+/// threads on the [`crate::sweep`] engine. Because every run derives its
+/// perturbations from its own `seed + i` stream and each [`Machine`] is
+/// single-threaded and deterministic, the retained runs and the mean are
+/// bit-identical to [`measure`]'s regardless of scheduling. `threads == 0`
+/// selects the host's available parallelism; `threads == 1` degenerates to
+/// the serial path.
+///
+/// # Errors
+///
+/// As [`measure`]; when several runs fail, the error of the
+/// lowest-numbered failing run is returned (every run is attempted).
+// Cold failure path; the error's diagnostic snapshot dominates its size.
+#[allow(clippy::result_large_err)]
+pub fn measure_parallel(
+    cfg: &MachineConfig,
+    meth: &Methodology,
+    threads: usize,
+    build: impl Fn() -> (Vec<Program>, GuestMem) + Sync,
+) -> Result<MultiRun, SimError> {
+    meth.validate()?;
+    let runs: Vec<usize> = (0..meth.runs).collect();
+    let results = sweep::run_cells(&runs, threads, |_, &run| {
+        let (programs, mem) = build();
+        meth.run_single(cfg, run, programs, mem)
+    });
+    let results: Result<Vec<RunResult>, SimError> = results.into_iter().collect();
+    meth.summarize(results?)
 }
 
 #[cfg(test)]
@@ -117,5 +215,65 @@ mod tests {
         // Sorted fastest-first.
         assert!(mr.runs.windows(2).all(|w| w[0].cycles <= w[1].cycles));
         assert!(mr.representative().cycles <= mr.runs.last().unwrap().cycles);
+    }
+
+    #[test]
+    fn zero_runs_and_drop_all_are_structured_errors() {
+        let cfg = crate::presets::tiny_machine();
+        for (runs, drop_slowest) in [(0, 0), (3, 3), (2, 5)] {
+            let meth = Methodology { runs, drop_slowest, ..Default::default() };
+            let err = measure(&cfg, &meth, || (vec![counter(5)], GuestMem::new(1 << 12)))
+                .expect_err("must reject");
+            assert_eq!(err, SimError::InvalidMethodology { runs, drop_slowest });
+            let err = measure_parallel(&cfg, &meth, 2, || {
+                (vec![counter(5)], GuestMem::new(1 << 12))
+            })
+            .expect_err("parallel path must reject identically");
+            assert_eq!(err, SimError::InvalidMethodology { runs, drop_slowest });
+        }
+    }
+
+    #[test]
+    fn per_run_streams_differ_even_for_seeds_differing_in_bit0() {
+        // Regression: the old implementation threaded one xorshift stream
+        // seeded `seed | 1`, so seeds differing only in bit 0 produced
+        // identical perturbations and run i was not replayable from
+        // `seed + i` as documented.
+        let even = Methodology { seed: 0x1000, max_offset: 2000, ..Default::default() };
+        let odd = Methodology { seed: 0x1001, ..even };
+        assert_ne!(
+            even.run_offsets(0, 8),
+            odd.run_offsets(0, 8),
+            "seeds differing in bit 0 must perturb differently"
+        );
+        // Runs draw from disjoint streams...
+        assert_ne!(even.run_offsets(0, 8), even.run_offsets(1, 8));
+        // ...and run i of seed s equals run 0 of seed s+i (replay-by-seed).
+        let shifted = Methodology { seed: 0x1003, ..even };
+        assert_eq!(even.run_offsets(3, 8), shifted.run_offsets(0, 8));
+        // Offsets respect the configured bound.
+        assert!(even.run_offsets(0, 64).iter().all(|&o| o <= even.max_offset));
+    }
+
+    #[test]
+    fn parallel_measure_matches_serial_bitwise() {
+        let cfg = crate::presets::tiny_machine();
+        let meth = Methodology {
+            runs: 4,
+            drop_slowest: 1,
+            max_offset: 200,
+            max_cycles: 5_000_000,
+            ..Default::default()
+        };
+        let build = || (vec![counter(20); 2], GuestMem::new(1 << 16));
+        let serial = measure(&cfg, &meth, build).expect("serial completes");
+        let parallel = measure_parallel(&cfg, &meth, 4, build).expect("parallel completes");
+        assert_eq!(serial.mean_cycles, parallel.mean_cycles);
+        assert_eq!(serial.runs.len(), parallel.runs.len());
+        for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.per_core, p.per_core);
+            assert_eq!(s.mem, p.mem);
+        }
     }
 }

@@ -490,6 +490,46 @@ pub fn atomic_intensive() -> Vec<WorkloadSpec> {
     all().into_iter().filter(|s| s.atomic_intensive).collect()
 }
 
+/// Every workload name, in the paper's presentation order — the sweep
+/// engine's cell-enumeration axis.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|s| s.name).collect()
+}
+
+/// A workload selection named something the suite does not contain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload {:?}; the suite contains: {}",
+            self.name,
+            names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Resolves an explicit selection in the order given, erroring on the
+/// first unknown name. Sweeps use this instead of silent filtering so a
+/// typo fails the cell enumeration loudly rather than shrinking the grid.
+///
+/// # Errors
+///
+/// [`UnknownWorkload`] naming the first selection the suite lacks.
+pub fn select(selection: &[&str]) -> Result<Vec<WorkloadSpec>, UnknownWorkload> {
+    selection
+        .iter()
+        .map(|&name| by_name(name).ok_or_else(|| UnknownWorkload { name: name.to_string() }))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,5 +563,17 @@ mod tests {
         let names: Vec<&str> = all().iter().map(|s| s.name).collect();
         assert_eq!(&names[..5], &["watersp", "blackscholes", "waternsq", "freqmine", "facesim"]);
         assert_eq!(names[25], "canneal");
+        assert_eq!(super::names(), names);
+    }
+
+    #[test]
+    fn select_resolves_in_order_and_rejects_unknowns() {
+        let picked = select(&["canneal", "fft"]).expect("both exist");
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].name, "canneal");
+        assert_eq!(picked[1].name, "fft");
+        let err = select(&["fft", "nonesuch"]).expect_err("typo must fail loudly");
+        assert_eq!(err.name, "nonesuch");
+        assert!(err.to_string().contains("canneal"), "error lists valid names");
     }
 }
