@@ -17,3 +17,12 @@ FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
     cargo run -q --release -p fa-bench --bin sweep
 grep -q '"schema": "fa-sweep-v1"' target/BENCH_sweep.json
 grep -c '"kernel":' target/BENCH_sweep.json | grep -qx 4
+# Network-sensitivity smoke: ideal vs contended crossbar on one kernel.
+# Contended rows must carry the per-link `net` stats block.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=PC \
+    FA_PRESETS=tiny FA_BENCH_JSON=target/BENCH_fig16.json \
+    cargo run -q --release -p fa-bench --bin fig16_network_sensitivity
+grep -q '"schema": "fa-sweep-v1"' target/BENCH_fig16.json
+grep -q '"net":{"policy":"contended"' target/BENCH_fig16.json
+grep -q '"queue_hist":\[' target/BENCH_fig16.json
+grep -q '"req_util":\[' target/BENCH_fig16.json

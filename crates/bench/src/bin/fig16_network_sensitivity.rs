@@ -1,0 +1,14 @@
+//! Regenerates **Figure 16**: network sensitivity of the Free-atomics
+//! speedup — fenced baseline vs FreeAtomics+Fwd under the ideal crossbar
+//! and the contended crossbar at link bandwidth 1/2/4 flits/cycle, with
+//! per-link utilization and queue-depth detail. Runs on the parallel sweep
+//! engine (`FA_THREADS`) and writes the merged `BENCH_sweep.json`.
+
+fn main() {
+    if let Err(e) =
+        fa_bench::figures::fig16_network_sensitivity(&fa_bench::BenchOpts::from_env())
+    {
+        eprintln!("fig16_network_sensitivity failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -16,54 +16,23 @@
 //! different `FA_THREADS` must reproduce them byte-for-byte; only the
 //! timing block changes.
 
-use fa_bench::sweep::{grid, run_grid, Preset, SweepReport, SweepRow};
+use fa_bench::sweep::{
+    grid, policies_from_env, presets_from_env, run_grid, SweepReport, SweepRow,
+};
 use fa_bench::{row, BenchOpts};
-use fa_core::AtomicPolicy;
-
-fn policies() -> Vec<AtomicPolicy> {
-    match std::env::var("FA_POLICIES") {
-        Ok(list) => list
-            .split(',')
-            .map(str::trim)
-            .map(|name| {
-                AtomicPolicy::ALL
-                    .into_iter()
-                    .find(|p| p.label() == name)
-                    .unwrap_or_else(|| {
-                        let known: Vec<_> = AtomicPolicy::ALL.iter().map(|p| p.label()).collect();
-                        panic!("FA_POLICIES: unknown policy {name:?} (known: {known:?})")
-                    })
-            })
-            .collect(),
-        Err(_) => AtomicPolicy::ALL.to_vec(),
-    }
-}
-
-fn presets() -> Vec<Preset> {
-    match std::env::var("FA_PRESETS") {
-        Ok(list) => list
-            .split(',')
-            .map(str::trim)
-            .map(|name| {
-                Preset::by_name(name)
-                    .unwrap_or_else(|| panic!("FA_PRESETS: unknown preset {name:?}"))
-            })
-            .collect(),
-        Err(_) => vec![Preset::Icelake],
-    }
-}
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let cells = grid(&opts.workloads(), &policies(), &presets());
+    let cells = grid(&opts.workloads(), &policies_from_env(), &presets_from_env());
     println!(
-        "# sweep: {} cells (cores={}, scale={}, runs={}, drop={}, threads={})",
+        "# sweep: {} cells (cores={}, scale={}, runs={}, drop={}, threads={}, noc={})",
         cells.len(),
         opts.cores,
         opts.scale,
         opts.runs,
         opts.drop_slowest,
-        opts.threads
+        opts.threads,
+        opts.noc.policy.name()
     );
     let (results, timing) = match run_grid(&opts, &cells) {
         Ok(r) => r,

@@ -9,13 +9,15 @@
 //! the parallel sweep engine and the figure-14/15 drivers emit the
 //! `BENCH_sweep.json` throughput report.
 
-use crate::sweep::{grid, run_grid, CellResult, Preset, SweepReport};
+use crate::sweep::{grid, presets_from_env, run_grid, CellResult, Preset, SweepReport};
 use crate::{fmt, mean, row, run_once_checked, BenchOpts};
 use fa_core::AtomicPolicy;
+use fa_mem::NocConfig;
 use fa_sim::energy::EnergyModel;
 use fa_sim::error::SimError;
 use fa_sim::machine::RunResult;
 use fa_sim::presets::{icelake_like, skylake_like};
+use fa_sim::sweep::SweepTiming;
 
 fn agg(r: &RunResult) -> fa_core::CoreStats {
     r.aggregate()
@@ -305,6 +307,105 @@ pub fn fig14_exec_time(opts: &BenchOpts) -> Result<(), Box<SimError>> {
         full * 100.0,
         ai * 100.0
     );
+    emit_report(&report);
+    Ok(())
+}
+
+/// **Figure 16** — network sensitivity: fenced baseline vs FreeAtomics+Fwd
+/// across interconnect models — the ideal fixed-latency crossbar and the
+/// contended crossbar at link bandwidth 1, 2 and 4 flits/cycle. The paper
+/// evaluates on a fixed network; this sweep checks that the Free-atomics
+/// speedup survives (and how it shifts) when coherence traffic has to queue
+/// for links. Per-point network detail (link utilization, queue depth,
+/// grant latency) comes straight from the NoC stats of the representative
+/// FreeAtomics+Fwd run. Emits every `(noc, kernel, policy, preset)` row
+/// into one merged `BENCH_sweep.json` report; contended rows carry the
+/// `net` block.
+///
+/// # Errors
+///
+/// The first failed `(cell, run)` job of any grid point.
+pub fn fig16_network_sensitivity(opts: &BenchOpts) -> Result<(), Box<SimError>> {
+    println!("\n## Figure 16 — network sensitivity (speedup of FreeAtomics+Fwd)\n");
+    let points: [(&str, NocConfig); 4] = [
+        ("ideal", NocConfig::default()),
+        ("bw=1", NocConfig::contended(1)),
+        ("bw=2", NocConfig::contended(2)),
+        ("bw=4", NocConfig::contended(4)),
+    ];
+    let policies = [AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd];
+    let workloads = opts.workloads();
+    let presets = presets_from_env();
+    let cells = grid(&workloads, &policies, &presets);
+    println!(
+        "{}",
+        row(&[
+            "noc".into(),
+            "workload".into(),
+            "preset".into(),
+            "baseline".into(),
+            "free".into(),
+            "speedup".into(),
+            "max util".into(),
+            "max queue".into(),
+            "grant lat".into(),
+        ])
+    );
+    let mut all = Vec::new();
+    let mut detail = Vec::new();
+    let mut total = SweepTiming {
+        cells: 0,
+        threads: 0,
+        wall: std::time::Duration::ZERO,
+        sim_cycles: 0,
+        sim_instructions: 0,
+    };
+    for (label, noc) in points {
+        let p_opts = BenchOpts { noc, ..*opts };
+        let (results, t) = run_grid(&p_opts, &cells)?;
+        total.cells += t.cells;
+        total.threads = t.threads;
+        total.wall += t.wall;
+        total.sim_cycles += t.sim_cycles;
+        total.sim_instructions += t.sim_instructions;
+        // Grid order is (workload, policy, preset) row-major: within one
+        // workload chunk, cell `policy * presets + preset`.
+        for wchunk in results.chunks(policies.len() * presets.len()) {
+            for (pi, preset) in presets.iter().enumerate() {
+                let base = &wchunk[pi];
+                let free = &wchunk[presets.len() + pi];
+                let ns = &free.summary.representative().mem.noc;
+                let contended = ns.policy == fa_mem::XbarPolicy::Contended;
+                println!(
+                    "{}",
+                    row(&[
+                        label.into(),
+                        base.cell.workload.name.into(),
+                        preset.name().into(),
+                        fmt(base.summary.mean_cycles, 1),
+                        fmt(free.summary.mean_cycles, 1),
+                        fmt(base.summary.mean_cycles / free.summary.mean_cycles, 3),
+                        if contended { fmt(ns.max_link_utilization(), 3) } else { "-".into() },
+                        if contended { ns.max_queue().to_string() } else { "-".into() },
+                        fmt(ns.avg_grant_latency(), 1),
+                    ])
+                );
+                if contended {
+                    detail.push(format!(
+                        "{label} {}/{}: {ns}",
+                        base.cell.workload.name,
+                        preset.name()
+                    ));
+                }
+            }
+        }
+        all.extend(results);
+    }
+    println!("\nnetwork detail (representative FreeAtomics+Fwd runs):");
+    for line in &detail {
+        println!("  {line}");
+    }
+    let report = SweepReport::new("fig16_network_sensitivity", opts, &all, total);
     emit_report(&report);
     Ok(())
 }

@@ -15,12 +15,14 @@
 //! | `FA_DROP` | 1 | slowest runs dropped |
 //! | `FA_THREADS` | 0 | sweep worker threads (0 = host parallelism) |
 //! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
+//! | `FA_NOC` | `ideal` | interconnect: `ideal`, `contended`, or `contended:<bw>` |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
 
 pub mod figures;
 pub mod sweep;
 
 use fa_core::AtomicPolicy;
+use fa_mem::NocConfig;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{measure_parallel, Methodology, MultiRun};
@@ -42,11 +44,23 @@ pub struct BenchOpts {
     /// Sweep worker threads (0 = host parallelism). Results are
     /// bit-identical at any value; this only trades wall clock.
     pub threads: usize,
+    /// Interconnect model (`FA_NOC`), applied to every driver run —
+    /// grid sweeps and single-run bins alike. The default ideal crossbar
+    /// reproduces the historical fixed-latency numbers bit-for-bit.
+    pub noc: NocConfig,
 }
 
 impl Default for BenchOpts {
     fn default() -> BenchOpts {
-        BenchOpts { cores: 8, scale: 0.25, runs: 3, drop_slowest: 1, seed: 0xF00D, threads: 0 }
+        BenchOpts {
+            cores: 8,
+            scale: 0.25,
+            runs: 3,
+            drop_slowest: 1,
+            seed: 0xF00D,
+            threads: 0,
+            noc: NocConfig::default(),
+        }
     }
 }
 
@@ -68,6 +82,11 @@ impl BenchOpts {
         }
         if let Ok(v) = std::env::var("FA_THREADS") {
             o.threads = v.parse().expect("FA_THREADS must be a number");
+        }
+        if let Ok(v) = std::env::var("FA_NOC") {
+            o.noc = parse_noc(&v).unwrap_or_else(|| {
+                panic!("FA_NOC must be `ideal`, `contended`, or `contended:<bw>`, got {v:?}")
+            });
         }
         o
     }
@@ -105,6 +124,19 @@ impl BenchOpts {
     }
 }
 
+/// Parses an `FA_NOC` value: `ideal`, `contended` (default bandwidth), or
+/// `contended:<bw>` with `<bw>` in flits/cycle.
+fn parse_noc(v: &str) -> Option<NocConfig> {
+    match v.trim() {
+        "ideal" => Some(NocConfig::default()),
+        "contended" => Some(NocConfig::contended(NocConfig::default().link_bw)),
+        other => {
+            let bw = other.strip_prefix("contended:")?.parse().ok()?;
+            Some(NocConfig::contended(bw))
+        }
+    }
+}
+
 /// Runs `spec` under `policy` with the multi-run methodology, the
 /// independent runs fanned across `opts.threads` sweep workers.
 ///
@@ -120,6 +152,7 @@ pub fn try_run_workload(
 ) -> Result<MultiRun, Box<SimError>> {
     let mut cfg = base.clone();
     cfg.core.policy = policy;
+    cfg.mem.noc = opts.noc;
     let params = opts.params();
     measure_parallel(&cfg, &opts.methodology(), opts.threads, || {
         let w = spec.build(&params);
@@ -171,6 +204,7 @@ pub fn run_once_checked(
 ) -> Result<RunResult, Box<SimError>> {
     let mut cfg = base.clone();
     cfg.core.policy = policy;
+    cfg.mem.noc = opts.noc;
     let params = opts.params();
     let w = spec.build(&params);
     let mut m = fa_sim::Machine::new(cfg, w.programs, w.mem);
@@ -205,6 +239,20 @@ mod tests {
         let o = BenchOpts::default();
         assert_eq!(o.params().cores, 8);
         assert_eq!(o.methodology().runs, 3);
+        assert_eq!(o.noc, NocConfig::default());
+    }
+
+    #[test]
+    fn noc_env_values_parse() {
+        use fa_mem::XbarPolicy;
+        assert_eq!(parse_noc("ideal"), Some(NocConfig::default()));
+        let c = parse_noc("contended").expect("bare contended");
+        assert_eq!(c.policy, XbarPolicy::Contended);
+        assert_eq!(c.link_bw, NocConfig::default().link_bw);
+        assert_eq!(parse_noc("contended:4"), Some(NocConfig::contended(4)));
+        assert_eq!(parse_noc(" contended:1 "), Some(NocConfig::contended(1)));
+        assert_eq!(parse_noc("contended:x"), None);
+        assert_eq!(parse_noc("mesh"), None);
     }
 
     #[test]

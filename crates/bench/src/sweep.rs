@@ -15,6 +15,7 @@
 
 use crate::BenchOpts;
 use fa_core::AtomicPolicy;
+use fa_mem::{NocStats, XbarPolicy};
 use fa_sim::error::SimError;
 use fa_sim::machine::MachineConfig;
 use fa_sim::methodology::MultiRun;
@@ -59,6 +60,51 @@ impl Preset {
         [Preset::Icelake, Preset::Skylake, Preset::Tiny]
             .into_iter()
             .find(|p| p.name() == name)
+    }
+}
+
+/// The policy axis selected via `FA_POLICIES` (comma-separated
+/// [`AtomicPolicy::label`]s), or all four.
+///
+/// # Panics
+///
+/// Panics on an unknown policy label, listing the known ones.
+pub fn policies_from_env() -> Vec<AtomicPolicy> {
+    match std::env::var("FA_POLICIES") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .map(|name| {
+                AtomicPolicy::ALL
+                    .into_iter()
+                    .find(|p| p.label() == name)
+                    .unwrap_or_else(|| {
+                        let known: Vec<_> = AtomicPolicy::ALL.iter().map(|p| p.label()).collect();
+                        panic!("FA_POLICIES: unknown policy {name:?} (known: {known:?})")
+                    })
+            })
+            .collect(),
+        Err(_) => AtomicPolicy::ALL.to_vec(),
+    }
+}
+
+/// The preset axis selected via `FA_PRESETS` (comma-separated
+/// [`Preset::name`]s), or just `icelake`.
+///
+/// # Panics
+///
+/// Panics on an unknown preset name.
+pub fn presets_from_env() -> Vec<Preset> {
+    match std::env::var("FA_PRESETS") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .map(|name| {
+                Preset::by_name(name)
+                    .unwrap_or_else(|| panic!("FA_PRESETS: unknown preset {name:?}"))
+            })
+            .collect(),
+        Err(_) => vec![Preset::Icelake],
     }
 }
 
@@ -129,6 +175,7 @@ pub fn run_grid(
             let cell = &cells[ci];
             let mut cfg = cell.preset.config();
             cfg.core.policy = cell.policy;
+            cfg.mem.noc = opts.noc;
             let w = cell.workload.build(&params);
             meth.run_single(&cfg, run, w.programs, w.mem)
         },
@@ -163,12 +210,17 @@ pub struct SweepRow {
     pub rep_cycles: u64,
     /// Committed instructions of the representative run.
     pub instructions: u64,
+    /// Interconnect stats of the representative run — only populated for
+    /// the contended crossbar so historical (ideal-crossbar) rows stay
+    /// byte-identical to the pre-interconnect goldens.
+    pub net: Option<NocStats>,
 }
 
 impl SweepRow {
     /// Builds the row for one measured cell.
     pub fn from_result(runs: usize, r: &CellResult) -> SweepRow {
         let rep = r.summary.representative();
+        let noc = &rep.mem.noc;
         SweepRow {
             kernel: r.cell.workload.name.to_string(),
             policy: r.cell.policy.label().to_string(),
@@ -177,17 +229,24 @@ impl SweepRow {
             mean_cycles: r.summary.mean_cycles,
             rep_cycles: rep.cycles,
             instructions: rep.instructions(),
+            net: (noc.policy == XbarPolicy::Contended).then(|| noc.clone()),
         }
     }
 
-    /// The row as a single-line JSON object (stable field order).
+    /// The row as a single-line JSON object (stable field order; a `net`
+    /// block is appended only for contended-crossbar rows).
     pub fn json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"kernel\":\"{}\",\"policy\":\"{}\",\"preset\":\"{}\",\"runs\":{},\
-             \"mean_cycles\":{:.6},\"rep_cycles\":{},\"instructions\":{}}}",
+             \"mean_cycles\":{:.6},\"rep_cycles\":{},\"instructions\":{}",
             self.kernel, self.policy, self.preset, self.runs, self.mean_cycles,
             self.rep_cycles, self.instructions
-        )
+        );
+        if let Some(net) = &self.net {
+            let _ = write!(s, ",\"net\":{}", net.json());
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -288,6 +347,7 @@ mod tests {
             drop_slowest: 1,
             seed: 0xF00D,
             threads,
+            noc: fa_mem::NocConfig::default(),
         }
     }
 
@@ -336,6 +396,26 @@ mod tests {
         let b = SweepReport::new("test", &o, &parallel, sweep_timing_stub());
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.json(), b.json());
+    }
+
+    #[test]
+    fn contended_rows_carry_net_block_ideal_rows_do_not() {
+        let cells = small_grid()[..1].to_vec();
+        let opts = small_opts(1);
+        let (ideal, _) = run_grid(&opts, &cells).expect("ideal grid");
+        let r = SweepRow::from_result(3, &ideal[0]);
+        assert!(r.net.is_none());
+        assert!(!r.json().contains("\"net\":"), "ideal rows must match the goldens");
+
+        let copts = BenchOpts { noc: fa_mem::NocConfig::contended(2), ..opts };
+        let (contended, _) = run_grid(&copts, &cells).expect("contended grid");
+        let r = SweepRow::from_result(3, &contended[0]);
+        let net = r.net.as_ref().expect("contended rows surface network stats");
+        assert_eq!(net.policy, XbarPolicy::Contended);
+        assert!(net.net_messages > 0);
+        let j = r.json();
+        assert!(j.contains("\"net\":{\"policy\":\"contended\""), "{j}");
+        assert!(j.ends_with("}}"), "net block must close the row: {j}");
     }
 
     fn sweep_timing_stub() -> SweepTiming {

@@ -30,6 +30,13 @@
 //!
 //! Everything is driven by a seeded [`SplitMix64`] stream, so a given
 //! `(seed, config)` pair reproduces the identical cycle-level schedule.
+//!
+//! The live [`ChaosEngine`] is owned by the interconnect ([`crate::noc`]),
+//! not by `system.rs`: jitter and directory stalls perturb a message's
+//! *injection* time before bandwidth arbitration, so fault injection
+//! composes with contention on the contended crossbar, and the jitter
+//! stream is drawn in send order — which the ideal crossbar preserves
+//! exactly, keeping pre-relocation chaos runs bit-identical.
 
 use serde::{Deserialize, Serialize};
 

@@ -2,6 +2,7 @@
 
 use crate::audit::AuditConfig;
 use crate::chaos::ChaosConfig;
+use crate::noc::NocConfig;
 use serde::{Deserialize, Serialize};
 
 /// Geometry and latency parameters for the memory system.
@@ -44,6 +45,9 @@ pub struct MemConfig {
     pub mem_lat: u64,
     /// One-way network hop latency, core ↔ LLC/directory (default 8).
     pub net_lat: u64,
+    /// Interconnect model (default: ideal crossbar — fixed `net_lat`,
+    /// infinite bandwidth, bit-identical to the pre-NoC message path).
+    pub noc: NocConfig,
     /// MSHRs per private cache (default 16).
     pub mshrs: usize,
     /// Enable the L1 stride prefetcher (Table 1; default true).
@@ -73,6 +77,7 @@ impl Default for MemConfig {
             dir_lat: 5,
             mem_lat: 160,
             net_lat: 8,
+            noc: NocConfig::default(),
             mshrs: 16,
             stride_prefetch: true,
             prefetch_degree: 2,
@@ -129,5 +134,14 @@ mod tests {
         let c = MemConfig::default();
         assert!(!c.chaos.enabled);
         assert!(!c.audit.enabled);
+    }
+
+    #[test]
+    fn noc_defaults_to_ideal_crossbar() {
+        let c = MemConfig::default();
+        assert_eq!(c.noc.policy, crate::noc::XbarPolicy::Ideal);
+        let n = NocConfig::contended(0);
+        assert_eq!(n.policy, crate::noc::XbarPolicy::Contended);
+        assert_eq!(n.link_bw, 1, "bandwidth is clamped to at least one flit/cycle");
     }
 }

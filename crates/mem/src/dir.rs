@@ -13,7 +13,22 @@
 use crate::msgs::{DirMsg, DirReq, DirReqKind, L1Msg, LatClass};
 use crate::tagarray::TagArray;
 use crate::{CoreId, Cycle, Line, MemConfig};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+/// Consecutive failed allocation polls after which a request is promoted to
+/// a *rescue reservation*: the next way freed in its set is held for it
+/// alone. This is an anti-livelock valve, not a fairness policy — under
+/// exactly periodic interconnect timing, a stream of fresh requests can win
+/// every freed way forever while an older request polls every cycle. The
+/// threshold sits far above anything a forward-progressing run produces
+/// (whole golden runs accumulate < 2k waits *in total*), so normal timing
+/// is untouched.
+const ALLOC_RESCUE_THRESHOLD: u64 = 10_000;
+
+/// Polls by *other* requests tolerated while a rescue reservation's owner
+/// is absent before the reservation is dropped. Guards against wedging a
+/// set on a reservation whose owner stopped retrying.
+const ALLOC_RESCUE_ABANDON: u64 = 4_096;
 
 /// An in-flight per-line transaction.
 #[derive(Clone, Copy, Debug)]
@@ -59,11 +74,15 @@ impl DirEntry {
     }
 }
 
-/// Actions the directory asks the system to carry out.
+/// Actions the directory asks the system to carry out. `ToL1` actions are
+/// routed onto the interconnect's response port ([`crate::noc`]): the
+/// directory decides *what* to send and the access latency (`extra`); the
+/// crossbar decides network latency, jitter and contention.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum DirAction {
-    /// Send `msg` to core `core` after `extra` cycles on top of the network
-    /// latency (the extra models directory/LLC/memory access time).
+    /// Send `msg` to core `core` after `extra` cycles of access time (the
+    /// extra models directory/LLC/memory lookup) plus whatever network
+    /// latency the interconnect charges.
     ToL1 { core: CoreId, msg: L1Msg, extra: Cycle },
     /// Re-inject a request into the directory next cycle (it is waiting for
     /// an entry allocation; the system polls it until a way frees up).
@@ -88,6 +107,17 @@ pub struct Directory {
     pub(crate) stat_downgrades_sent: u64,
     pub(crate) stat_entry_evictions: u64,
     pub(crate) stat_alloc_waits: u64,
+    pub(crate) stat_alloc_rescues: u64,
+    /// Consecutive failed allocation polls per starving request. Entries
+    /// are removed when the request allocates; keyed lookups only, so the
+    /// map never affects event ordering.
+    alloc_polls: HashMap<(CoreId, Line), u64>,
+    /// Active rescue reservation: the next way freed in this request's set
+    /// is reserved for it alone. See [`ALLOC_RESCUE_THRESHOLD`].
+    alloc_rescue: Option<(CoreId, Line)>,
+    /// Polls by other requests in the rescued set since the reservation
+    /// owner last polled.
+    rescue_absent: u64,
 }
 
 impl Directory {
@@ -105,6 +135,10 @@ impl Directory {
             stat_downgrades_sent: 0,
             stat_entry_evictions: 0,
             stat_alloc_waits: 0,
+            stat_alloc_rescues: 0,
+            alloc_polls: HashMap::new(),
+            alloc_rescue: None,
+            rescue_absent: 0,
         }
     }
 
@@ -273,11 +307,32 @@ impl Directory {
     /// [`DirAction::Redispatch`], which the system replays next cycle —
     /// polling until an inclusion eviction frees a way.
     fn try_allocate(&mut self, req: DirReq, out: &mut Vec<DirAction>) -> Option<LatClass> {
+        let key = (req.from, req.line);
+        if let Some(rescue) = self.alloc_rescue {
+            let same_set = self.entries.set_index(rescue.1) == self.entries.set_index(req.line);
+            if same_set && rescue == key {
+                self.rescue_absent = 0;
+            } else if same_set {
+                self.rescue_absent += 1;
+                if self.rescue_absent > ALLOC_RESCUE_ABANDON {
+                    // The reservation owner stopped retrying; drop the
+                    // reservation rather than wedging the set.
+                    self.alloc_rescue = None;
+                } else {
+                    // A starved request holds a reservation on this set's
+                    // next freed way — don't compete for it.
+                    self.stat_alloc_waits += 1;
+                    out.push(DirAction::Redispatch(req));
+                    return None;
+                }
+            }
+        }
         let occupancy = self.entries.set_lines(req.line).count();
         if occupancy < self.entries.num_ways() {
             self.entries
                 .insert(req.line, DirEntry::default(), |_| true)
                 .expect("set not full");
+            self.note_alloc_success(key);
             return Some(self.llc_class(req.line));
         }
         // Full set: free an unused entry if one exists.
@@ -291,6 +346,7 @@ impl Directory {
             self.entries
                 .insert(req.line, DirEntry::default(), |_| true)
                 .expect("way just freed");
+            self.note_alloc_success(key);
             return Some(self.llc_class(req.line));
         }
         // Inclusion eviction: back-invalidate a victim's sharers, unless one
@@ -312,8 +368,24 @@ impl Directory {
             // finish — the poll below retries.
         }
         self.stat_alloc_waits += 1;
+        let polls = self.alloc_polls.entry(key).or_insert(0);
+        *polls += 1;
+        if *polls >= ALLOC_RESCUE_THRESHOLD && self.alloc_rescue.is_none() {
+            self.alloc_rescue = Some(key);
+            self.rescue_absent = 0;
+            self.stat_alloc_rescues += 1;
+        }
         out.push(DirAction::Redispatch(req));
         None
+    }
+
+    /// Clears starvation-valve state after `key` allocated its entry.
+    fn note_alloc_success(&mut self, key: (CoreId, Line)) {
+        self.alloc_polls.remove(&key);
+        if self.alloc_rescue == Some(key) {
+            self.alloc_rescue = None;
+            self.rescue_absent = 0;
+        }
     }
 
     /// Starts an inclusion eviction of `vline`: back-invalidate every
@@ -678,5 +750,57 @@ mod tests {
     fn cores_in_enumerates_mask() {
         let got: Vec<u16> = cores_in(0b1011).map(|c| c.0).collect();
         assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    /// Builds a 1-set/1-way directory where core 0 holds line 0x000 and an
+    /// eviction of it is in flight (InvAck withheld), then polls `getx(1,
+    /// 0x040)` until the starvation valve promotes it to a rescue.
+    fn starved_dir() -> (Directory, Vec<DirAction>) {
+        let mut cfg = MemConfig::tiny();
+        cfg.dir_sets = 1;
+        cfg.dir_ways = 1;
+        let mut d = Directory::new(&cfg);
+        let mut out = Vec::new();
+        d.handle(gets(0, 0x000), &mut out);
+        unblock(&mut d, 0, 0x000, &mut out);
+        for _ in 0..ALLOC_RESCUE_THRESHOLD {
+            out.clear();
+            d.handle(getx(1, 0x040), &mut out);
+        }
+        assert_eq!(d.stat_alloc_rescues, 1, "starvation threshold promotes a rescue");
+        (d, out)
+    }
+
+    #[test]
+    fn starved_allocation_is_rescued_with_a_reserved_way() {
+        let (mut d, mut out) = starved_dir();
+        // Complete the eviction; a competing request may not claim the
+        // freed way while the reservation is pending.
+        d.handle(DirMsg::InvAck { from: CoreId(0), line: 0x000 }, &mut out);
+        out.clear();
+        d.handle(getx(2, 0x080), &mut out);
+        assert!(!grants_x(&out, 2, 0x080), "reserved way leaked to a competitor");
+        assert!(out.iter().any(|a| matches!(a, DirAction::Redispatch(_))));
+        out.clear();
+        d.handle(getx(1, 0x040), &mut out);
+        assert!(grants_x(&out, 1, 0x040), "rescued request gets the reserved way");
+    }
+
+    #[test]
+    fn abandoned_rescue_reservation_is_dropped() {
+        let (mut d, mut out) = starved_dir();
+        d.handle(DirMsg::InvAck { from: CoreId(0), line: 0x000 }, &mut out);
+        // The rescued request never retries; a competitor's polls
+        // eventually clear the stale reservation and allocate.
+        let mut granted = false;
+        for _ in 0..=ALLOC_RESCUE_ABANDON + 1 {
+            out.clear();
+            d.handle(getx(2, 0x080), &mut out);
+            if grants_x(&out, 2, 0x080) {
+                granted = true;
+                break;
+            }
+        }
+        assert!(granted, "stale reservation wedged the set");
     }
 }

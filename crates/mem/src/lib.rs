@@ -2,8 +2,9 @@
 //!
 //! Models the paper's Table-1 memory system: per-core private caches (L1D
 //! backed by a private L2), a shared LLC, an **inclusive directory** with
-//! finite capacity, and a crossbar interconnect — all driven by a
-//! deterministic event wheel.
+//! finite capacity, and a pluggable crossbar interconnect ([`noc`]: ideal
+//! or bandwidth-contended) — all driven by a deterministic event wheel the
+//! interconnect owns.
 //!
 //! # Modeling approach: dataless coherence
 //!
@@ -37,6 +38,7 @@ pub mod chaos;
 pub mod config;
 pub mod dir;
 pub mod msgs;
+pub mod noc;
 pub mod prefetch;
 pub mod privcache;
 pub mod stats;
@@ -48,6 +50,7 @@ pub use audit::{AuditConfig, AuditViolation};
 pub use chaos::{ChaosConfig, SplitMix64};
 pub use config::MemConfig;
 pub use msgs::{CoreNotice, CoreResp, LatClass};
+pub use noc::{LinkStats, NocConfig, NocStats, XbarPolicy};
 pub use stats::MemStats;
 pub use system::{MemDiag, MemorySystem};
 

@@ -21,6 +21,36 @@ pub enum LatClass {
     Remote,
 }
 
+impl LatClass {
+    /// Every class, in display/index order.
+    pub const ALL: [LatClass; 5] =
+        [LatClass::L1, LatClass::L2, LatClass::Llc, LatClass::Mem, LatClass::Remote];
+
+    /// Dense index (position in [`LatClass::ALL`]) — used by the NoC
+    /// layer's per-class latency breakdown.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            LatClass::L1 => 0,
+            LatClass::L2 => 1,
+            LatClass::Llc => 2,
+            LatClass::Mem => 3,
+            LatClass::Remote => 4,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            LatClass::L1 => "l1",
+            LatClass::L2 => "l2",
+            LatClass::Llc => "llc",
+            LatClass::Mem => "mem",
+            LatClass::Remote => "remote",
+        }
+    }
+}
+
 /// Response delivered to a core's LSU.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CoreResp {
@@ -124,11 +154,16 @@ mod tests {
     #[test]
     fn latclass_is_hashable_and_comparable() {
         use std::collections::HashSet;
-        let s: HashSet<LatClass> =
-            [LatClass::L1, LatClass::L2, LatClass::Llc, LatClass::Mem, LatClass::Remote]
-                .into_iter()
-                .collect();
+        let s: HashSet<LatClass> = LatClass::ALL.into_iter().collect();
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn latclass_index_matches_all_order() {
+        for (i, c) in LatClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.name().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,762 @@
+//! The interconnect (NoC) layer: typed message delivery between the
+//! private-cache controllers, the directory/LLC and the cores.
+//!
+//! Historically `system.rs` delivered every protocol message by scheduling
+//! directly onto the event wheel with one fixed hop latency, splicing chaos
+//! jitter in at each call site. This module makes the network a first-class
+//! subsystem behind the [`Interconnect`] trait: the system hands each
+//! outbound message to its crossbar **port** ([`Interconnect::send`]) and
+//! drains deliveries with [`Interconnect::pop_due`]; the crossbar owns the
+//! event wheel, the fault-injection engine, and all latency/bandwidth
+//! modeling.
+//!
+//! Two implementations ship:
+//!
+//! - [`IdealXbar`] — infinite bandwidth, one fixed hop latency
+//!   (`net_lat`). Reproduces the pre-refactor delivery schedule exactly:
+//!   under the default configuration the whole simulator is bit-identical
+//!   to the ad-hoc path (pinned by the golden-stats test in
+//!   `crates/bench/tests/noc_golden.rs`).
+//! - [`ContendedXbar`] — finite per-link bandwidth in flits/cycle, with
+//!   per-port ingress/egress serialization and occupancy accounting, in the
+//!   spirit of the GARNET crossbar the paper's gem5 setup uses. Control
+//!   messages are one flit; grants carry a data payload
+//!   ([`NocConfig::data_flits`]).
+//!
+//! # Arbitration determinism
+//!
+//! The contended crossbar arbitrates by **arrival order**: each link keeps a
+//! busy-until horizon and serves messages in the order `send` observes them.
+//! Because `send` is only ever invoked while draining the event wheel — a
+//! min-heap keyed by `(cycle, insertion seq)` — that order is a pure
+//! function of the simulation, which makes the arbitration a deterministic
+//! round-robin keyed by `(cycle, seq)`: same configuration, same schedule,
+//! bit-identical results at any host thread count.
+//!
+//! # Chaos relocation
+//!
+//! The [`ChaosEngine`](crate::chaos::ChaosEngine) lives *inside* the
+//! interconnect: message jitter and directory-stall injection perturb the
+//! injection time of each message before bandwidth arbitration, so fault
+//! injection composes with contention (a jittered message also queues). The
+//! jitter stream is drawn in send order, which the ideal crossbar preserves
+//! exactly — chaos runs replay bit-for-bit across the refactor.
+
+use crate::chaos::ChaosEngine;
+use crate::msgs::{DirMsg, L1Msg, LatClass};
+use crate::wheel::Wheel;
+use crate::{CoreId, Cycle, Line, MemConfig};
+use fa_isa::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Which crossbar model routes protocol messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XbarPolicy {
+    /// Fixed-latency, infinite-bandwidth crossbar (the paper's baseline
+    /// network assumption and this repo's historical behavior).
+    #[default]
+    Ideal,
+    /// Finite per-link bandwidth with ingress/egress serialization.
+    Contended,
+}
+
+impl XbarPolicy {
+    /// Stable lowercase label used in JSON and summary lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            XbarPolicy::Ideal => "ideal",
+            XbarPolicy::Contended => "contended",
+        }
+    }
+}
+
+/// Interconnect configuration. The default is the ideal crossbar, which is
+/// bit-identical to the pre-NoC message path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Crossbar model.
+    pub policy: XbarPolicy,
+    /// Link bandwidth in flits/cycle (contended crossbar only; min 1).
+    pub link_bw: u64,
+    /// Flits in a data-bearing message (grants): a 64 B line over 16 B
+    /// flits plus a head flit. Control messages are always one flit.
+    pub data_flits: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> NocConfig {
+        NocConfig { policy: XbarPolicy::Ideal, link_bw: 2, data_flits: 5 }
+    }
+}
+
+impl NocConfig {
+    /// A contended crossbar with `link_bw` flits/cycle per link.
+    pub fn contended(link_bw: u64) -> NocConfig {
+        NocConfig { policy: XbarPolicy::Contended, link_bw: link_bw.max(1), ..NocConfig::default() }
+    }
+}
+
+/// Buckets of the per-link queue-occupancy histogram: depth 0..=6 plus a
+/// 7-or-deeper tail.
+pub const QUEUE_BUCKETS: usize = 8;
+
+/// Per-link counters (one physical port direction of the crossbar).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Messages serialized through this link.
+    pub messages: u64,
+    /// Flits carried.
+    pub flits: u64,
+    /// Cycles the link was occupied transmitting.
+    pub busy_cycles: u64,
+    /// Queue-occupancy histogram, sampled at each message's arrival:
+    /// `queue_hist[d]` counts arrivals that found `d` messages still in
+    /// flight ahead of them (last bucket is `QUEUE_BUCKETS - 1` or deeper).
+    pub queue_hist: [u64; QUEUE_BUCKETS],
+    /// Deepest queue any arrival observed.
+    pub max_queue: u64,
+}
+
+impl LinkStats {
+    /// Fraction of `elapsed` cycles this link spent transmitting.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        self.busy_cycles as f64 / elapsed.max(1) as f64
+    }
+}
+
+/// Network-layer statistics, surfaced through
+/// [`MemStats`](crate::stats::MemStats). All counters are zero under the
+/// ideal crossbar except the message/latency tallies.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Crossbar model that produced these counters.
+    pub policy: XbarPolicy,
+    /// Configured link bandwidth (contended only; 0 for ideal).
+    pub link_bw: u64,
+    /// Cycle the snapshot was taken (denominator for utilizations).
+    pub elapsed: Cycle,
+    /// Network messages routed (requests + directory responses) — the
+    /// energy model's message count.
+    pub net_messages: u64,
+    /// Core-local deliveries routed (read/store completion events).
+    pub local_deliveries: u64,
+    /// Grants delivered, by latency class (`LatClass::ALL` order).
+    pub class_msgs: [u64; LatClass::ALL.len()],
+    /// Total network cycles (hop + jitter + queuing + serialization) those
+    /// grants spent in flight, by latency class.
+    pub class_cycles: [u64; LatClass::ALL.len()],
+    /// Per-core request egress links (core → directory), contended only.
+    pub req_links: Vec<LinkStats>,
+    /// Per-core response ingress links (directory → core), contended only.
+    pub resp_links: Vec<LinkStats>,
+    /// The directory's shared ingress port, contended only.
+    pub dir_ingress: LinkStats,
+    /// The directory's shared egress port, contended only.
+    pub dir_egress: LinkStats,
+}
+
+impl NocStats {
+    /// Every link in a stable order: per-core request links, per-core
+    /// response links, then the directory ingress/egress ports.
+    pub fn links(&self) -> impl Iterator<Item = &LinkStats> {
+        self.req_links
+            .iter()
+            .chain(self.resp_links.iter())
+            .chain([&self.dir_ingress, &self.dir_egress])
+    }
+
+    /// Highest per-link utilization (0.0 under the ideal crossbar).
+    pub fn max_link_utilization(&self) -> f64 {
+        self.links().map(|l| l.utilization(self.elapsed)).fold(0.0, f64::max)
+    }
+
+    /// Deepest queue observed on any link.
+    pub fn max_queue(&self) -> u64 {
+        self.links().map(|l| l.max_queue).max().unwrap_or(0)
+    }
+
+    /// Queue-occupancy histogram summed over every link.
+    pub fn queue_hist(&self) -> [u64; QUEUE_BUCKETS] {
+        let mut h = [0u64; QUEUE_BUCKETS];
+        for l in self.links() {
+            for (acc, x) in h.iter_mut().zip(l.queue_hist.iter()) {
+                *acc += x;
+            }
+        }
+        h
+    }
+
+    /// Mean network latency of grant deliveries across all latency classes
+    /// (hop + jitter + queuing + serialization; excludes directory/LLC/
+    /// memory access time).
+    pub fn avg_grant_latency(&self) -> f64 {
+        let msgs: u64 = self.class_msgs.iter().sum();
+        if msgs == 0 {
+            return 0.0;
+        }
+        self.class_cycles.iter().sum::<u64>() as f64 / msgs as f64
+    }
+
+    /// Mean network latency of grants in one latency class.
+    pub fn class_latency(&self, class: LatClass) -> f64 {
+        let i = class.index();
+        if self.class_msgs[i] == 0 {
+            return 0.0;
+        }
+        self.class_cycles[i] as f64 / self.class_msgs[i] as f64
+    }
+
+    /// The stats as a single-line JSON object (stable field order). Hand-
+    /// rolled because the vendored `serde` is derive-markers only.
+    pub fn json(&self) -> String {
+        let fmt_utils = |links: &[LinkStats]| {
+            let parts: Vec<String> =
+                links.iter().map(|l| format!("{:.4}", l.utilization(self.elapsed))).collect();
+            parts.join(",")
+        };
+        let hist = self.queue_hist();
+        let hist: Vec<String> = hist.iter().map(u64::to_string).collect();
+        let class_lat: Vec<String> =
+            LatClass::ALL.iter().map(|&c| format!("{:.3}", self.class_latency(c))).collect();
+        format!(
+            "{{\"policy\":\"{}\",\"bw\":{},\"net_messages\":{},\"local_deliveries\":{},\
+             \"avg_grant_lat\":{:.3},\"class_lat\":[{}],\"max_link_util\":{:.4},\
+             \"req_util\":[{}],\"resp_util\":[{}],\"dir_in_util\":{:.4},\
+             \"dir_out_util\":{:.4},\"max_queue\":{},\"queue_hist\":[{}]}}",
+            self.policy.name(),
+            self.link_bw,
+            self.net_messages,
+            self.local_deliveries,
+            self.avg_grant_latency(),
+            class_lat.join(","),
+            self.max_link_utilization(),
+            fmt_utils(&self.req_links),
+            fmt_utils(&self.resp_links),
+            self.dir_ingress.utilization(self.elapsed),
+            self.dir_egress.utilization(self.elapsed),
+            self.max_queue(),
+            hist.join(","),
+        )
+    }
+}
+
+impl fmt::Display for NocStats {
+    /// One-line summary so sweep/figure bins can print network utilization
+    /// without JSON post-processing.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.policy {
+            XbarPolicy::Ideal => write!(
+                f,
+                "noc[ideal]: {} net msgs, {} local deliveries, avg grant net lat {:.1}",
+                self.net_messages,
+                self.local_deliveries,
+                self.avg_grant_latency()
+            ),
+            XbarPolicy::Contended => write!(
+                f,
+                "noc[contended bw={}]: {} net msgs, max link util {:.1}%, \
+                 max queue {}, avg grant net lat {:.1}",
+                self.link_bw,
+                self.net_messages,
+                self.max_link_utilization() * 100.0,
+                self.max_queue(),
+                self.avg_grant_latency()
+            ),
+        }
+    }
+}
+
+/// An event routed through the interconnect: a network message (to the
+/// directory or to a private cache) or a core-local completion delivery.
+/// Local deliveries ride the same wheel so the global `(cycle, seq)` order
+/// — and with it the chaos jitter stream — is preserved end to end.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum NocEv {
+    /// A protocol message to the directory.
+    ToDir(DirMsg),
+    /// A protocol message to a private cache controller.
+    ToL1(CoreId, L1Msg),
+    /// A read performed; deliver the response to the core.
+    ReadDone {
+        core: CoreId,
+        seq: u64,
+        addr: Addr,
+        class: LatClass,
+        had_write_perm: bool,
+        locked: bool,
+    },
+    /// Write permission obtained; deliver StoreReady to the core.
+    StoreReady { core: CoreId, seq: u64, line: Line },
+}
+
+/// The source core of a directory-bound message (its request egress port).
+fn dir_msg_src(m: &DirMsg) -> CoreId {
+    match *m {
+        DirMsg::Req(req) => req.from,
+        DirMsg::InvAck { from, .. }
+        | DirMsg::DownAck { from, .. }
+        | DirMsg::Unblock { from, .. } => from,
+    }
+}
+
+/// The latency class of a grant, if `msg` is one (grants are the
+/// data-bearing messages; invalidations and downgrades are control).
+fn grant_class(msg: &L1Msg) -> Option<LatClass> {
+    match *msg {
+        L1Msg::GrantS { class, .. } | L1Msg::GrantX { class, .. } => Some(class),
+        L1Msg::Inv { .. } | L1Msg::Downgrade { .. } => None,
+    }
+}
+
+/// A pluggable crossbar. The memory system pushes every outbound event
+/// through [`send`](Interconnect::send) and drains due deliveries with
+/// [`pop_due`](Interconnect::pop_due); the implementation decides latency,
+/// bandwidth, queuing and fault injection.
+pub(crate) trait Interconnect: fmt::Debug + Send {
+    /// Routes `ev`. `extra` is the sender-side delay already accrued before
+    /// injection: directory/LLC/memory access time for directory responses,
+    /// cache pipeline latency for local completions, zero for requests.
+    /// Network messages additionally pay hop latency, chaos jitter and (in
+    /// the contended crossbar) link serialization and queuing.
+    fn send(&mut self, now: Cycle, extra: Cycle, ev: NocEv);
+
+    /// Schedules `ev` for delivery at exactly `at` — no latency, jitter or
+    /// contention. Used for the directory's allocation-poll redispatch,
+    /// which is a local retry rather than a network message (it is neither
+    /// jittered nor counted).
+    fn send_raw(&mut self, at: Cycle, ev: NocEv);
+
+    /// Next delivery due at or before `now`, in `(cycle, seq)` order.
+    fn pop_due(&mut self, now: Cycle) -> Option<NocEv>;
+
+    /// Cycle of the earliest pending delivery.
+    fn next_at(&self) -> Option<Cycle>;
+
+    /// Deliveries still in flight.
+    fn pending(&self) -> usize;
+
+    /// The fault-injection engine (owned by the interconnect so jitter
+    /// composes with contention).
+    fn chaos(&self) -> &ChaosEngine;
+
+    /// Mutable access for the storm scheduler.
+    fn chaos_mut(&mut self) -> &mut ChaosEngine;
+
+    /// True when idle cycles can be skipped: delivery times are computed at
+    /// send time (busy-until horizons, not per-cycle arbitration), so both
+    /// crossbars are skippable unless fault injection needs per-cycle
+    /// storm checks.
+    fn fast_forwardable(&self) -> bool;
+
+    /// Statistics snapshot at cycle `now`.
+    fn stats(&self, now: Cycle) -> NocStats;
+}
+
+/// Builds the crossbar `cfg` selects, seeding it with `chaos`.
+pub(crate) fn build(cfg: &MemConfig, n_cores: usize, chaos: ChaosEngine) -> Box<dyn Interconnect> {
+    match cfg.noc.policy {
+        XbarPolicy::Ideal => Box::new(IdealXbar::new(cfg.net_lat, chaos)),
+        XbarPolicy::Contended => Box::new(ContendedXbar::new(cfg, n_cores, chaos)),
+    }
+}
+
+/// Fixed-latency, infinite-bandwidth crossbar: every network message takes
+/// exactly `net_lat` (plus chaos jitter), local deliveries take their
+/// sender-side delay. Bit-identical to the pre-NoC delivery schedule.
+#[derive(Debug)]
+pub(crate) struct IdealXbar {
+    net_lat: Cycle,
+    wheel: Wheel<NocEv>,
+    chaos: ChaosEngine,
+    net_messages: u64,
+    local_deliveries: u64,
+    class_msgs: [u64; LatClass::ALL.len()],
+    class_cycles: [u64; LatClass::ALL.len()],
+}
+
+impl IdealXbar {
+    pub(crate) fn new(net_lat: Cycle, chaos: ChaosEngine) -> IdealXbar {
+        IdealXbar {
+            net_lat,
+            wheel: Wheel::new(),
+            chaos,
+            net_messages: 0,
+            local_deliveries: 0,
+            class_msgs: [0; LatClass::ALL.len()],
+            class_cycles: [0; LatClass::ALL.len()],
+        }
+    }
+}
+
+impl Interconnect for IdealXbar {
+    fn send(&mut self, now: Cycle, extra: Cycle, ev: NocEv) {
+        match ev {
+            NocEv::ToDir(_) => {
+                self.net_messages += 1;
+                let jitter = self.chaos.event_jitter();
+                self.wheel.schedule(now + extra + self.net_lat + jitter, ev);
+            }
+            NocEv::ToL1(_, msg) => {
+                self.net_messages += 1;
+                let jitter = self.chaos.dir_response_jitter();
+                if let Some(class) = grant_class(&msg) {
+                    self.class_msgs[class.index()] += 1;
+                    self.class_cycles[class.index()] += self.net_lat + jitter;
+                }
+                self.wheel.schedule(now + extra + self.net_lat + jitter, ev);
+            }
+            NocEv::ReadDone { .. } | NocEv::StoreReady { .. } => {
+                self.local_deliveries += 1;
+                let jitter = self.chaos.event_jitter();
+                self.wheel.schedule(now + extra + jitter, ev);
+            }
+        }
+    }
+
+    fn send_raw(&mut self, at: Cycle, ev: NocEv) {
+        self.wheel.schedule(at, ev);
+    }
+
+    fn pop_due(&mut self, now: Cycle) -> Option<NocEv> {
+        self.wheel.pop_due(now)
+    }
+
+    fn next_at(&self) -> Option<Cycle> {
+        self.wheel.next_at()
+    }
+
+    fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    fn chaos(&self) -> &ChaosEngine {
+        &self.chaos
+    }
+
+    fn chaos_mut(&mut self) -> &mut ChaosEngine {
+        &mut self.chaos
+    }
+
+    fn fast_forwardable(&self) -> bool {
+        !self.chaos.enabled()
+    }
+
+    fn stats(&self, now: Cycle) -> NocStats {
+        NocStats {
+            policy: XbarPolicy::Ideal,
+            link_bw: 0,
+            elapsed: now,
+            net_messages: self.net_messages,
+            local_deliveries: self.local_deliveries,
+            class_msgs: self.class_msgs,
+            class_cycles: self.class_cycles,
+            ..NocStats::default()
+        }
+    }
+}
+
+/// One direction of one crossbar port: a busy-until horizon plus occupancy
+/// accounting. Messages are served in arrival (`(cycle, seq)`) order.
+#[derive(Debug, Default)]
+struct Link {
+    busy_until: Cycle,
+    /// Completion times of messages accepted but possibly not yet clear,
+    /// pruned lazily — its length at arrival is the queue-depth sample.
+    inflight: VecDeque<Cycle>,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Serializes a `flits`-flit message through the link no earlier than
+    /// `ready`, at `bw` flits/cycle. Returns the cycle the last flit
+    /// clears.
+    fn transmit(&mut self, ready: Cycle, flits: u64, bw: u64) -> Cycle {
+        while self.inflight.front().is_some_and(|&t| t <= ready) {
+            self.inflight.pop_front();
+        }
+        let depth = self.inflight.len() as u64;
+        self.stats.queue_hist[(depth as usize).min(QUEUE_BUCKETS - 1)] += 1;
+        self.stats.max_queue = self.stats.max_queue.max(depth);
+        let start = self.busy_until.max(ready);
+        let ser = flits.div_ceil(bw.max(1)).max(1);
+        self.busy_until = start + ser;
+        self.inflight.push_back(self.busy_until);
+        self.stats.messages += 1;
+        self.stats.flits += flits;
+        self.stats.busy_cycles += ser;
+        self.busy_until
+    }
+}
+
+/// Flits in a control message (requests, acks, invalidations, downgrades).
+const CTRL_FLITS: u64 = 1;
+
+/// Finite-bandwidth crossbar. Each core owns a request egress link toward
+/// the directory and a response ingress link from it; the directory owns a
+/// shared ingress port and a shared egress port. A message serializes
+/// through its source link, crosses the hop (`net_lat`), then serializes
+/// through its destination port — so both endpoint bandwidth and the
+/// directory's shared ports are contention points, as in a GARNET-style
+/// crossbar. Chaos jitter perturbs the injection time before arbitration.
+#[derive(Debug)]
+pub(crate) struct ContendedXbar {
+    net_lat: Cycle,
+    bw: u64,
+    data_flits: u64,
+    wheel: Wheel<NocEv>,
+    chaos: ChaosEngine,
+    net_messages: u64,
+    local_deliveries: u64,
+    class_msgs: [u64; LatClass::ALL.len()],
+    class_cycles: [u64; LatClass::ALL.len()],
+    req_links: Vec<Link>,
+    resp_links: Vec<Link>,
+    dir_in: Link,
+    dir_out: Link,
+}
+
+impl ContendedXbar {
+    pub(crate) fn new(cfg: &MemConfig, n_cores: usize, chaos: ChaosEngine) -> ContendedXbar {
+        ContendedXbar {
+            net_lat: cfg.net_lat,
+            bw: cfg.noc.link_bw.max(1),
+            data_flits: cfg.noc.data_flits.max(1),
+            wheel: Wheel::new(),
+            chaos,
+            net_messages: 0,
+            local_deliveries: 0,
+            class_msgs: [0; LatClass::ALL.len()],
+            class_cycles: [0; LatClass::ALL.len()],
+            req_links: (0..n_cores).map(|_| Link::default()).collect(),
+            resp_links: (0..n_cores).map(|_| Link::default()).collect(),
+            dir_in: Link::default(),
+            dir_out: Link::default(),
+        }
+    }
+}
+
+impl Interconnect for ContendedXbar {
+    fn send(&mut self, now: Cycle, extra: Cycle, ev: NocEv) {
+        match ev {
+            NocEv::ToDir(ref m) => {
+                self.net_messages += 1;
+                // Same rng call as the ideal path keeps the chaos stream
+                // aligned across crossbar models.
+                let jitter = self.chaos.event_jitter();
+                let src = dir_msg_src(m).index();
+                let inject = now + extra + jitter;
+                let sent = self.req_links[src].transmit(inject, CTRL_FLITS, self.bw);
+                let at = self.dir_in.transmit(sent + self.net_lat, CTRL_FLITS, self.bw);
+                self.wheel.schedule(at, ev);
+            }
+            NocEv::ToL1(core, msg) => {
+                self.net_messages += 1;
+                let jitter = self.chaos.dir_response_jitter();
+                let flits =
+                    if grant_class(&msg).is_some() { self.data_flits } else { CTRL_FLITS };
+                let inject = now + extra + jitter;
+                let sent = self.dir_out.transmit(inject, flits, self.bw);
+                let at = self.resp_links[core.index()].transmit(sent + self.net_lat, flits, self.bw);
+                if let Some(class) = grant_class(&msg) {
+                    self.class_msgs[class.index()] += 1;
+                    self.class_cycles[class.index()] += at - (now + extra);
+                }
+                self.wheel.schedule(at, ev);
+            }
+            NocEv::ReadDone { .. } | NocEv::StoreReady { .. } => {
+                self.local_deliveries += 1;
+                let jitter = self.chaos.event_jitter();
+                self.wheel.schedule(now + extra + jitter, ev);
+            }
+        }
+    }
+
+    fn send_raw(&mut self, at: Cycle, ev: NocEv) {
+        self.wheel.schedule(at, ev);
+    }
+
+    fn pop_due(&mut self, now: Cycle) -> Option<NocEv> {
+        self.wheel.pop_due(now)
+    }
+
+    fn next_at(&self) -> Option<Cycle> {
+        self.wheel.next_at()
+    }
+
+    fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    fn chaos(&self) -> &ChaosEngine {
+        &self.chaos
+    }
+
+    fn chaos_mut(&mut self) -> &mut ChaosEngine {
+        &mut self.chaos
+    }
+
+    fn fast_forwardable(&self) -> bool {
+        // Busy-until horizons are event-driven; only per-cycle storm
+        // scheduling forbids skipping idle spans.
+        !self.chaos.enabled()
+    }
+
+    fn stats(&self, now: Cycle) -> NocStats {
+        NocStats {
+            policy: XbarPolicy::Contended,
+            link_bw: self.bw,
+            elapsed: now,
+            net_messages: self.net_messages,
+            local_deliveries: self.local_deliveries,
+            class_msgs: self.class_msgs,
+            class_cycles: self.class_cycles,
+            req_links: self.req_links.iter().map(|l| l.stats.clone()).collect(),
+            resp_links: self.resp_links.iter().map(|l| l.stats.clone()).collect(),
+            dir_ingress: self.dir_in.stats.clone(),
+            dir_egress: self.dir_out.stats.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosConfig;
+    use crate::msgs::{DirReq, DirReqKind};
+
+    fn quiet_chaos() -> ChaosEngine {
+        ChaosEngine::new(ChaosConfig::default())
+    }
+
+    fn req(from: u16) -> NocEv {
+        NocEv::ToDir(DirMsg::Req(DirReq { from: CoreId(from), line: 0x100, kind: DirReqKind::GetS }))
+    }
+
+    fn grant(core: u16, class: LatClass) -> NocEv {
+        NocEv::ToL1(CoreId(core), L1Msg::GrantS { line: 0x100, class })
+    }
+
+    fn drain_times(x: &mut dyn Interconnect, horizon: Cycle) -> Vec<Cycle> {
+        let mut out = Vec::new();
+        for t in 0..=horizon {
+            while x.pop_due(t).is_some() {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ideal_xbar_delivers_at_fixed_latency() {
+        let mut x = IdealXbar::new(8, quiet_chaos());
+        x.send(10, 0, req(0));
+        x.send(10, 5, grant(0, LatClass::Mem));
+        assert_eq!(x.next_at(), Some(18));
+        assert_eq!(drain_times(&mut x, 100), vec![18, 23]);
+        let s = x.stats(100);
+        assert_eq!(s.net_messages, 2);
+        assert_eq!(s.class_msgs[LatClass::Mem.index()], 1);
+        // Network latency excludes the sender-side `extra`.
+        assert_eq!(s.class_cycles[LatClass::Mem.index()], 8);
+        assert_eq!(s.max_link_utilization(), 0.0);
+    }
+
+    #[test]
+    fn contended_xbar_serializes_on_shared_dir_port() {
+        let cfg = MemConfig { noc: NocConfig::contended(1), ..MemConfig::default() };
+        let mut x = ContendedXbar::new(&cfg, 4, quiet_chaos());
+        // Four requests from different cores in the same cycle: egress
+        // links are disjoint, but the directory ingress port serializes.
+        for c in 0..4 {
+            x.send(0, 0, req(c));
+        }
+        let times = drain_times(&mut x, 200);
+        assert_eq!(times.len(), 4);
+        assert!(times.windows(2).all(|w| w[1] > w[0]), "dir ingress must serialize: {times:?}");
+        let s = x.stats(times[3]);
+        assert_eq!(s.dir_ingress.messages, 4);
+        assert!(s.dir_ingress.queue_hist[1..].iter().sum::<u64>() > 0, "arrivals must queue");
+        assert!(s.max_queue() >= 1);
+        assert!(s.max_link_utilization() > 0.0);
+    }
+
+    #[test]
+    fn contended_grants_pay_data_serialization() {
+        let cfg = MemConfig { noc: NocConfig::contended(1), ..MemConfig::default() };
+        let mut x = ContendedXbar::new(&cfg, 2, quiet_chaos());
+        x.send(0, 0, grant(0, LatClass::Llc));
+        // One 5-flit grant at 1 flit/cycle: 5 (egress) + 8 (hop) + 5
+        // (ingress) = cycle 18.
+        assert_eq!(x.next_at(), Some(18));
+        let s = x.stats(18);
+        assert_eq!(s.class_msgs[LatClass::Llc.index()], 1);
+        assert_eq!(s.class_cycles[LatClass::Llc.index()], 18);
+        assert_eq!(s.dir_egress.flits, 5);
+        assert!(s.avg_grant_latency() > 8.0);
+    }
+
+    #[test]
+    fn wider_links_deliver_sooner() {
+        let narrow = MemConfig { noc: NocConfig::contended(1), ..MemConfig::default() };
+        let wide = MemConfig { noc: NocConfig::contended(4), ..MemConfig::default() };
+        let mut xn = ContendedXbar::new(&narrow, 2, quiet_chaos());
+        let mut xw = ContendedXbar::new(&wide, 2, quiet_chaos());
+        for x in [&mut xn as &mut dyn Interconnect, &mut xw] {
+            x.send(0, 0, grant(0, LatClass::Mem));
+            x.send(0, 0, grant(1, LatClass::Mem));
+        }
+        let (tn, tw) = (drain_times(&mut xn, 300), drain_times(&mut xw, 300));
+        assert!(tw.last() < tn.last(), "bw=4 must finish before bw=1: {tw:?} vs {tn:?}");
+    }
+
+    #[test]
+    fn same_sends_same_schedule_and_stats() {
+        let cfg = MemConfig { noc: NocConfig::contended(2), ..MemConfig::default() };
+        let mk = || {
+            let mut x =
+                ContendedXbar::new(&cfg, 2, ChaosEngine::new(ChaosConfig::stress(77)));
+            for i in 0..20u16 {
+                x.send(i as u64, (i % 3) as u64, req(i % 2));
+                x.send(i as u64, 2, grant(i % 2, LatClass::Remote));
+            }
+            (drain_times(&mut x, 2000), x.stats(2000))
+        };
+        let (ta, sa) = mk();
+        let (tb, sb) = mk();
+        assert_eq!(ta, tb, "delivery schedule must be deterministic");
+        assert_eq!(sa, sb, "stats must be deterministic");
+        assert!(sa.net_messages == 40);
+    }
+
+    #[test]
+    fn redispatch_bypasses_latency_and_counters() {
+        for x in [
+            &mut IdealXbar::new(8, quiet_chaos()) as &mut dyn Interconnect,
+            &mut ContendedXbar::new(&MemConfig::default(), 1, quiet_chaos()),
+        ] {
+            x.send_raw(7, req(0));
+            assert_eq!(x.next_at(), Some(7));
+            assert_eq!(x.stats(10).net_messages, 0, "redispatch is not a network message");
+        }
+    }
+
+    #[test]
+    fn stats_json_and_display_shape() {
+        let cfg = MemConfig { noc: NocConfig::contended(2), ..MemConfig::default() };
+        let mut x = ContendedXbar::new(&cfg, 2, quiet_chaos());
+        x.send(0, 0, req(0));
+        x.send(0, 0, grant(1, LatClass::Mem));
+        let s = x.stats(50);
+        let j = s.json();
+        assert!(j.starts_with("{\"policy\":\"contended\",\"bw\":2,"), "got {j}");
+        for key in ["\"req_util\":[", "\"resp_util\":[", "\"queue_hist\":[", "\"max_queue\":"] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(s.to_string().starts_with("noc[contended bw=2]:"));
+        let ideal = IdealXbar::new(8, quiet_chaos()).stats(10);
+        assert!(ideal.to_string().starts_with("noc[ideal]:"));
+        assert!(ideal.json().starts_with("{\"policy\":\"ideal\","));
+    }
+}

@@ -68,7 +68,10 @@ pub(crate) struct StalledFill {
 
 /// Actions the controller asks the system to carry out (scheduling events,
 /// delivering notices). Returned instead of taken directly to keep borrows
-/// simple and the controller unit-testable.
+/// simple and the controller unit-testable. The system routes `ToDir` onto
+/// this core's request egress port and completion events onto its local
+/// delivery port (see [`crate::noc`]); the controller itself stays
+/// network-agnostic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Action {
     /// Deliver a read response to the core after `delay` cycles.

@@ -2,6 +2,7 @@
 
 use crate::audit::AuditStats;
 use crate::chaos::ChaosStats;
+use crate::noc::NocStats;
 use crate::Cycle;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,9 @@ pub struct DirStats {
     pub entry_evictions: u64,
     /// Requests that waited for a directory way to free up.
     pub alloc_waits: u64,
+    /// Starved requests promoted to a rescue reservation (anti-livelock
+    /// valve; nonzero only under pathological allocation thrashing).
+    pub alloc_rescues: u64,
 }
 
 /// Aggregated memory-system statistics.
@@ -59,8 +63,13 @@ pub struct MemStats {
     pub cores: Vec<CoreMemStats>,
     /// Directory counters.
     pub dir: DirStats,
-    /// Total protocol messages delivered (for the energy model).
+    /// Total protocol messages delivered (for the energy model). Mirrors
+    /// `noc.net_messages`; kept as a flat field for the energy model and
+    /// existing consumers.
     pub messages: u64,
+    /// Interconnect counters: per-link utilization, queue-depth histograms
+    /// and per-[`LatClass`](crate::msgs::LatClass) network latency.
+    pub noc: NocStats,
     /// Fault-injection counters (all zero when chaos is off).
     pub chaos: ChaosStats,
     /// Invariant-audit counters (all zero when auditing is off).

@@ -2,7 +2,9 @@
 //!
 //! A binary heap keyed by (cycle, insertion sequence): events scheduled for
 //! the same cycle are processed in insertion order, which keeps the whole
-//! simulator bit-deterministic.
+//! simulator bit-deterministic. The memory system's wheel is owned by the
+//! interconnect ([`crate::noc`]); the `(cycle, seq)` key is also what makes
+//! the contended crossbar's arrival-order arbitration deterministic.
 
 use crate::Cycle;
 use std::cmp::Ordering;

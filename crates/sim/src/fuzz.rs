@@ -9,6 +9,14 @@
 //! progress invariants (audit) — the empirical analogue of the paper's
 //! §3.2.5 deadlock-avoidance argument, exercised under adversarial timing.
 //!
+//! Each case also samples an interconnect configuration ([`NocConfig`]):
+//! the ideal fixed-latency crossbar or the contended crossbar at link
+//! bandwidth 1, 2, or 4 flits/cycle. Bandwidth arbitration reorders
+//! message *delivery* but never what is architecturally allowed, so TSO
+//! legality and the invariant audit must hold on every sampled topology —
+//! contention composing with chaos is exactly the §3.2.5 corner the
+//! protocol must survive.
+//!
 //! Everything is seeded and deterministic: the same `FuzzConfig` replays
 //! the same campaign bit-for-bit, so a reported case is a repro.
 
@@ -17,7 +25,7 @@ use crate::litmus::{LOp, LitmusTest};
 use crate::machine::MachineConfig;
 use fa_core::AtomicPolicy;
 use fa_isa::Word;
-use fa_mem::{AuditConfig, ChaosConfig, SplitMix64};
+use fa_mem::{AuditConfig, ChaosConfig, NocConfig, SplitMix64};
 use std::fmt;
 
 /// Campaign settings. Everything derives from `seed`, so a config is a
@@ -187,11 +195,33 @@ struct FuzzCase {
     test: LitmusTest,
     offsets: Vec<u64>,
     chaos_seed: u64,
+    noc: NocConfig,
+}
+
+/// Serially generates the whole campaign from the master seed: program
+/// shape, start offsets, per-case chaos seed, and the per-case
+/// interconnect configuration (ideal, or contended at bw 1/2/4) all come
+/// from the same rng stream, so the campaign is one replayable recipe.
+fn gen_cases(fcfg: &FuzzConfig) -> Vec<FuzzCase> {
+    let mut rng = SplitMix64::new(fcfg.seed);
+    (0..fcfg.cases)
+        .map(|case| {
+            let test = gen_test(&mut rng, fcfg);
+            let offsets: Vec<u64> =
+                (0..test.threads.len()).map(|_| rng.below(120)).collect();
+            let chaos_seed = rng.next_u64();
+            let noc = match rng.below(4) {
+                0 => NocConfig::default(),
+                b => NocConfig::contended(1 << (b - 1)),
+            };
+            FuzzCase { case, test, offsets, chaos_seed, noc }
+        })
+        .collect()
 }
 
 /// Runs a differential fuzzing campaign: random programs × policies ×
-/// fault injection, outcomes checked against the TSO enumerator, the
-/// invariant auditor armed throughout. Never panics on a finding — every
+/// fault injection × sampled interconnects, outcomes checked against the
+/// TSO enumerator, the invariant auditor armed throughout. Never panics on a finding — every
 /// failure is collected into the report with a replayable identity.
 ///
 /// The case runs fan out across [`FuzzConfig::threads`] workers on the
@@ -200,16 +230,7 @@ struct FuzzCase {
 /// failures, run counts and the distinct-outcome coverage set — is
 /// bit-identical to the serial campaign at any thread count.
 pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
-    let mut rng = SplitMix64::new(fcfg.seed);
-    let cases: Vec<FuzzCase> = (0..fcfg.cases)
-        .map(|case| {
-            let test = gen_test(&mut rng, fcfg);
-            let offsets: Vec<u64> =
-                (0..test.threads.len()).map(|_| rng.below(120)).collect();
-            let chaos_seed = rng.next_u64();
-            FuzzCase { case, test, offsets, chaos_seed }
-        })
-        .collect();
+    let cases = gen_cases(fcfg);
     let per_case = crate::sweep::run_cells(&cases, fcfg.threads, |_, fc| {
         let allowed = fc.test.allowed_outcomes();
         let mut outcomes = Vec::new();
@@ -218,6 +239,7 @@ pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
             let mut cfg = base.clone();
             cfg.core.policy = policy;
             cfg.mem.chaos = ChaosConfig { seed: fc.chaos_seed, ..fcfg.chaos.clone() };
+            cfg.mem.noc = fc.noc;
             cfg.mem.audit = AuditConfig::on();
             match fc.test.run_checked(&cfg, &fc.offsets, fcfg.max_cycles) {
                 Ok(got) => {
@@ -289,6 +311,31 @@ mod tests {
         assert_eq!(r1.runs, 24);
         assert_eq!(r1.distinct_outcomes, r2.distinct_outcomes);
         assert_eq!(r1.runs, r2.runs);
+    }
+
+    #[test]
+    fn cases_sample_every_interconnect_point() {
+        use fa_mem::XbarPolicy;
+        let fcfg = FuzzConfig { cases: 64, ..FuzzConfig::default() };
+        let cases = gen_cases(&fcfg);
+        let again = gen_cases(&fcfg);
+        for (a, b) in cases.iter().zip(&again) {
+            assert_eq!(a.noc, b.noc, "noc sampling must be deterministic");
+            assert_eq!(a.chaos_seed, b.chaos_seed);
+        }
+        let mut ideal = 0;
+        let mut bws = std::collections::HashSet::new();
+        for fc in &cases {
+            match fc.noc.policy {
+                XbarPolicy::Ideal => ideal += 1,
+                XbarPolicy::Contended => {
+                    assert!(matches!(fc.noc.link_bw, 1 | 2 | 4));
+                    bws.insert(fc.noc.link_bw);
+                }
+            }
+        }
+        assert!(ideal > 0, "campaign must keep exercising the ideal crossbar");
+        assert_eq!(bws.len(), 3, "campaign must hit bw 1, 2 and 4");
     }
 
     #[test]

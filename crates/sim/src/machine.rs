@@ -218,11 +218,14 @@ impl Machine {
 
     /// When every core is quiescent-waiting (halted and drained, asleep
     /// with nothing pending, or not yet past its start offset) and the
-    /// memory system is a pure clock between events, jumps `now` to one
-    /// cycle before the earliest thing that can happen — the next protocol
-    /// event, the earliest monitor timeout, the next core start, or the
-    /// cycle budget — so the following [`Machine::tick`] lands exactly
-    /// there. A no-op whenever any core is active.
+    /// memory system is a pure clock between events (the interconnect
+    /// reports [`fast_forwardable`](fa_mem::MemorySystem::fast_forwardable)
+    /// — both crossbars price contention at send time, so in-flight
+    /// messages need no per-cycle work), jumps `now` to one cycle before
+    /// the earliest thing that can happen — the next interconnect
+    /// delivery, the earliest monitor timeout, the next core start, or
+    /// the cycle budget — so the following [`Machine::tick`] lands
+    /// exactly there. A no-op whenever any core is active.
     fn try_fast_forward(&mut self, max_cycles: u64) {
         if !self.mem.fast_forwardable() {
             return;
