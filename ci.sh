@@ -17,6 +17,8 @@ FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
     cargo run -q --release -p fa-bench --bin sweep
 grep -q '"schema": "fa-sweep-v1"' target/BENCH_sweep.json
 grep -c '"kernel":' target/BENCH_sweep.json | grep -qx 4
+# Every row must carry the latency-histogram block.
+grep -c '"hists":{"atomic_exec":' target/BENCH_sweep.json | grep -qx 4
 # Network-sensitivity smoke: ideal vs contended crossbar on one kernel.
 # Contended rows must carry the per-link `net` stats block.
 FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=PC \
@@ -26,3 +28,15 @@ grep -q '"schema": "fa-sweep-v1"' target/BENCH_fig16.json
 grep -q '"net":{"policy":"contended"' target/BENCH_fig16.json
 grep -q '"queue_hist":\[' target/BENCH_fig16.json
 grep -q '"req_util":\[' target/BENCH_fig16.json
+# Trace-layer smoke: a full-mode run must export non-empty, loadable
+# Chrome-trace/Perfetto JSON (the bin self-validates structure; the
+# python check proves it is real JSON to an external parser too).
+FA_TRACE=full:target/fa_trace.json \
+    cargo run -q --release -p fa-bench --bin trace
+grep -q '"traceEvents"' target/fa_trace.json
+python3 -c 'import json,sys; d=json.load(open("target/fa_trace.json")); sys.exit(0 if len(d["traceEvents"]) > 2 else 1)'
+# Flight-recorder smoke: a deliberately injected audit violation must
+# surface the structured event tail on the error path.
+cargo run -q --release -p fa-bench --bin trace -- --flight-demo > target/flight_demo.txt
+grep -q 'flight recorder tail' target/flight_demo.txt
+grep -q '"name":"uop.dispatch"' target/flight_demo.txt

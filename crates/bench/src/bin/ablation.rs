@@ -19,7 +19,7 @@ use fa_sim::presets::icelake_like;
 use fa_workloads::suite;
 
 fn subset(opts: &BenchOpts) -> Vec<fa_workloads::WorkloadSpec> {
-    if std::env::var("FA_WORKLOADS").is_ok() {
+    if fa_sim::env::var("FA_WORKLOADS").is_some() {
         return opts.workloads();
     }
     ["TATP", "AS", "barnes", "canneal"]
@@ -76,10 +76,10 @@ fn sweep(
 
 fn main() {
     let mut opts = BenchOpts::from_env();
-    if std::env::var("FA_SCALE").is_err() {
+    if fa_sim::env::var("FA_SCALE").is_none() {
         opts.scale = 0.15;
     }
-    if std::env::var("FA_CORES").is_err() {
+    if fa_sim::env::var("FA_CORES").is_none() {
         opts.cores = 4;
     }
     println!("(cycles normalized to the leftmost configuration; lower is better)");

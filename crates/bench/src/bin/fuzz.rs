@@ -19,24 +19,18 @@
 //! Case generation is serial and seeded, so the report is bit-identical
 //! at any `FA_THREADS` value.
 
+use fa_sim::env;
 use fa_sim::fuzz::{fuzz_litmus, FuzzConfig};
 use fa_sim::presets::tiny_machine;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be a number, got {v:?}")),
-        Err(_) => default,
-    }
-}
 
 fn main() {
     let base = FuzzConfig::default();
     let fcfg = FuzzConfig {
-        cases: env_u64("FA_FUZZ_CASES", 100),
-        seed: env_u64("FA_FUZZ_SEED", base.seed),
-        max_threads: env_u64("FA_FUZZ_MAX_THREADS", base.max_threads as u64) as usize,
-        max_ops: env_u64("FA_FUZZ_MAX_OPS", base.max_ops as u64) as usize,
-        threads: env_u64("FA_THREADS", base.threads as u64) as usize,
+        cases: env::u64_or("FA_FUZZ_CASES", 100),
+        seed: env::u64_or("FA_FUZZ_SEED", base.seed),
+        max_threads: env::usize_or("FA_FUZZ_MAX_THREADS", base.max_threads),
+        max_ops: env::usize_or("FA_FUZZ_MAX_OPS", base.max_ops),
+        threads: env::usize_or("FA_THREADS", base.threads),
         ..base
     };
     let report = fuzz_litmus(&tiny_machine(), &fcfg);

@@ -8,10 +8,10 @@ use fa_sim::presets::icelake_like;
 
 fn main() {
     let mut opts = BenchOpts::from_env();
-    if std::env::var("FA_SCALE").is_err() {
+    if fa_sim::env::var("FA_SCALE").is_none() {
         opts.scale = 0.1;
     }
-    if std::env::var("FA_CORES").is_err() {
+    if fa_sim::env::var("FA_CORES").is_none() {
         opts.cores = 4;
     }
     let base = icelake_like();

@@ -17,7 +17,8 @@
 //! timing block changes.
 
 use fa_bench::sweep::{
-    grid, policies_from_env, presets_from_env, run_grid, SweepReport, SweepRow,
+    grid, hot_locks, hot_locks_line, policies_from_env, presets_from_env, run_grid,
+    SweepReport, SweepRow,
 };
 use fa_bench::{row, BenchOpts};
 
@@ -68,6 +69,7 @@ fn main() {
     }
     let report = SweepReport::new("sweep", &opts, &results, timing);
     println!("\n{}", report.timing_line());
+    println!("{}", hot_locks_line(&hot_locks(&results)));
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {

@@ -16,16 +16,22 @@
 //! | `FA_THREADS` | 0 | sweep worker threads (0 = host parallelism) |
 //! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
 //! | `FA_NOC` | `ideal` | interconnect: `ideal`, `contended`, or `contended:<bw>` |
+//! | `FA_TRACE` | `off` | event tracing: `off`, `flight`, or `full[:path]` |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
+//!
+//! All parsing goes through [`fa_sim::env`], so a malformed value fails
+//! loudly with the variable name and the expected grammar.
 
 pub mod figures;
 pub mod sweep;
 
 use fa_core::AtomicPolicy;
 use fa_mem::NocConfig;
+use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{measure_parallel, Methodology, MultiRun};
+use fa_sim::TraceMode;
 use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
 
 /// Experiment sizing, read from the environment.
@@ -48,6 +54,11 @@ pub struct BenchOpts {
     /// grid sweeps and single-run bins alike. The default ideal crossbar
     /// reproduces the historical fixed-latency numbers bit-for-bit.
     pub noc: NocConfig,
+    /// Event-trace mode (`FA_TRACE`), applied to every driver run. Off by
+    /// default; any mode produces bit-identical simulation results —
+    /// latency histograms are always-on counters and event recording is
+    /// strictly passive.
+    pub trace: TraceMode,
 }
 
 impl Default for BenchOpts {
@@ -60,35 +71,31 @@ impl Default for BenchOpts {
             seed: 0xF00D,
             threads: 0,
             noc: NocConfig::default(),
+            trace: TraceMode::Off,
         }
     }
 }
 
 impl BenchOpts {
-    /// Reads sizing from the environment (see module docs).
+    /// Reads sizing from the environment (see module docs) via the unified
+    /// [`fa_sim::env`] helpers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any set-but-malformed `FA_*` variable, naming the
+    /// variable and the expected grammar.
     pub fn from_env() -> BenchOpts {
-        let mut o = BenchOpts::default();
-        if let Ok(v) = std::env::var("FA_CORES") {
-            o.cores = v.parse().expect("FA_CORES must be a number");
+        let d = BenchOpts::default();
+        BenchOpts {
+            cores: env::usize_or("FA_CORES", d.cores),
+            scale: env::f64_or("FA_SCALE", d.scale),
+            runs: env::usize_or("FA_RUNS", d.runs),
+            drop_slowest: env::usize_or("FA_DROP", d.drop_slowest),
+            seed: d.seed,
+            threads: env::usize_or("FA_THREADS", d.threads),
+            noc: env::noc_config(),
+            trace: env::trace_setting().0,
         }
-        if let Ok(v) = std::env::var("FA_SCALE") {
-            o.scale = v.parse().expect("FA_SCALE must be a float");
-        }
-        if let Ok(v) = std::env::var("FA_RUNS") {
-            o.runs = v.parse().expect("FA_RUNS must be a number");
-        }
-        if let Ok(v) = std::env::var("FA_DROP") {
-            o.drop_slowest = v.parse().expect("FA_DROP must be a number");
-        }
-        if let Ok(v) = std::env::var("FA_THREADS") {
-            o.threads = v.parse().expect("FA_THREADS must be a number");
-        }
-        if let Ok(v) = std::env::var("FA_NOC") {
-            o.noc = parse_noc(&v).unwrap_or_else(|| {
-                panic!("FA_NOC must be `ideal`, `contended`, or `contended:<bw>`, got {v:?}")
-            });
-        }
-        o
     }
 
     /// Workload parameters for these options.
@@ -114,26 +121,22 @@ impl BenchOpts {
     /// Panics on an unknown name in `FA_WORKLOADS` — a typo used to be
     /// silently dropped, turning the sweep into a no-op.
     pub fn workloads(&self) -> Vec<WorkloadSpec> {
-        match std::env::var("FA_WORKLOADS") {
-            Ok(list) => {
-                let names: Vec<&str> = list.split(',').map(str::trim).collect();
+        match env::list("FA_WORKLOADS") {
+            Some(names) => {
+                let names: Vec<&str> = names.iter().map(String::as_str).collect();
                 suite::select(&names).unwrap_or_else(|e| panic!("FA_WORKLOADS: {e}"))
             }
-            Err(_) => suite::all(),
+            None => suite::all(),
         }
     }
-}
 
-/// Parses an `FA_NOC` value: `ideal`, `contended` (default bandwidth), or
-/// `contended:<bw>` with `<bw>` in flits/cycle.
-fn parse_noc(v: &str) -> Option<NocConfig> {
-    match v.trim() {
-        "ideal" => Some(NocConfig::default()),
-        "contended" => Some(NocConfig::contended(NocConfig::default().link_bw)),
-        other => {
-            let bw = other.strip_prefix("contended:")?.parse().ok()?;
-            Some(NocConfig::contended(bw))
-        }
+    /// `base` specialized for one run under these options: policy, NoC
+    /// model, and trace mode applied.
+    pub fn config_for(&self, base: &MachineConfig, policy: AtomicPolicy) -> MachineConfig {
+        let mut cfg = base.clone().with_trace(self.trace);
+        cfg.core.policy = policy;
+        cfg.mem.noc = self.noc;
+        cfg
     }
 }
 
@@ -150,9 +153,7 @@ pub fn try_run_workload(
     base: &MachineConfig,
     opts: &BenchOpts,
 ) -> Result<MultiRun, Box<SimError>> {
-    let mut cfg = base.clone();
-    cfg.core.policy = policy;
-    cfg.mem.noc = opts.noc;
+    let cfg = opts.config_for(base, policy);
     let params = opts.params();
     measure_parallel(&cfg, &opts.methodology(), opts.threads, || {
         let w = spec.build(&params);
@@ -202,9 +203,7 @@ pub fn run_once_checked(
     base: &MachineConfig,
     opts: &BenchOpts,
 ) -> Result<RunResult, Box<SimError>> {
-    let mut cfg = base.clone();
-    cfg.core.policy = policy;
-    cfg.mem.noc = opts.noc;
+    let cfg = opts.config_for(base, policy);
     let params = opts.params();
     let w = spec.build(&params);
     let mut m = fa_sim::Machine::new(cfg, w.programs, w.mem);
@@ -240,19 +239,36 @@ mod tests {
         assert_eq!(o.params().cores, 8);
         assert_eq!(o.methodology().runs, 3);
         assert_eq!(o.noc, NocConfig::default());
+        assert_eq!(o.trace, TraceMode::Off);
     }
 
     #[test]
     fn noc_env_values_parse() {
+        // The shared grammar now lives in fa_sim::env; pin that the
+        // historical `FA_NOC` meanings survived the move.
         use fa_mem::XbarPolicy;
+        use fa_sim::env::parse_noc;
         assert_eq!(parse_noc("ideal"), Some(NocConfig::default()));
         let c = parse_noc("contended").expect("bare contended");
         assert_eq!(c.policy, XbarPolicy::Contended);
         assert_eq!(c.link_bw, NocConfig::default().link_bw);
         assert_eq!(parse_noc("contended:4"), Some(NocConfig::contended(4)));
-        assert_eq!(parse_noc(" contended:1 "), Some(NocConfig::contended(1)));
         assert_eq!(parse_noc("contended:x"), None);
         assert_eq!(parse_noc("mesh"), None);
+    }
+
+    #[test]
+    fn config_for_applies_policy_noc_and_trace() {
+        let opts = BenchOpts {
+            noc: NocConfig::contended(4),
+            trace: TraceMode::Flight,
+            ..BenchOpts::default()
+        };
+        let cfg = opts.config_for(&MachineConfig::default(), AtomicPolicy::FreeFwd);
+        assert_eq!(cfg.core.policy, AtomicPolicy::FreeFwd);
+        assert_eq!(cfg.mem.noc, NocConfig::contended(4));
+        assert_eq!(cfg.core.trace.mode, TraceMode::Flight);
+        assert_eq!(cfg.mem.trace.mode, TraceMode::Flight);
     }
 
     #[test]

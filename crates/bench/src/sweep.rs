@@ -15,12 +15,15 @@
 
 use crate::BenchOpts;
 use fa_core::AtomicPolicy;
-use fa_mem::{NocStats, XbarPolicy};
+use fa_mem::{HotLock, NocStats, XbarPolicy};
+use fa_sim::env;
 use fa_sim::error::SimError;
-use fa_sim::machine::MachineConfig;
+use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::MultiRun;
 use fa_sim::sweep::{run_cells_timed, SweepTiming};
+use fa_sim::Hist;
 use fa_workloads::WorkloadSpec;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -70,10 +73,9 @@ impl Preset {
 ///
 /// Panics on an unknown policy label, listing the known ones.
 pub fn policies_from_env() -> Vec<AtomicPolicy> {
-    match std::env::var("FA_POLICIES") {
-        Ok(list) => list
-            .split(',')
-            .map(str::trim)
+    match env::list("FA_POLICIES") {
+        Some(names) => names
+            .iter()
             .map(|name| {
                 AtomicPolicy::ALL
                     .into_iter()
@@ -84,7 +86,7 @@ pub fn policies_from_env() -> Vec<AtomicPolicy> {
                     })
             })
             .collect(),
-        Err(_) => AtomicPolicy::ALL.to_vec(),
+        None => AtomicPolicy::ALL.to_vec(),
     }
 }
 
@@ -95,16 +97,15 @@ pub fn policies_from_env() -> Vec<AtomicPolicy> {
 ///
 /// Panics on an unknown preset name.
 pub fn presets_from_env() -> Vec<Preset> {
-    match std::env::var("FA_PRESETS") {
-        Ok(list) => list
-            .split(',')
-            .map(str::trim)
+    match env::list("FA_PRESETS") {
+        Some(names) => names
+            .iter()
             .map(|name| {
                 Preset::by_name(name)
                     .unwrap_or_else(|| panic!("FA_PRESETS: unknown preset {name:?}"))
             })
             .collect(),
-        Err(_) => vec![Preset::Icelake],
+        None => vec![Preset::Icelake],
     }
 }
 
@@ -173,9 +174,7 @@ pub fn run_grid(
         #[allow(clippy::result_large_err)]
         |_, &(ci, run)| {
             let cell = &cells[ci];
-            let mut cfg = cell.preset.config();
-            cfg.core.policy = cell.policy;
-            cfg.mem.noc = opts.noc;
+            let cfg = opts.config_for(&cell.preset.config(), cell.policy);
             let w = cell.workload.build(&params);
             meth.run_single(&cfg, run, w.programs, w.mem)
         },
@@ -189,6 +188,59 @@ pub fn run_grid(
         out.push(CellResult { cell, summary });
     }
     Ok((out, timing))
+}
+
+/// The latency-histogram block of one sweep row: log₂-bucketed
+/// distributions from the representative run. Histograms are always-on
+/// passive counters with fixed bucket edges, so these merge element-wise
+/// and are bit-identical at any `FA_THREADS` value and any `FA_TRACE`
+/// mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowHists {
+    /// Atomic execution latency (`load_lock` issue → `store_unlock`
+    /// perform), summed across cores.
+    pub atomic_exec: Hist,
+    /// Store-buffer drain cycles paid before a `load_lock` could issue
+    /// (the fence cost free atomics remove; all-zero under free policies).
+    pub atomic_drain: Hist,
+    /// Cycles fills stalled on an all-ways-locked set, across cores.
+    pub fill_stall: Hist,
+    /// Cache-lock hold windows (outermost lock → unlock), across cores.
+    pub lock_hold: Hist,
+    /// Interconnect delivered latency (contended crossbar; empty under
+    /// the ideal crossbar, which does not model delivery queues).
+    pub noc_delivered: Hist,
+}
+
+impl RowHists {
+    /// Collects the histogram block from one run's statistics.
+    pub fn from_run(r: &RunResult) -> RowHists {
+        let agg = r.aggregate();
+        let mut h = RowHists {
+            atomic_exec: agg.atomic_exec_hist,
+            atomic_drain: agg.atomic_drain_hist,
+            noc_delivered: r.mem.noc.delivered_hist,
+            ..RowHists::default()
+        };
+        for c in &r.mem.cores {
+            h.fill_stall.merge(&c.fill_stall_hist);
+            h.lock_hold.merge(&c.lock_hold_hist);
+        }
+        h
+    }
+
+    /// The block as a single-line JSON object (stable field order).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"atomic_exec\":{},\"atomic_drain\":{},\"fill_stall\":{},\
+             \"lock_hold\":{},\"noc_delivered\":{}}}",
+            self.atomic_exec.json(),
+            self.atomic_drain.json(),
+            self.fill_stall.json(),
+            self.lock_hold.json(),
+            self.noc_delivered.json()
+        )
+    }
 }
 
 /// One emitted row of `BENCH_sweep.json`. Deliberately excludes every
@@ -214,6 +266,9 @@ pub struct SweepRow {
     /// the contended crossbar so historical (ideal-crossbar) rows stay
     /// byte-identical to the pre-interconnect goldens.
     pub net: Option<NocStats>,
+    /// Latency histograms of the representative run, emitted by
+    /// [`SweepRow::json_full`] (and therefore by `BENCH_sweep.json`).
+    pub hists: RowHists,
 }
 
 impl SweepRow {
@@ -230,11 +285,14 @@ impl SweepRow {
             rep_cycles: rep.cycles,
             instructions: rep.instructions(),
             net: (noc.policy == XbarPolicy::Contended).then(|| noc.clone()),
+            hists: RowHists::from_run(rep),
         }
     }
 
     /// The row as a single-line JSON object (stable field order; a `net`
-    /// block is appended only for contended-crossbar rows).
+    /// block is appended only for contended-crossbar rows). Kept
+    /// byte-identical to the pre-trace-layer rows — the goldens pin it;
+    /// [`SweepRow::json_full`] adds the histogram block.
     pub fn json(&self) -> String {
         let mut s = format!(
             "{{\"kernel\":\"{}\",\"policy\":\"{}\",\"preset\":\"{}\",\"runs\":{},\
@@ -248,6 +306,46 @@ impl SweepRow {
         s.push('}');
         s
     }
+
+    /// [`SweepRow::json`] plus the latency-histogram block — the form
+    /// `BENCH_sweep.json` emits.
+    pub fn json_full(&self) -> String {
+        let mut s = self.json();
+        s.pop();
+        let _ = write!(s, ",\"hists\":{}}}", self.hists.json());
+        s
+    }
+}
+
+/// Merges the hottest locked lines across the representative runs of
+/// `results` (summing per line), ordered by total hold cycles descending
+/// with the line address as the deterministic tiebreak, truncated to
+/// [`fa_mem::MemStats::HOT_LOCKS`] entries.
+pub fn hot_locks(results: &[CellResult]) -> Vec<HotLock> {
+    let mut by_line: BTreeMap<u64, HotLock> = BTreeMap::new();
+    for r in results {
+        for h in &r.summary.representative().mem.hot_locks {
+            let e = by_line.entry(h.line).or_insert(HotLock { line: h.line, ..HotLock::default() });
+            e.acquisitions += h.acquisitions;
+            e.hold_cycles += h.hold_cycles;
+        }
+    }
+    let mut hot: Vec<HotLock> = by_line.into_values().collect();
+    hot.sort_unstable_by(|a, b| b.hold_cycles.cmp(&a.hold_cycles).then(a.line.cmp(&b.line)));
+    hot.truncate(fa_mem::MemStats::HOT_LOCKS);
+    hot
+}
+
+/// One-line report of the hottest locked lines, for the bench summary.
+pub fn hot_locks_line(locks: &[HotLock]) -> String {
+    if locks.is_empty() {
+        return "hot locks: none".to_string();
+    }
+    let items: Vec<String> = locks
+        .iter()
+        .map(|h| format!("{:#x} ({} acq, {} cyc held)", h.line, h.acquisitions, h.hold_cycles))
+        .collect();
+    format!("hot locks: {}", items.join(", "))
 }
 
 /// A complete sweep report: rows plus the timing block.
@@ -290,7 +388,7 @@ impl SweepReport {
         );
         for (i, row) in self.rows.iter().enumerate() {
             let sep = if i + 1 == self.rows.len() { "" } else { "," };
-            let _ = writeln!(s, "    {}{}", row.json(), sep);
+            let _ = writeln!(s, "    {}{}", row.json_full(), sep);
         }
         s.push_str("  ]\n}\n");
         s
@@ -299,7 +397,7 @@ impl SweepReport {
     /// The destination honoring `FA_BENCH_JSON` (default
     /// `BENCH_sweep.json` in the working directory).
     pub fn default_path() -> PathBuf {
-        std::env::var_os("FA_BENCH_JSON")
+        env::var("FA_BENCH_JSON")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"))
     }
@@ -348,6 +446,7 @@ mod tests {
             seed: 0xF00D,
             threads,
             noc: fa_mem::NocConfig::default(),
+            trace: fa_sim::TraceMode::Off,
         }
     }
 
@@ -426,6 +525,75 @@ mod tests {
             sim_cycles: 100,
             sim_instructions: 50,
         }
+    }
+
+    #[test]
+    fn report_rows_are_identical_across_trace_modes_and_threads() {
+        // Satellite of the trace layer's tentpole invariant: the entire
+        // emitted row array — including the histogram blocks — is a pure
+        // function of the simulated cells, whatever the trace mode and
+        // worker-thread count.
+        use fa_sim::TraceMode;
+        let cells = small_grid();
+        let report_with = |threads: usize, trace: TraceMode| {
+            let opts = BenchOpts { trace, ..small_opts(threads) };
+            let (results, _) = run_grid(&opts, &cells).expect("grid");
+            let rep = SweepReport::new("det", &opts, &results, sweep_timing_stub());
+            (rep.json(), hot_locks(&results))
+        };
+        let (base_json, base_hot) = report_with(1, TraceMode::Off);
+        for threads in [1usize, 4] {
+            for trace in [TraceMode::Off, TraceMode::Flight, TraceMode::Full] {
+                let (j, hot) = report_with(threads, trace);
+                assert_eq!(
+                    j, base_json,
+                    "rows must be byte-identical at threads={threads}, trace={trace:?}"
+                );
+                assert_eq!(hot, base_hot);
+            }
+        }
+        // The histogram block is actually populated in the emitted JSON.
+        assert!(base_json.contains("\"hists\":{\"atomic_exec\":{\"count\":"), "{base_json}");
+        assert!(base_json.contains("\"noc_delivered\":"), "{base_json}");
+    }
+
+    #[test]
+    fn row_hists_populate_and_json_full_extends_json() {
+        let cells = small_grid();
+        let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
+        let r = SweepRow::from_result(3, &results[0]);
+        // Every kernel in the grid performs atomics, so the exec histogram
+        // must have samples; the baseline policy also pays SB drains.
+        assert!(r.hists.atomic_exec.count > 0);
+        assert!(r.hists.lock_hold.count > 0, "atomics hold cache locks");
+        assert_eq!(r.policy, "baseline");
+        assert!(r.hists.atomic_drain.count > 0, "baseline pays drains");
+        // json() stays golden-stable; json_full() appends the block.
+        let (j, jf) = (r.json(), r.json_full());
+        assert!(!j.contains("\"hists\":"));
+        assert!(jf.starts_with(&j[..j.len() - 1]));
+        assert!(jf.ends_with("}}"));
+        assert!(jf.contains(",\"hists\":{\"atomic_exec\":"));
+    }
+
+    #[test]
+    fn hot_locks_merge_and_render() {
+        let cells = small_grid();
+        let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
+        let hot = hot_locks(&results);
+        assert!(!hot.is_empty(), "atomic kernels must produce locked lines");
+        assert!(hot.len() <= fa_mem::MemStats::HOT_LOCKS);
+        for w in hot.windows(2) {
+            assert!(
+                w[0].hold_cycles > w[1].hold_cycles
+                    || (w[0].hold_cycles == w[1].hold_cycles && w[0].line < w[1].line),
+                "hot locks must be ordered by hold cycles then line"
+            );
+        }
+        let line = hot_locks_line(&hot);
+        assert!(line.starts_with("hot locks: 0x"), "{line}");
+        assert!(line.contains("acq"), "{line}");
+        assert_eq!(hot_locks_line(&[]), "hot locks: none");
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn golden_opts(threads: usize, noc: NocConfig) -> BenchOpts {
         seed: 0xF00D,
         threads,
         noc,
+        trace: fa_sim::TraceMode::Off,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Core configuration and the atomic RMW execution policies.
 
+use fa_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// How atomic RMW instructions execute — the paper's iteratively built
@@ -104,6 +105,9 @@ pub struct CoreConfig {
     pub bp_history_bits: u32,
     /// log2 of branch-predictor table entries.
     pub bp_table_bits: u32,
+    /// Structured event tracing (default: off). Latency histograms are
+    /// collected regardless of this mode; only event recording is gated.
+    pub trace: TraceConfig,
 }
 
 impl Default for CoreConfig {
@@ -128,6 +132,7 @@ impl Default for CoreConfig {
             monitor_timeout: 1024,
             bp_history_bits: 12,
             bp_table_bits: 12,
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -17,6 +17,7 @@ use crate::stats::{CoreStats, SquashCause};
 use fa_isa::reg::NUM_REGS;
 use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
 use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
+use fa_trace::{TraceBuf, TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -150,6 +151,9 @@ pub struct Core {
 
     /// Statistics, live during the run.
     pub stats: CoreStats,
+    /// Structured trace ring for pipeline events (µop lifecycle, atomic
+    /// lock windows, squashes). A no-op unless `cfg.trace` enables it.
+    trace: TraceBuf,
 }
 
 impl Core {
@@ -159,6 +163,7 @@ impl Core {
         let bp = BranchPredictor::new(cfg.bp_table_bits, cfg.bp_history_bits);
         let ss = StoreSets::new(10);
         let aq = AtomicQueue::new(cfg.aq_size);
+        let trace = TraceBuf::new(&cfg.trace);
         Core {
             id,
             cfg,
@@ -180,7 +185,18 @@ impl Core {
             state: CoreState::Running,
             wd_counter: 0,
             stats: CoreStats::default(),
+            trace,
         }
+    }
+
+    /// This core's trace ring (empty unless `cfg.trace` enables recording).
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.trace.records()
+    }
+
+    /// The last `n` trace records (flight-recorder tail).
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceRecord> {
+        self.trace.tail(n)
     }
 
     /// True once `Halt` has committed.
@@ -435,6 +451,7 @@ impl Core {
             _ => {}
         }
         self.rob.push(e);
+        self.trace.record(now, TraceEvent::UopDispatch { seq, pc: uop.pc as u64 });
     }
 
     // -------------------------------------------------------------- wakeup
@@ -493,6 +510,7 @@ impl Core {
             if e.issued || e.done {
                 continue;
             }
+            let pc = e.uop.pc;
             let issued = match e.uop.kind {
                 UopKind::Alu { .. } | UopKind::RmwAlu { .. } => self.issue_alu(seq, now),
                 UopKind::Branch { .. } => self.issue_branch(seq, now),
@@ -507,6 +525,7 @@ impl Core {
             };
             if issued {
                 budget -= 1;
+                self.trace.record(now, TraceEvent::UopIssue { seq, pc: pc as u64 });
             }
         }
     }
@@ -776,9 +795,14 @@ impl Core {
                         };
                         if is_ll {
                             self.stats.atomic_drain_cycles += drain;
+                            self.stats.atomic_drain_hist.record(drain);
                             if let Some(a) = self.aq.get_mut(seq) {
                                 a.issued_at = now;
                             }
+                            self.trace.record(
+                                now,
+                                TraceEvent::AtomicLoadLock { seq, addr, drain, fwd: false },
+                            );
                         }
                         true
                     }
@@ -826,7 +850,7 @@ impl Core {
         aqe.state = AqState::Fwd { store_seq: sseq, from_atomic: from_unlock };
         aqe.chain = chain;
         aqe.issued_at = now;
-        let drain = {
+        let (drain, addr) = {
             let e = self.rob.get_mut(seq).unwrap();
             e.result = value;
             e.fwd_from = Some(sseq);
@@ -835,10 +859,12 @@ impl Core {
             e.issued = true;
             e.issued_at = Some(now);
             e.done_at = Some(now + self.cfg.fwd_lat);
-            now.saturating_sub(e.ready_since.unwrap_or(now))
+            (now.saturating_sub(e.ready_since.unwrap_or(now)), e.addr.unwrap_or(0))
         };
         self.stats.load_forwards += 1;
         self.stats.atomic_drain_cycles += drain;
+        self.stats.atomic_drain_hist.record(drain);
+        self.trace.record(now, TraceEvent::AtomicLoadLock { seq, addr, drain, fwd: true });
         // A forwarded load_lock performs immediately: reset the watchdog.
         self.wd_counter = 0;
         true
@@ -1011,6 +1037,7 @@ impl Core {
             let head = self.rob.pop_front().expect("checked");
             budget -= 1;
             self.stats.uops += 1;
+            self.trace.record(now, TraceEvent::UopCommit { seq, pc: head.uop.pc as u64 });
             // Free the rename mapping and update architectural state.
             if let Some(d) = head.uop.dst() {
                 if !d.is_zero() {
@@ -1129,7 +1156,13 @@ impl Core {
                          the lock must be held by perform time"
                     ),
                 }
-                self.stats.atomic_exec_cycles += now.saturating_sub(aqe.issued_at);
+                let exec = now.saturating_sub(aqe.issued_at);
+                self.stats.atomic_exec_cycles += exec;
+                self.stats.atomic_exec_hist.record(exec);
+                self.trace.record(
+                    now,
+                    TraceEvent::AtomicStoreUnlock { seq: head.seq, addr: head.addr, exec },
+                );
             }
         } else if !head.acquire_pending {
             if let fa_mem::privcache::ReqOutcome::Accepted =
@@ -1216,6 +1249,7 @@ impl Core {
     ) {
         let drained = self.rob.drain_from(from);
         self.stats.record_squash(cause, drained.len() as u64);
+        self.trace.record(now, TraceEvent::Squash { from_seq: from, uops: drained.len() as u64 });
         for e in &drained {
             // Youngest-first restoration of the rename map.
             if let Some((reg, prev)) = e.prev_map {

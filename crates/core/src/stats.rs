@@ -1,5 +1,6 @@
 //! Per-core statistics feeding every figure and table of the paper.
 
+use fa_trace::Hist;
 use serde::{Deserialize, Serialize};
 
 /// Cause of a pipeline squash.
@@ -72,6 +73,12 @@ pub struct CoreStats {
     pub monitor_sleeps: u64,
     /// Cycles the dispatch stage stalled because the Atomic Queue was full.
     pub aq_full_stalls: u64,
+    /// Distribution of per-atomic SB-drain waits (the population whose sum
+    /// is `atomic_drain_cycles`; log₂ buckets, deterministic merge).
+    pub atomic_drain_hist: Hist,
+    /// Distribution of per-atomic load_lock-issue → store_unlock-perform
+    /// windows (the population whose sum is `atomic_exec_cycles`).
+    pub atomic_exec_hist: Hist,
 }
 
 impl CoreStats {
@@ -158,6 +165,8 @@ impl CoreStats {
         self.pauses += o.pauses;
         self.monitor_sleeps += o.monitor_sleeps;
         self.aq_full_stalls += o.aq_full_stalls;
+        self.atomic_drain_hist.merge(&o.atomic_drain_hist);
+        self.atomic_exec_hist.merge(&o.atomic_exec_hist);
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::audit::AuditConfig;
 use crate::chaos::ChaosConfig;
 use crate::noc::NocConfig;
+use fa_trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 /// Geometry and latency parameters for the memory system.
@@ -58,6 +59,9 @@ pub struct MemConfig {
     pub chaos: ChaosConfig,
     /// Cycle-level invariant auditing (default: off).
     pub audit: AuditConfig,
+    /// Structured event tracing (default: off). Latency histograms are
+    /// collected regardless of this mode; only event recording is gated.
+    pub trace: TraceConfig,
 }
 
 impl Default for MemConfig {
@@ -83,6 +87,7 @@ impl Default for MemConfig {
             prefetch_degree: 2,
             chaos: ChaosConfig::default(),
             audit: AuditConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }

@@ -13,6 +13,7 @@
 use crate::msgs::{DirMsg, DirReq, DirReqKind, L1Msg, LatClass};
 use crate::tagarray::TagArray;
 use crate::{CoreId, Cycle, Line, MemConfig};
+use fa_trace::{TraceBuf, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 
 /// Consecutive failed allocation polls after which a request is promoted to
@@ -118,6 +119,11 @@ pub struct Directory {
     /// Polls by other requests in the rescued set since the reservation
     /// owner last polled.
     rescue_absent: u64,
+    /// Current cycle, set by the system before dispatching messages
+    /// (event timestamps only — never consulted by protocol logic).
+    now: Cycle,
+    /// Structured event ring for the directory.
+    pub(crate) trace: TraceBuf,
 }
 
 impl Directory {
@@ -139,7 +145,14 @@ impl Directory {
             alloc_polls: HashMap::new(),
             alloc_rescue: None,
             rescue_absent: 0,
+            now: 0,
+            trace: TraceBuf::new(&cfg.trace),
         }
+    }
+
+    /// Sets the directory clock (trace timestamps only).
+    pub(crate) fn set_now(&mut self, now: Cycle) {
+        self.now = now;
     }
 
     /// Handles a message addressed to the directory.
@@ -221,6 +234,7 @@ impl Directory {
         if e.busy.is_some() {
             self.stat_parked_busy += 1;
             e.parked.push_back(req);
+            self.trace.record(self.now, TraceEvent::DirPark { line: req.line });
             return;
         }
         self.process_on_idle_entry(req, out);
@@ -374,6 +388,7 @@ impl Directory {
             self.alloc_rescue = Some(key);
             self.rescue_absent = 0;
             self.stat_alloc_rescues += 1;
+            self.trace.record(self.now, TraceEvent::DirRescue { line: req.line });
         }
         out.push(DirAction::Redispatch(req));
         None
@@ -381,6 +396,7 @@ impl Directory {
 
     /// Clears starvation-valve state after `key` allocated its entry.
     fn note_alloc_success(&mut self, key: (CoreId, Line)) {
+        self.trace.record(self.now, TraceEvent::DirAlloc { line: key.1 });
         self.alloc_polls.remove(&key);
         if self.alloc_rescue == Some(key) {
             self.alloc_rescue = None;
@@ -392,6 +408,7 @@ impl Directory {
     /// (superset) sharer and free the entry once the acks collect.
     fn begin_back_inval(&mut self, vline: Line, out: &mut Vec<DirAction>) {
         self.stat_entry_evictions += 1;
+        self.trace.record(self.now, TraceEvent::DirEvict { line: vline });
         let dir_lat = self.dir_lat;
         let e = self.entries.peek_mut(vline).expect("eviction victim resident");
         let targets = e.sharers;

@@ -51,7 +51,7 @@ pub use chaos::{ChaosConfig, SplitMix64};
 pub use config::MemConfig;
 pub use msgs::{CoreNotice, CoreResp, LatClass};
 pub use noc::{LinkStats, NocConfig, NocStats, XbarPolicy};
-pub use stats::MemStats;
+pub use stats::{HotLock, MemStats};
 pub use system::{MemDiag, MemorySystem};
 
 use serde::{Deserialize, Serialize};

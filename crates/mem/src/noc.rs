@@ -47,6 +47,7 @@ use crate::msgs::{DirMsg, L1Msg, LatClass};
 use crate::wheel::Wheel;
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::Addr;
+use fa_trace::Hist;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -147,6 +148,10 @@ pub struct NocStats {
     /// Total network cycles (hop + jitter + queuing + serialization) those
     /// grants spent in flight, by latency class.
     pub class_cycles: [u64; LatClass::ALL.len()],
+    /// Distribution of delivered network latency across all grants (the
+    /// same population `class_cycles` sums; log₂ buckets, deterministic
+    /// merge).
+    pub delivered_hist: Hist,
     /// Per-core request egress links (core → directory), contended only.
     pub req_links: Vec<LinkStats>,
     /// Per-core response ingress links (directory → core), contended only.
@@ -224,7 +229,8 @@ impl NocStats {
             "{{\"policy\":\"{}\",\"bw\":{},\"net_messages\":{},\"local_deliveries\":{},\
              \"avg_grant_lat\":{:.3},\"class_lat\":[{}],\"max_link_util\":{:.4},\
              \"req_util\":[{}],\"resp_util\":[{}],\"dir_in_util\":{:.4},\
-             \"dir_out_util\":{:.4},\"max_queue\":{},\"queue_hist\":[{}]}}",
+             \"dir_out_util\":{:.4},\"max_queue\":{},\"queue_hist\":[{}],\
+             \"delivered_hist\":{}}}",
             self.policy.name(),
             self.link_bw,
             self.net_messages,
@@ -238,6 +244,7 @@ impl NocStats {
             self.dir_egress.utilization(self.elapsed),
             self.max_queue(),
             hist.join(","),
+            self.delivered_hist.json(),
         )
     }
 }
@@ -328,8 +335,11 @@ pub(crate) trait Interconnect: fmt::Debug + Send {
     /// jittered nor counted).
     fn send_raw(&mut self, at: Cycle, ev: NocEv);
 
-    /// Next delivery due at or before `now`, in `(cycle, seq)` order.
-    fn pop_due(&mut self, now: Cycle) -> Option<NocEv>;
+    /// Next delivery due at or before `now`, in `(cycle, seq)` order,
+    /// paired with its injection cycle (send time plus sender-side `extra`)
+    /// so the consumer can attribute delivered latency without re-deriving
+    /// the crossbar's schedule.
+    fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, NocEv)>;
 
     /// Cycle of the earliest pending delivery.
     fn next_at(&self) -> Option<Cycle>;
@@ -368,12 +378,13 @@ pub(crate) fn build(cfg: &MemConfig, n_cores: usize, chaos: ChaosEngine) -> Box<
 #[derive(Debug)]
 pub(crate) struct IdealXbar {
     net_lat: Cycle,
-    wheel: Wheel<NocEv>,
+    wheel: Wheel<(Cycle, NocEv)>,
     chaos: ChaosEngine,
     net_messages: u64,
     local_deliveries: u64,
     class_msgs: [u64; LatClass::ALL.len()],
     class_cycles: [u64; LatClass::ALL.len()],
+    delivered_hist: Hist,
 }
 
 impl IdealXbar {
@@ -386,6 +397,7 @@ impl IdealXbar {
             local_deliveries: 0,
             class_msgs: [0; LatClass::ALL.len()],
             class_cycles: [0; LatClass::ALL.len()],
+            delivered_hist: Hist::new(),
         }
     }
 }
@@ -396,7 +408,7 @@ impl Interconnect for IdealXbar {
             NocEv::ToDir(_) => {
                 self.net_messages += 1;
                 let jitter = self.chaos.event_jitter();
-                self.wheel.schedule(now + extra + self.net_lat + jitter, ev);
+                self.wheel.schedule(now + extra + self.net_lat + jitter, (now + extra, ev));
             }
             NocEv::ToL1(_, msg) => {
                 self.net_messages += 1;
@@ -404,22 +416,23 @@ impl Interconnect for IdealXbar {
                 if let Some(class) = grant_class(&msg) {
                     self.class_msgs[class.index()] += 1;
                     self.class_cycles[class.index()] += self.net_lat + jitter;
+                    self.delivered_hist.record(self.net_lat + jitter);
                 }
-                self.wheel.schedule(now + extra + self.net_lat + jitter, ev);
+                self.wheel.schedule(now + extra + self.net_lat + jitter, (now + extra, ev));
             }
             NocEv::ReadDone { .. } | NocEv::StoreReady { .. } => {
                 self.local_deliveries += 1;
                 let jitter = self.chaos.event_jitter();
-                self.wheel.schedule(now + extra + jitter, ev);
+                self.wheel.schedule(now + extra + jitter, (now + extra, ev));
             }
         }
     }
 
     fn send_raw(&mut self, at: Cycle, ev: NocEv) {
-        self.wheel.schedule(at, ev);
+        self.wheel.schedule(at, (at, ev));
     }
 
-    fn pop_due(&mut self, now: Cycle) -> Option<NocEv> {
+    fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, NocEv)> {
         self.wheel.pop_due(now)
     }
 
@@ -452,6 +465,7 @@ impl Interconnect for IdealXbar {
             local_deliveries: self.local_deliveries,
             class_msgs: self.class_msgs,
             class_cycles: self.class_cycles,
+            delivered_hist: self.delivered_hist,
             ..NocStats::default()
         }
     }
@@ -505,12 +519,13 @@ pub(crate) struct ContendedXbar {
     net_lat: Cycle,
     bw: u64,
     data_flits: u64,
-    wheel: Wheel<NocEv>,
+    wheel: Wheel<(Cycle, NocEv)>,
     chaos: ChaosEngine,
     net_messages: u64,
     local_deliveries: u64,
     class_msgs: [u64; LatClass::ALL.len()],
     class_cycles: [u64; LatClass::ALL.len()],
+    delivered_hist: Hist,
     req_links: Vec<Link>,
     resp_links: Vec<Link>,
     dir_in: Link,
@@ -529,6 +544,7 @@ impl ContendedXbar {
             local_deliveries: 0,
             class_msgs: [0; LatClass::ALL.len()],
             class_cycles: [0; LatClass::ALL.len()],
+            delivered_hist: Hist::new(),
             req_links: (0..n_cores).map(|_| Link::default()).collect(),
             resp_links: (0..n_cores).map(|_| Link::default()).collect(),
             dir_in: Link::default(),
@@ -549,7 +565,7 @@ impl Interconnect for ContendedXbar {
                 let inject = now + extra + jitter;
                 let sent = self.req_links[src].transmit(inject, CTRL_FLITS, self.bw);
                 let at = self.dir_in.transmit(sent + self.net_lat, CTRL_FLITS, self.bw);
-                self.wheel.schedule(at, ev);
+                self.wheel.schedule(at, (now + extra, ev));
             }
             NocEv::ToL1(core, msg) => {
                 self.net_messages += 1;
@@ -562,22 +578,23 @@ impl Interconnect for ContendedXbar {
                 if let Some(class) = grant_class(&msg) {
                     self.class_msgs[class.index()] += 1;
                     self.class_cycles[class.index()] += at - (now + extra);
+                    self.delivered_hist.record(at - (now + extra));
                 }
-                self.wheel.schedule(at, ev);
+                self.wheel.schedule(at, (now + extra, ev));
             }
             NocEv::ReadDone { .. } | NocEv::StoreReady { .. } => {
                 self.local_deliveries += 1;
                 let jitter = self.chaos.event_jitter();
-                self.wheel.schedule(now + extra + jitter, ev);
+                self.wheel.schedule(now + extra + jitter, (now + extra, ev));
             }
         }
     }
 
     fn send_raw(&mut self, at: Cycle, ev: NocEv) {
-        self.wheel.schedule(at, ev);
+        self.wheel.schedule(at, (at, ev));
     }
 
-    fn pop_due(&mut self, now: Cycle) -> Option<NocEv> {
+    fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, NocEv)> {
         self.wheel.pop_due(now)
     }
 
@@ -612,6 +629,7 @@ impl Interconnect for ContendedXbar {
             local_deliveries: self.local_deliveries,
             class_msgs: self.class_msgs,
             class_cycles: self.class_cycles,
+            delivered_hist: self.delivered_hist,
             req_links: self.req_links.iter().map(|l| l.stats.clone()).collect(),
             resp_links: self.resp_links.iter().map(|l| l.stats.clone()).collect(),
             dir_ingress: self.dir_in.stats.clone(),

@@ -10,6 +10,7 @@ use crate::prefetch::StridePrefetcher;
 use crate::tagarray::TagArray;
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::{line_of, Addr};
+use fa_trace::{Hist, TraceBuf, TraceEvent, MESI_NONE};
 use std::collections::{HashMap, VecDeque};
 
 /// MESI state of a privately cached line (`I` = not present).
@@ -28,6 +29,20 @@ impl Mesi {
     pub fn writable(self) -> bool {
         matches!(self, Mesi::M | Mesi::E)
     }
+
+    /// Trace encoding ([`fa_trace::mesi_name`]).
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            Mesi::M => fa_trace::MESI_M,
+            Mesi::E => fa_trace::MESI_E,
+            Mesi::S => fa_trace::MESI_S,
+        }
+    }
+}
+
+/// Trace encoding of an optional MESI state (`None` = not present).
+pub(crate) fn mesi_code(s: Option<Mesi>) -> u8 {
+    s.map_or(MESI_NONE, Mesi::code)
 }
 
 /// Outcome of presenting a request to the controller.
@@ -109,6 +124,18 @@ pub struct PrivCache {
     /// Current cycle, refreshed by [`PrivCache::retry_stalled_fills`] at the
     /// top of every system tick (used for stall aging and backoff).
     now: Cycle,
+    /// Cycle each currently-locked line was first locked (outermost
+    /// acquisition), for hold-duration accounting.
+    lock_since: HashMap<Line, Cycle>,
+    /// Per-line `(acquisitions, total hold cycles)` since reset, feeding
+    /// the hottest-locked-line report.
+    pub(crate) lock_acct: HashMap<Line, (u64, u64)>,
+    /// Lock-hold duration distribution (outermost lock → unlock).
+    pub(crate) hist_lock_hold: Hist,
+    /// All-ways-locked fill-stall duration distribution.
+    pub(crate) hist_fill_stall: Hist,
+    /// Structured event ring for this controller.
+    pub(crate) trace: TraceBuf,
     // Counters surfaced through MemStats by the system.
     pub(crate) stat_l1_hits: u64,
     pub(crate) stat_l2_hits: u64,
@@ -139,6 +166,11 @@ impl PrivCache {
             l1_lat: cfg.l1_lat,
             l2_lat: cfg.l2_lat,
             now: 0,
+            lock_since: HashMap::new(),
+            lock_acct: HashMap::new(),
+            hist_lock_hold: Hist::new(),
+            hist_fill_stall: Hist::new(),
+            trace: TraceBuf::new(&cfg.trace),
             stat_l1_hits: 0,
             stat_l2_hits: 0,
             stat_parked: 0,
@@ -150,6 +182,14 @@ impl PrivCache {
             stat_invals: 0,
             stat_stores: 0,
         }
+    }
+
+    /// Sets the controller clock (the system calls this before dispatching
+    /// work outside the per-tick [`PrivCache::retry_stalled_fills`] refresh,
+    /// e.g. during fast-forward, so hold windows and event timestamps stay
+    /// accurate).
+    pub(crate) fn set_now(&mut self, now: Cycle) {
+        self.now = now;
     }
 
     /// Current MESI state of `line` (`None` = Invalid).
@@ -197,7 +237,7 @@ impl PrivCache {
         if satisfied_locally {
             let had_wp = state.map(Mesi::writable).unwrap_or(false);
             if lock_intent {
-                *self.locks.entry(line).or_insert(0) += 1;
+                self.lock(line);
             }
             let (delay, class) = if self.l1.touch(line).is_some() {
                 self.stat_l1_hits += 1;
@@ -301,10 +341,17 @@ impl PrivCache {
         let line = line_of(addr);
         match self.l2.touch(line) {
             Some(s) if s.writable() => {
+                let was = *s;
                 *s = Mesi::M;
+                if was != Mesi::M {
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Mesi { line, from: was.code(), to: Mesi::M.code() },
+                    );
+                }
                 self.stat_stores += 1;
                 if lock {
-                    *self.locks.entry(line).or_insert(0) += 1;
+                    self.lock(line);
                 }
                 if unlock {
                     self.unlock(line, out);
@@ -316,9 +363,17 @@ impl PrivCache {
     }
 
     /// Increments the lock count on `line` (load_lock performed on an
-    /// already-writable line, or lock transfer during forwarding).
+    /// already-writable line, or lock transfer during forwarding). The
+    /// outermost acquisition opens the hold-duration window.
     pub(crate) fn lock(&mut self, line: Line) {
-        *self.locks.entry(line).or_insert(0) += 1;
+        let cnt = self.locks.entry(line).or_insert(0);
+        *cnt += 1;
+        let cnt = *cnt;
+        if cnt == 1 {
+            self.lock_since.insert(line, self.now);
+            self.lock_acct.entry(line).or_insert((0, 0)).0 += 1;
+        }
+        self.trace.record(self.now, TraceEvent::LockAcquire { line, count: cnt });
     }
 
     /// Decrements the lock count on `line`; at zero the line unpins and all
@@ -332,6 +387,13 @@ impl PrivCache {
         *cnt -= 1;
         if *cnt == 0 {
             self.locks.remove(&line);
+            let held = self
+                .lock_since
+                .remove(&line)
+                .map_or(0, |since| self.now.saturating_sub(since));
+            self.hist_lock_hold.record(held);
+            self.lock_acct.entry(line).or_insert((0, 0)).1 += held;
+            self.trace.record(self.now, TraceEvent::LockRelease { line, held });
             // A freed lock may unblock a stalled fill in this set: cancel any
             // backoff so the oldest waiter retries on the very next tick
             // instead of sleeping out its backoff window.
@@ -353,12 +415,18 @@ impl PrivCache {
                 if self.is_locked(line) || self.fill_pending(line) {
                     crate::trace(line, || format!("{:?} Inv PARKED (locked)", self.id));
                     self.stat_parked += 1;
+                    self.trace.record(self.now, TraceEvent::LockPark { line });
                     self.parked_ext.entry(line).or_default().push_back(msg);
                     return;
                 }
-                let had = self.l2.remove(line).is_some();
+                let was = self.l2.remove(line);
+                let had = was.is_some();
                 crate::trace(line, || format!("{:?} Inv applied, had_line={had}", self.id));
                 if had {
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Mesi { line, from: mesi_code(was), to: fa_trace::MESI_I },
+                    );
                     self.l1.remove(line);
                     self.stat_invals += 1;
                     out.push(Action::LineLost { line, remote_write: true });
@@ -368,12 +436,20 @@ impl PrivCache {
             L1Msg::Downgrade { line } => {
                 if self.is_locked(line) || self.fill_pending(line) {
                     self.stat_parked += 1;
+                    self.trace.record(self.now, TraceEvent::LockPark { line });
                     self.parked_ext.entry(line).or_default().push_back(msg);
                     return;
                 }
                 let had = match self.l2.peek_mut(line) {
                     Some(s) => {
+                        let was = s.code();
                         *s = Mesi::S;
+                        if was != Mesi::S.code() {
+                            self.trace.record(
+                                self.now,
+                                TraceEvent::Mesi { line, from: was, to: Mesi::S.code() },
+                            );
+                        }
                         true
                     }
                     None => false,
@@ -425,6 +501,9 @@ impl PrivCache {
                 continue;
             }
             if self.try_fill(f.line, f.excl, f.class, out) {
+                let waited = now.saturating_sub(f.since);
+                self.hist_fill_stall.record(waited);
+                self.trace.record(now, TraceEvent::FillStall { line: f.line, waited });
                 if let Some(queue) = self.parked_ext.remove(&f.line) {
                     // External requests parked behind the pending fill replay
                     // now (unless the fill locked the line — then they stay).
@@ -448,22 +527,37 @@ impl PrivCache {
 
     fn try_fill(&mut self, line: Line, excl: bool, class: LatClass, out: &mut Vec<Action>) -> bool {
         if !self.l2.contains(line) {
+            let filled = if excl { Mesi::E } else { Mesi::S };
             let locks = &self.locks;
-            match self.l2.insert(line, if excl { Mesi::E } else { Mesi::S }, |l| {
-                locks.contains_key(&l)
-            }) {
-                Ok(Some((victim, _state))) => {
+            match self.l2.insert(line, filled, |l| locks.contains_key(&l)) {
+                Ok(Some((victim, state))) => {
                     self.l1.remove(victim);
                     self.stat_evictions += 1;
+                    self.trace.record(
+                        self.now,
+                        TraceEvent::Mesi {
+                            line: victim,
+                            from: state.code(),
+                            to: fa_trace::MESI_I,
+                        },
+                    );
                     out.push(Action::LineLost { line: victim, remote_write: false });
                 }
                 Ok(None) => {}
                 Err(_) => return false,
             }
+            self.trace.record(
+                self.now,
+                TraceEvent::Mesi { line, from: MESI_NONE, to: filled.code() },
+            );
         } else if excl {
             // Upgrade grant for a line we still hold in S. The `contains`
             // check above guarantees presence.
             *self.l2.peek_mut(line).expect("upgrade target resident") = Mesi::E;
+            self.trace.record(
+                self.now,
+                TraceEvent::Mesi { line, from: Mesi::S.code(), to: Mesi::E.code() },
+            );
         }
         self.fill_l1(line);
         // Fill complete: release the directory's serialization on the line.
@@ -482,7 +576,7 @@ impl PrivCache {
                         continue;
                     }
                     if lock_intent {
-                        *self.locks.entry(line).or_insert(0) += 1;
+                        self.lock(line);
                     }
                     out.push(Action::ReadDone {
                         delay: self.l1_lat,

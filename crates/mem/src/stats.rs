@@ -3,7 +3,8 @@
 use crate::audit::AuditStats;
 use crate::chaos::ChaosStats;
 use crate::noc::NocStats;
-use crate::Cycle;
+use crate::{Cycle, Line};
+use fa_trace::Hist;
 use serde::{Deserialize, Serialize};
 
 /// Per-core memory counters.
@@ -34,6 +35,12 @@ pub struct CoreMemStats {
     pub prefetches: u64,
     /// Stores performed (backing store writes).
     pub stores_performed: u64,
+    /// Distribution of cycles fills spent stalled on an all-ways-locked
+    /// set (one sample per stalled fill, recorded at placement).
+    pub fill_stall_hist: Hist,
+    /// Distribution of cache-lock hold windows (one sample per outermost
+    /// `lock → unlock` pair, recorded at release).
+    pub lock_hold_hist: Hist,
 }
 
 /// Directory / shared-level counters.
@@ -74,9 +81,27 @@ pub struct MemStats {
     pub chaos: ChaosStats,
     /// Invariant-audit counters (all zero when auditing is off).
     pub audit: AuditStats,
+    /// The hottest locked lines across all cores, ordered by total hold
+    /// cycles (descending, line address as the deterministic tiebreak),
+    /// truncated to [`MemStats::HOT_LOCKS`] entries.
+    pub hot_locks: Vec<HotLock>,
+}
+
+/// Contention summary for one cache line that was lock-held.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotLock {
+    /// Line address.
+    pub line: Line,
+    /// Outermost lock acquisitions.
+    pub acquisitions: u64,
+    /// Total cycles held locked.
+    pub hold_cycles: u64,
 }
 
 impl MemStats {
+    /// Entries kept in [`MemStats::hot_locks`].
+    pub const HOT_LOCKS: usize = 8;
+
     /// Creates zeroed statistics for `n` cores.
     pub fn new(n: usize) -> MemStats {
         MemStats { cores: vec![CoreMemStats::default(); n], ..MemStats::default() }

@@ -19,13 +19,20 @@ use crate::dir::{DirAction, Directory};
 use crate::msgs::{CoreNotice, CoreResp, DirMsg, LatClass};
 use crate::noc::{Interconnect, NocEv};
 use crate::privcache::{Action, PrivCache, ReqOutcome};
-use crate::stats::MemStats;
+use crate::stats::{HotLock, MemStats};
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::interp::GuestMem;
 use fa_isa::{Addr, Word};
+use fa_trace::{
+    TraceBuf, TraceEvent, TraceRecord, NOC_READ_DONE, NOC_STORE_READY, NOC_TO_DIR, NOC_TO_L1,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Synthetic node id for the directory in NoC trace events (cores use
+/// their `CoreId`).
+const DIR_NODE: u16 = u16::MAX;
 
 /// A point-in-time snapshot of memory-system state, attached to timeout
 /// reports so a hang names the locked lines and in-flight transactions
@@ -91,6 +98,9 @@ pub struct MemorySystem {
     /// the audit sweep (empty while auditing is off).
     lock_ages: HashMap<(CoreId, Line), Cycle>,
     trace_line: Option<Line>,
+    /// Structured trace ring for interconnect send/deliver events (the
+    /// per-cache and directory controllers own their own rings).
+    noc_trace: TraceBuf,
 }
 
 impl MemorySystem {
@@ -110,6 +120,7 @@ impl MemorySystem {
             now: 0,
             noc: crate::noc::build(&cfg, n_cores, chaos),
             lock_ages: HashMap::new(),
+            noc_trace: TraceBuf::new(&cfg.trace),
             cfg,
             trace_line: std::env::var("FA_TRACE_LINE")
                 .ok()
@@ -152,6 +163,9 @@ impl MemorySystem {
     /// Advances one cycle and processes all protocol events now due.
     pub fn tick(&mut self) {
         self.now += 1;
+        // Trace timestamps only — the directory's protocol logic is
+        // event-driven and never reads the clock.
+        self.dir.set_now(self.now);
         // Fault injection: periodic back-invalidation storms.
         if self.noc.chaos().enabled() {
             let burst = self.noc.chaos_mut().storm_due(self.now);
@@ -168,12 +182,22 @@ impl MemorySystem {
             self.caches[i].retry_stalled_fills(self.now, &mut acts);
             self.apply_cache_actions(i, acts);
         }
-        while let Some(ev) = self.noc.pop_due(self.now) {
-            self.process(ev);
+        while let Some((sent, ev)) = self.noc.pop_due(self.now) {
+            self.process(sent, ev);
         }
     }
 
-    fn process(&mut self, ev: NocEv) {
+    fn process(&mut self, sent: Cycle, ev: NocEv) {
+        if self.noc_trace.on() {
+            let lat = self.now.saturating_sub(sent);
+            let (kind, dst) = match ev {
+                NocEv::ToDir(_) => (NOC_TO_DIR, DIR_NODE),
+                NocEv::ToL1(core, _) => (NOC_TO_L1, core.0),
+                NocEv::ReadDone { core, .. } => (NOC_READ_DONE, core.0),
+                NocEv::StoreReady { core, .. } => (NOC_STORE_READY, core.0),
+            };
+            self.noc_trace.record(self.now, TraceEvent::NocDeliver { kind, dst, lat });
+        }
         match ev {
             NocEv::ToDir(msg) => {
                 let mut dout = Vec::new();
@@ -224,6 +248,10 @@ impl MemorySystem {
         for a in actions {
             match a {
                 DirAction::ToL1 { core, msg, extra } => {
+                    self.noc_trace.record(
+                        self.now,
+                        TraceEvent::NocSend { kind: NOC_TO_L1, src: DIR_NODE, dst: core.0 },
+                    );
                     self.noc.send(self.now, extra, NocEv::ToL1(core, msg));
                 }
                 DirAction::Redispatch(req) => {
@@ -239,6 +267,21 @@ impl MemorySystem {
     /// directory requests onto the core's request egress port.
     fn apply_cache_actions(&mut self, core: usize, actions: Vec<Action>) {
         for a in actions {
+            if self.noc_trace.on() {
+                let send = match a {
+                    Action::ReadDone { .. } => {
+                        Some((NOC_READ_DONE, core as u16, core as u16))
+                    }
+                    Action::StoreReady { .. } => {
+                        Some((NOC_STORE_READY, core as u16, core as u16))
+                    }
+                    Action::ToDir(_) => Some((NOC_TO_DIR, core as u16, DIR_NODE)),
+                    Action::LineLost { .. } => None,
+                };
+                if let Some((kind, src, dst)) = send {
+                    self.noc_trace.record(self.now, TraceEvent::NocSend { kind, src, dst });
+                }
+            }
             match a {
                 Action::ReadDone { delay, seq, addr, class, had_write_perm, locked } => {
                     self.noc.send(
@@ -409,6 +452,12 @@ impl MemorySystem {
         );
         debug_assert!(self.fast_forwardable(), "skip_to requires a pure clock advance");
         self.now = cycle;
+        // Keep controller trace clocks in step across the skipped span so
+        // lock-hold and fill-stall attributions stay cycle-accurate.
+        self.dir.set_now(cycle);
+        for c in &mut self.caches {
+            c.set_now(cycle);
+        }
     }
 
     /// Runs one invariant-audit sweep. Free when `cfg.audit.enabled` is
@@ -510,7 +559,29 @@ impl MemorySystem {
             cs.max_fill_stall = c.stat_fill_stall_max;
             cs.prefetches = c.stat_prefetches;
             cs.invals_received = c.stat_invals;
+            cs.fill_stall_hist = c.hist_fill_stall;
+            cs.lock_hold_hist = c.hist_lock_hold;
         }
+        // Hottest locked lines: merge per-cache lock accounting by line,
+        // rank by total hold cycles (line address as the deterministic
+        // tiebreak), keep the top entries.
+        let mut by_line: HashMap<Line, (u64, u64)> = HashMap::new();
+        for c in &self.caches {
+            for (&line, &(acqs, held)) in &c.lock_acct {
+                let e = by_line.entry(line).or_insert((0, 0));
+                e.0 += acqs;
+                e.1 += held;
+            }
+        }
+        let mut hot: Vec<HotLock> = by_line
+            .into_iter()
+            .map(|(line, (acquisitions, hold_cycles))| HotLock { line, acquisitions, hold_cycles })
+            .collect();
+        hot.sort_unstable_by(|a, b| {
+            b.hold_cycles.cmp(&a.hold_cycles).then(a.line.cmp(&b.line))
+        });
+        hot.truncate(MemStats::HOT_LOCKS);
+        s.hot_locks = hot;
         s.dir.requests = self.dir.stat_requests;
         s.dir.parked_busy = self.dir.stat_parked_busy;
         s.dir.invals_sent = self.dir.stat_invals_sent;
@@ -522,6 +593,43 @@ impl MemorySystem {
         s.noc = self.noc.stats(self.now);
         s.messages = s.noc.net_messages;
         s
+    }
+
+    /// Every non-empty trace ring in a stable order: per-core cache
+    /// controllers (`l1c{i}`), the directory (`dir`), then the interconnect
+    /// (`noc`). Empty when tracing is off.
+    pub fn trace_events(&self) -> Vec<(String, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            if !c.trace.is_empty() {
+                out.push((format!("l1c{i}"), c.trace.records()));
+            }
+        }
+        if !self.dir.trace.is_empty() {
+            out.push(("dir".to_string(), self.dir.trace.records()));
+        }
+        if !self.noc_trace.is_empty() {
+            out.push(("noc".to_string(), self.noc_trace.records()));
+        }
+        out
+    }
+
+    /// The last `n` trace records per component (flight-recorder tails),
+    /// same component order and naming as [`trace_events`](Self::trace_events).
+    pub fn trace_tails(&self, n: usize) -> Vec<(String, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            if !c.trace.is_empty() {
+                out.push((format!("l1c{i}"), c.trace.tail(n)));
+            }
+        }
+        if !self.dir.trace.is_empty() {
+            out.push(("dir".to_string(), self.dir.trace.tail(n)));
+        }
+        if !self.noc_trace.is_empty() {
+            out.push(("noc".to_string(), self.noc_trace.tail(n)));
+        }
+        out
     }
 }
 

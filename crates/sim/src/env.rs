@@ -1,0 +1,187 @@
+//! Unified `FA_*` environment-variable parsing.
+//!
+//! Every knob the benchmark and tool binaries read from the environment
+//! (`FA_THREADS`, `FA_NOC`, `FA_POLICIES`, `FA_PRESETS`, `FA_WORKLOADS`,
+//! `FA_BENCH_JSON`, `FA_TRACE`, the `FA_FUZZ_*` family, ...) goes through
+//! these helpers so a malformed value fails **loudly** with the variable
+//! name and the expected shape, instead of each binary hand-rolling a
+//! slightly different `std::env::var` dance with silently divergent error
+//! behavior.
+//!
+//! Policy: an *unset* variable falls back to the caller's default; a *set
+//! but malformed* variable panics. A set-but-empty (or all-whitespace)
+//! value is treated as unset, so `FA_TRACE= cargo run ...` behaves like
+//! omitting the variable.
+
+use fa_trace::{parse_trace_setting, TraceMode};
+
+/// The value of `name`, trimmed; `None` when unset or blank.
+pub fn var(name: &str) -> Option<String> {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.to_string())
+            }
+        }
+        Err(_) => None,
+    }
+}
+
+/// `name` parsed as a `u64`, or `default` when unset.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a non-negative integer.
+pub fn u64_or(name: &str, default: u64) -> u64 {
+    match var(name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: invalid value {v:?}: {e} (expected an integer)")),
+    }
+}
+
+/// `name` parsed as a `usize`, or `default` when unset.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a non-negative integer.
+pub fn usize_or(name: &str, default: usize) -> usize {
+    match var(name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: invalid value {v:?}: {e} (expected an integer)")),
+    }
+}
+
+/// `name` parsed as an `f64`, or `default` when unset.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a number.
+pub fn f64_or(name: &str, default: f64) -> f64 {
+    match var(name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}: invalid value {v:?}: {e} (expected a number)")),
+    }
+}
+
+/// `name` split on commas into trimmed, non-empty items; `None` when unset
+/// or blank. The caller validates the item names (so its error can list the
+/// legal ones).
+pub fn list(name: &str) -> Option<Vec<String>> {
+    var(name).map(|v| {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    })
+}
+
+/// The interconnect selection from `FA_NOC`: `ideal` (default),
+/// `contended`, or `contended:<bw>`.
+///
+/// # Panics
+///
+/// Panics on any other value.
+pub fn noc_config() -> fa_mem::NocConfig {
+    match var("FA_NOC") {
+        None => fa_mem::NocConfig::default(),
+        Some(v) => parse_noc(&v)
+            .unwrap_or_else(|| panic!("FA_NOC: invalid value {v:?} (expected `ideal`, `contended`, or `contended:<bw>`)")),
+    }
+}
+
+/// Parses one interconnect spec (the `FA_NOC` grammar).
+pub fn parse_noc(v: &str) -> Option<fa_mem::NocConfig> {
+    match v {
+        "ideal" => Some(fa_mem::NocConfig::default()),
+        "contended" => Some(fa_mem::NocConfig::contended(2)),
+        other => {
+            let bw = other.strip_prefix("contended:")?;
+            Some(fa_mem::NocConfig::contended(bw.parse().ok()?))
+        }
+    }
+}
+
+/// The trace setting from `FA_TRACE`: `off` (default), `flight`, `full`,
+/// or `full:<path>` — mode plus the optional export path.
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn trace_setting() -> (TraceMode, Option<String>) {
+    match var("FA_TRACE") {
+        None => (TraceMode::Off, None),
+        Some(v) => {
+            parse_trace_setting(&v).unwrap_or_else(|e| panic!("FA_TRACE: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses a variable name nothing else reads, so parallel test
+    // execution cannot race on the process environment.
+
+    #[test]
+    fn unset_and_blank_fall_back() {
+        assert_eq!(u64_or("FA_TEST_ENV_UNSET", 7), 7);
+        std::env::set_var("FA_TEST_ENV_BLANK", "   ");
+        assert_eq!(usize_or("FA_TEST_ENV_BLANK", 3), 3);
+        assert!(var("FA_TEST_ENV_BLANK").is_none());
+    }
+
+    #[test]
+    fn set_values_parse_with_trimming() {
+        std::env::set_var("FA_TEST_ENV_U64", " 42 ");
+        assert_eq!(u64_or("FA_TEST_ENV_U64", 0), 42);
+        std::env::set_var("FA_TEST_ENV_F64", "1.5");
+        assert!((f64_or("FA_TEST_ENV_F64", 0.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "FA_TEST_ENV_BAD")]
+    fn malformed_values_panic_loudly() {
+        std::env::set_var("FA_TEST_ENV_BAD", "not-a-number");
+        u64_or("FA_TEST_ENV_BAD", 0);
+    }
+
+    #[test]
+    fn lists_split_and_trim() {
+        std::env::set_var("FA_TEST_ENV_LIST", "a, b ,,c");
+        assert_eq!(
+            list("FA_TEST_ENV_LIST").unwrap(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert!(list("FA_TEST_ENV_LIST_UNSET").is_none());
+    }
+
+    #[test]
+    fn noc_grammar() {
+        assert_eq!(parse_noc("ideal"), Some(fa_mem::NocConfig::default()));
+        assert_eq!(parse_noc("contended"), Some(fa_mem::NocConfig::contended(2)));
+        assert_eq!(parse_noc("contended:4"), Some(fa_mem::NocConfig::contended(4)));
+        assert_eq!(parse_noc("mesh"), None);
+        assert_eq!(parse_noc("contended:x"), None);
+    }
+
+    #[test]
+    fn trace_grammar_via_env() {
+        std::env::set_var("FA_TEST_ENV_TRACE", "full:/tmp/t.json");
+        let v = var("FA_TEST_ENV_TRACE").unwrap();
+        assert_eq!(
+            parse_trace_setting(&v).unwrap(),
+            (TraceMode::Full, Some("/tmp/t.json".to_string()))
+        );
+    }
+}

@@ -17,6 +17,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod energy;
+pub mod env;
 pub mod error;
 pub mod fuzz;
 pub mod litmus;
@@ -34,3 +35,9 @@ pub use machine::{Machine, MachineConfig, MachineSnapshot, RunResult, RunTimeout
 pub use methodology::{measure, measure_parallel, Methodology, MultiRun};
 pub use presets::{icelake_like, skylake_like, tiny_machine};
 pub use sweep::{run_cells, run_cells_timed, SweepTiming};
+
+// The trace layer's user-facing types, re-exported so binaries configure
+// tracing without a direct fa-trace dependency.
+pub use fa_trace::{
+    flight_json, validate_chrome_trace, FlightEntry, Hist, TraceConfig, TraceMode,
+};

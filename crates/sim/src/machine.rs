@@ -5,8 +5,12 @@ use fa_core::{Core, CoreConfig, CoreDiag, CoreStats};
 use fa_isa::interp::GuestMem;
 use fa_isa::Program;
 use fa_mem::{AuditViolation, CoreId, MemConfig, MemDiag, MemStats, MemorySystem};
+use fa_trace::{chrome_trace, FlightEntry, TraceMode, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Events per component kept in a snapshot's flight-recorder tail.
+const FLIGHT_TAIL: usize = 8;
 
 /// Machine-level configuration: one core config (homogeneous) + the memory
 /// hierarchy.
@@ -17,6 +21,16 @@ pub struct MachineConfig {
     pub core: CoreConfig,
     /// Memory-hierarchy parameters.
     pub mem: MemConfig,
+}
+
+impl MachineConfig {
+    /// Returns a copy with the given trace mode applied to both the core
+    /// and memory layers (they are always configured together).
+    pub fn with_trace(mut self, mode: TraceMode) -> MachineConfig {
+        self.core.trace.mode = mode;
+        self.mem.trace.mode = mode;
+        self
+    }
 }
 
 
@@ -31,6 +45,9 @@ pub struct MachineSnapshot {
     /// Memory-system state (locked lines, busy directory entries, stalled
     /// fills, in-flight events).
     pub mem: MemDiag,
+    /// Flight-recorder tail: the last few structured trace events per
+    /// component, in `(cycle, seq)` order. Empty when tracing is off.
+    pub trace_tail: Vec<FlightEntry>,
 }
 
 impl fmt::Display for MachineSnapshot {
@@ -39,7 +56,14 @@ impl fmt::Display for MachineSnapshot {
         for (i, c) in self.cores.iter().enumerate() {
             writeln!(f, "  c{i}: {c}")?;
         }
-        write!(f, "{}", self.mem)
+        write!(f, "{}", self.mem)?;
+        if !self.trace_tail.is_empty() {
+            write!(f, "\n  flight recorder tail ({} events):", self.trace_tail.len())?;
+            for e in &self.trace_tail {
+                write!(f, "\n    {e}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -261,11 +285,62 @@ impl Machine {
 
     /// Snapshot of the whole machine for diagnostics.
     pub fn snapshot(&self) -> MachineSnapshot {
+        let mut tail: Vec<FlightEntry> = Vec::new();
+        for (comp, records) in self.trace_events_tail(FLIGHT_TAIL) {
+            tail.extend(records.into_iter().map(|r| FlightEntry {
+                comp: comp.clone(),
+                cycle: r.cycle,
+                seq: r.seq,
+                ev: r.ev,
+            }));
+        }
+        // Global order: time first; the per-component sequence and the
+        // component name break same-cycle ties deterministically.
+        tail.sort_by(|a, b| {
+            (a.cycle, a.seq, &a.comp).cmp(&(b.cycle, b.seq, &b.comp))
+        });
         MachineSnapshot {
             cycle: self.now,
             cores: self.cores.iter().map(|c| c.diag()).collect(),
             mem: self.mem.diag(),
+            trace_tail: tail,
         }
+    }
+
+    /// Every non-empty trace ring in a stable component order: cores
+    /// (`core{i}`), then the memory system's components (`l1c{i}`, `dir`,
+    /// `noc`). Empty when tracing is off.
+    pub fn trace_events(&self) -> Vec<(String, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            let records = c.trace_records();
+            if !records.is_empty() {
+                out.push((format!("core{i}"), records));
+            }
+        }
+        out.extend(self.mem.trace_events());
+        out
+    }
+
+    /// Like [`trace_events`](Self::trace_events) but keeping only the last
+    /// `n` records per component.
+    fn trace_events_tail(&self, n: usize) -> Vec<(String, Vec<TraceRecord>)> {
+        let mut out = Vec::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            let records = c.trace_tail(n);
+            if !records.is_empty() {
+                out.push((format!("core{i}"), records));
+            }
+        }
+        out.extend(self.mem.trace_tails(n));
+        out
+    }
+
+    /// The recorded trace as Chrome-trace/Perfetto JSON (load it at
+    /// `ui.perfetto.dev` or `chrome://tracing`). Contains only metadata
+    /// when tracing is off.
+    pub fn perfetto_trace(&self) -> String {
+        chrome_trace(&self.trace_events())
     }
 
     /// Runs until quiescence.
@@ -522,6 +597,90 @@ mod tests {
         assert_eq!(r1.per_core, r2.per_core);
         assert!(r2.mem.audit.sweeps > 0);
         assert!(r2.mem.audit.sweeps < r1.mem.audit.sweeps);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        // The tentpole invariant: FA_TRACE=off|flight|full must produce
+        // bit-identical cycles, stats and guest memory — histograms are
+        // always-on counters and event recording is strictly passive.
+        let run_with = |mode: fa_trace::TraceMode| {
+            let cfg = MachineConfig::default().with_trace(mode);
+            let mut m = Machine::new(cfg, vec![counter_prog(40); 2], GuestMem::new(1 << 16));
+            let r = m.run(2_000_000).expect("quiesce");
+            (r, m.guest_mem().load(0x100), m.trace_events())
+        };
+        let (off, off_mem, off_events) = run_with(fa_trace::TraceMode::Off);
+        let (flight, flight_mem, _) = run_with(fa_trace::TraceMode::Flight);
+        let (full, full_mem, full_events) = run_with(fa_trace::TraceMode::Full);
+        assert_eq!(off.cycles, flight.cycles);
+        assert_eq!(off.cycles, full.cycles);
+        assert_eq!(off.per_core, flight.per_core);
+        assert_eq!(off.per_core, full.per_core);
+        assert_eq!(off.mem, flight.mem);
+        assert_eq!(off.mem, full.mem);
+        assert_eq!(off_mem, flight_mem);
+        assert_eq!(off_mem, full_mem);
+        // Off records nothing; full records across component classes.
+        assert!(off_events.is_empty());
+        let comps: Vec<&str> = full_events.iter().map(|(c, _)| c.as_str()).collect();
+        assert!(comps.contains(&"core0"), "got components {comps:?}");
+        assert!(comps.contains(&"l1c0"), "got components {comps:?}");
+        assert!(comps.contains(&"noc"), "got components {comps:?}");
+        // The always-on histograms actually populated.
+        let agg = full.aggregate();
+        assert!(agg.atomic_exec_hist.count > 0, "atomics must record exec latency");
+        assert_eq!(agg.atomic_exec_hist, off.aggregate().atomic_exec_hist);
+    }
+
+    #[test]
+    fn audit_violation_carries_flight_recorder_tail() {
+        // An injected audit failure (forward-progress bound tight enough
+        // that a legal memory round-trip trips it) must surface the last
+        // trace events per component inside the error's snapshot.
+        let mut k = Kasm::new();
+        k.li(Reg::R1, 0x200);
+        let top = k.here_label();
+        k.ld(Reg::R2, Reg::R1, 0);
+        k.beq_imm(Reg::R2, 0, top);
+        k.halt();
+        let spin = k.finish().unwrap();
+        let mut cfg = MachineConfig::default().with_trace(fa_trace::TraceMode::Flight);
+        cfg.mem.audit =
+            fa_mem::AuditConfig { enabled: true, max_core_stall: 2, ..fa_mem::AuditConfig::on() };
+        let mut m = Machine::new(cfg, vec![spin], GuestMem::new(1 << 12));
+        let err = m.run(100_000).unwrap_err();
+        let snapshot = err.snapshot().expect("audit errors carry a snapshot");
+        assert!(
+            !snapshot.trace_tail.is_empty(),
+            "flight recorder must capture events leading up to the violation"
+        );
+        // Ordered by (cycle, seq, comp).
+        for w in snapshot.trace_tail.windows(2) {
+            assert!(
+                (w[0].cycle, w[0].seq, &w[0].comp) <= (w[1].cycle, w[1].seq, &w[1].comp),
+                "tail must be sorted"
+            );
+        }
+        let text = err.to_string();
+        assert!(text.contains("flight recorder tail"), "got: {text}");
+        assert!(text.contains("uop.dispatch") || text.contains("noc."), "got: {text}");
+        // The tail also exports as JSON.
+        let json = fa_trace::flight_json(&snapshot.trace_tail);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"comp\":"));
+    }
+
+    #[test]
+    fn perfetto_export_has_chrome_trace_shape() {
+        let cfg = MachineConfig::default().with_trace(fa_trace::TraceMode::Full);
+        let mut m = Machine::new(cfg, vec![counter_prog(10); 2], GuestMem::new(1 << 16));
+        m.run(2_000_000).expect("quiesce");
+        let json = m.perfetto_trace();
+        let events = fa_trace::validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(events > 0, "a traced run must export events");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("atomic.load_lock"), "atomics must appear in the export");
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! Structured cycle-level observability for the Free Atomics substrate.
+//!
+//! Three cooperating pieces, all deterministic:
+//!
+//! * [`TraceEvent`] + [`TraceBuf`] — a compact structured event API.
+//!   Components (cores, private caches, directory, NoC) record events
+//!   into bounded per-component ring buffers with `(cycle, seq)`
+//!   ordering. Recording is zero-cost when the mode is [`TraceMode::Off`]
+//!   (a single enum compare; no allocation, no clock reads, and — by
+//!   construction — no effect on simulated state in any mode).
+//! * [`Hist`] — log-bucketed latency histograms with *fixed* bucket
+//!   edges (powers of two), so histograms collected on different sweep
+//!   workers merge element-wise into bit-identical totals regardless of
+//!   merge order or thread count.
+//! * [`chrome_trace`] — a Chrome-trace/Perfetto JSON exporter so a full
+//!   run can be opened in `ui.perfetto.dev`, plus [`flight_json`] for
+//!   dumping a crash flight-recorder tail.
+//!
+//! The crate is a leaf: no simulator types, only plain integers, so both
+//! `fa-core` and `fa-mem` can depend on it without layering cycles.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How much event recording the simulator performs.
+///
+/// Latency histograms are *not* governed by this switch: they are plain
+/// passive counters, always collected, and therefore identical whatever
+/// the mode — the determinism tests pin that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No events recorded (default). `TraceBuf::record` returns after one
+    /// enum compare.
+    #[default]
+    Off,
+    /// Flight-recorder mode: each component keeps only the last
+    /// [`TraceConfig::ring`] events, drained into crash snapshots.
+    Flight,
+    /// Full mode: events retained (up to [`TraceConfig::full_cap`] per
+    /// component) for timeline export.
+    Full,
+}
+
+impl TraceMode {
+    /// Lower-case name as accepted by `FA_TRACE`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Flight => "flight",
+            TraceMode::Full => "full",
+        }
+    }
+
+    /// Parses an `FA_TRACE` mode word.
+    pub fn parse(v: &str) -> Option<TraceMode> {
+        match v.trim() {
+            "off" => Some(TraceMode::Off),
+            "flight" => Some(TraceMode::Flight),
+            "full" => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a full `FA_TRACE` setting: `off`, `flight`, or `full[:path]`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed values, for the loud
+/// `sim::env` error path.
+pub fn parse_trace_setting(v: &str) -> Result<(TraceMode, Option<String>), String> {
+    let v = v.trim();
+    let (word, path) = match v.split_once(':') {
+        Some((w, p)) => (w, Some(p.to_string())),
+        None => (v, None),
+    };
+    match (TraceMode::parse(word), &path) {
+        (Some(m @ TraceMode::Full), _) => Ok((m, path)),
+        (Some(m), None) => Ok((m, None)),
+        (Some(m), Some(_)) => {
+            Err(format!("a path is only meaningful with `full`, got {:?}", m.name()))
+        }
+        (None, _) => Err(format!("mode must be off|flight|full[:path], got {word:?}")),
+    }
+}
+
+/// Per-component trace sizing. Lives inside `MemConfig`/`CoreConfig` so
+/// the mode is plumbed by configuration, never read from the environment
+/// inside the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Recording mode.
+    pub mode: TraceMode,
+    /// Flight-recorder ring capacity per component.
+    pub ring: usize,
+    /// Retention cap per component in [`TraceMode::Full`]; the oldest
+    /// events are dropped (and counted) beyond this.
+    pub full_cap: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { mode: TraceMode::Off, ring: 128, full_cap: 1 << 20 }
+    }
+}
+
+impl TraceConfig {
+    /// A config with the given mode and default bounds.
+    pub fn with_mode(mode: TraceMode) -> TraceConfig {
+        TraceConfig { mode, ..TraceConfig::default() }
+    }
+}
+
+/// Number of fixed log₂ buckets in a [`Hist`].
+pub const HIST_BUCKETS: usize = 32;
+
+/// A latency histogram with fixed power-of-two bucket edges.
+///
+/// Bucket 0 holds the value 0; bucket `k` (k ≥ 1) holds values in
+/// `[2^(k-1), 2^k)`; the last bucket is unbounded above. Because the
+/// edges are fixed at compile time, merging is element-wise addition and
+/// therefore associative and commutative — sweep workers can merge in
+/// any order and produce bit-identical results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for exact means).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log₂-bucketed counts.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+/// The bucket index for a sample.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Element-wise merge; deterministic under any merge order.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Hand-rolled JSON: `{"count":..,"sum":..,"max":..,"buckets":[..]}`
+    /// with trailing zero buckets trimmed (bucket edges are fixed, so the
+    /// index alone identifies the range).
+    pub fn json(&self) -> String {
+        let last = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        let buckets: Vec<String> = self.buckets[..last].iter().map(u64::to_string).collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.max,
+            buckets.join(",")
+        )
+    }
+}
+
+/// MESI state encoding for [`TraceEvent::Mesi`] (plus `MESI_NONE` for
+/// not-present), kept as plain integers so this crate stays a leaf.
+pub const MESI_I: u8 = 0;
+/// Shared.
+pub const MESI_S: u8 = 1;
+/// Exclusive.
+pub const MESI_E: u8 = 2;
+/// Modified.
+pub const MESI_M: u8 = 3;
+/// Line not present (fills from / evictions to "nothing").
+pub const MESI_NONE: u8 = 4;
+
+/// Printable name for a MESI encoding.
+pub fn mesi_name(s: u8) -> &'static str {
+    match s {
+        MESI_I => "I",
+        MESI_S => "S",
+        MESI_E => "E",
+        MESI_M => "M",
+        _ => "-",
+    }
+}
+
+/// NoC message-kind encoding for [`TraceEvent::NocSend`]/[`NocDeliver`].
+pub const NOC_TO_DIR: u8 = 0;
+/// Directory → L1 coherence message.
+pub const NOC_TO_L1: u8 = 1;
+/// Data fill returning to a core.
+pub const NOC_READ_DONE: u8 = 2;
+/// Store-permission grant returning to a core.
+pub const NOC_STORE_READY: u8 = 3;
+
+/// Printable name for a NoC message-kind encoding.
+pub fn noc_kind_name(k: u8) -> &'static str {
+    match k {
+        NOC_TO_DIR => "to_dir",
+        NOC_TO_L1 => "to_l1",
+        NOC_READ_DONE => "read_done",
+        NOC_STORE_READY => "store_ready",
+        _ => "?",
+    }
+}
+
+/// One structured simulator event. Compact (`Copy`, integers only);
+/// the component and time live in the enclosing [`TraceRecord`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// µop entered the ROB.
+    UopDispatch {
+        /// Global µop sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// µop left the scheduler for execution.
+    UopIssue {
+        /// Global µop sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// µop retired.
+    UopCommit {
+        /// Global µop sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+    },
+    /// Pipeline flush from `seq` onward.
+    Squash {
+        /// First squashed µop.
+        from_seq: u64,
+        /// µops discarded.
+        uops: u64,
+    },
+    /// `load_lock` issued to memory (`fwd` = satisfied by in-window
+    /// forwarding instead of the cache); `drain` is the SB-drain wait the
+    /// baseline policy paid, 0 under free atomics.
+    AtomicLoadLock {
+        /// µop sequence number.
+        seq: u64,
+        /// Byte address.
+        addr: u64,
+        /// SB-drain cycles paid before issue.
+        drain: u64,
+        /// Satisfied by store-to-load forwarding.
+        fwd: bool,
+    },
+    /// `store_unlock` performed: the atomic's lock window closed after
+    /// `exec` cycles (the paper's atomic execution latency).
+    AtomicStoreUnlock {
+        /// µop sequence number.
+        seq: u64,
+        /// Byte address.
+        addr: u64,
+        /// Cycles from `load_lock` issue to `store_unlock` perform.
+        exec: u64,
+    },
+    /// Cache-line lock count rose (0→1 records the hold-window start).
+    LockAcquire {
+        /// Line address.
+        line: u64,
+        /// Nested lock count after acquisition.
+        count: u32,
+    },
+    /// Cache-line lock count fell to 0; `held` is the hold duration.
+    LockRelease {
+        /// Line address.
+        line: u64,
+        /// Cycles the line stayed locked.
+        held: u64,
+    },
+    /// An external coherence request parked behind a locked line.
+    LockPark {
+        /// Line address.
+        line: u64,
+    },
+    /// MESI transition in a private cache ([`mesi_name`] encodings).
+    Mesi {
+        /// Line address.
+        line: u64,
+        /// State before ([`MESI_NONE`] = not present).
+        from: u8,
+        /// State after.
+        to: u8,
+    },
+    /// A fill finally placed after stalling `waited` cycles with every
+    /// candidate way locked.
+    FillStall {
+        /// Line address.
+        line: u64,
+        /// Cycles the fill waited.
+        waited: u64,
+    },
+    /// Directory entry allocated.
+    DirAlloc {
+        /// Line address.
+        line: u64,
+    },
+    /// Request parked behind a busy directory entry.
+    DirPark {
+        /// Line address.
+        line: u64,
+    },
+    /// Starvation-rescue valve fired for this line's allocation.
+    DirRescue {
+        /// Line address.
+        line: u64,
+    },
+    /// Directory entry evicted (back-invalidation begun).
+    DirEvict {
+        /// Line address.
+        line: u64,
+    },
+    /// Message entered the interconnect.
+    NocSend {
+        /// [`noc_kind_name`] encoding.
+        kind: u8,
+        /// Source core (`u16::MAX` = directory).
+        src: u16,
+        /// Destination core (`u16::MAX` = directory).
+        dst: u16,
+    },
+    /// Message left the interconnect; `lat` is its delivered latency.
+    NocDeliver {
+        /// [`noc_kind_name`] encoding.
+        kind: u8,
+        /// Destination core (`u16::MAX` = directory).
+        dst: u16,
+        /// Send-to-delivery cycles.
+        lat: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short stable event name (Perfetto `name`, taxonomy key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::UopDispatch { .. } => "uop.dispatch",
+            TraceEvent::UopIssue { .. } => "uop.issue",
+            TraceEvent::UopCommit { .. } => "uop.commit",
+            TraceEvent::Squash { .. } => "squash",
+            TraceEvent::AtomicLoadLock { .. } => "atomic.load_lock",
+            TraceEvent::AtomicStoreUnlock { .. } => "atomic.store_unlock",
+            TraceEvent::LockAcquire { .. } => "lock.acquire",
+            TraceEvent::LockRelease { .. } => "lock.release",
+            TraceEvent::LockPark { .. } => "lock.park",
+            TraceEvent::Mesi { .. } => "mesi",
+            TraceEvent::FillStall { .. } => "fill.stall",
+            TraceEvent::DirAlloc { .. } => "dir.alloc",
+            TraceEvent::DirPark { .. } => "dir.park",
+            TraceEvent::DirRescue { .. } => "dir.rescue",
+            TraceEvent::DirEvict { .. } => "dir.evict",
+            TraceEvent::NocSend { .. } => "noc.send",
+            TraceEvent::NocDeliver { .. } => "noc.deliver",
+        }
+    }
+
+    /// For events that close a time window: `(duration)`, so the exporter
+    /// can draw them as Perfetto duration slices instead of instants.
+    pub fn duration(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::AtomicStoreUnlock { exec, .. } => Some(exec),
+            TraceEvent::LockRelease { held, .. } => Some(held),
+            TraceEvent::FillStall { waited, .. } => Some(waited),
+            TraceEvent::NocDeliver { lat, .. } => Some(lat),
+            _ => None,
+        }
+    }
+
+    /// Hand-rolled JSON object with this event's fields (Perfetto `args`).
+    pub fn args_json(&self) -> String {
+        match *self {
+            TraceEvent::UopDispatch { seq, pc }
+            | TraceEvent::UopIssue { seq, pc }
+            | TraceEvent::UopCommit { seq, pc } => {
+                format!("{{\"useq\":{seq},\"pc\":{pc}}}")
+            }
+            TraceEvent::Squash { from_seq, uops } => {
+                format!("{{\"from_seq\":{from_seq},\"uops\":{uops}}}")
+            }
+            TraceEvent::AtomicLoadLock { seq, addr, drain, fwd } => format!(
+                "{{\"useq\":{seq},\"addr\":{addr},\"drain\":{drain},\"fwd\":{fwd}}}"
+            ),
+            TraceEvent::AtomicStoreUnlock { seq, addr, exec } => {
+                format!("{{\"useq\":{seq},\"addr\":{addr},\"exec\":{exec}}}")
+            }
+            TraceEvent::LockAcquire { line, count } => {
+                format!("{{\"line\":{line},\"count\":{count}}}")
+            }
+            TraceEvent::LockRelease { line, held } => {
+                format!("{{\"line\":{line},\"held\":{held}}}")
+            }
+            TraceEvent::LockPark { line }
+            | TraceEvent::DirAlloc { line }
+            | TraceEvent::DirPark { line }
+            | TraceEvent::DirRescue { line }
+            | TraceEvent::DirEvict { line } => format!("{{\"line\":{line}}}"),
+            TraceEvent::Mesi { line, from, to } => format!(
+                "{{\"line\":{line},\"from\":\"{}\",\"to\":\"{}\"}}",
+                mesi_name(from),
+                mesi_name(to)
+            ),
+            TraceEvent::FillStall { line, waited } => {
+                format!("{{\"line\":{line},\"waited\":{waited}}}")
+            }
+            TraceEvent::NocSend { kind, src, dst } => format!(
+                "{{\"kind\":\"{}\",\"src\":{src},\"dst\":{dst}}}",
+                noc_kind_name(kind)
+            ),
+            TraceEvent::NocDeliver { kind, dst, lat } => format!(
+                "{{\"kind\":\"{}\",\"dst\":{dst},\"lat\":{lat}}}",
+                noc_kind_name(kind)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::UopDispatch { seq, pc }
+            | TraceEvent::UopIssue { seq, pc }
+            | TraceEvent::UopCommit { seq, pc } => {
+                write!(f, "{} useq={seq} pc={pc:#x}", self.kind())
+            }
+            TraceEvent::Squash { from_seq, uops } => {
+                write!(f, "squash from useq={from_seq} ({uops} uops)")
+            }
+            TraceEvent::AtomicLoadLock { seq, addr, drain, fwd } => write!(
+                f,
+                "atomic.load_lock useq={seq} addr={addr:#x} drain={drain}{}",
+                if fwd { " fwd" } else { "" }
+            ),
+            TraceEvent::AtomicStoreUnlock { seq, addr, exec } => {
+                write!(f, "atomic.store_unlock useq={seq} addr={addr:#x} exec={exec}")
+            }
+            TraceEvent::LockAcquire { line, count } => {
+                write!(f, "lock.acquire line={line:#x} count={count}")
+            }
+            TraceEvent::LockRelease { line, held } => {
+                write!(f, "lock.release line={line:#x} held={held}")
+            }
+            TraceEvent::LockPark { line } => write!(f, "lock.park line={line:#x}"),
+            TraceEvent::Mesi { line, from, to } => {
+                write!(f, "mesi line={line:#x} {}->{}", mesi_name(from), mesi_name(to))
+            }
+            TraceEvent::FillStall { line, waited } => {
+                write!(f, "fill.stall line={line:#x} waited={waited}")
+            }
+            TraceEvent::DirAlloc { line } => write!(f, "dir.alloc line={line:#x}"),
+            TraceEvent::DirPark { line } => write!(f, "dir.park line={line:#x}"),
+            TraceEvent::DirRescue { line } => write!(f, "dir.rescue line={line:#x}"),
+            TraceEvent::DirEvict { line } => write!(f, "dir.evict line={line:#x}"),
+            TraceEvent::NocSend { kind, src, dst } => {
+                write!(f, "noc.send {} {src}->{dst}", noc_kind_name(kind))
+            }
+            TraceEvent::NocDeliver { kind, dst, lat } => {
+                write!(f, "noc.deliver {} ->{dst} lat={lat}", noc_kind_name(kind))
+            }
+        }
+    }
+}
+
+/// One recorded event with its deterministic `(cycle, seq)` position.
+/// `seq` is per-component and strictly increasing, so records sort
+/// totally and reproducibly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated cycle of the event.
+    pub cycle: u64,
+    /// Per-component record sequence number.
+    pub seq: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+/// A bounded per-component event ring.
+#[derive(Clone, Debug)]
+pub struct TraceBuf {
+    mode: TraceMode,
+    ring: usize,
+    full_cap: usize,
+    next_seq: u64,
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    /// A buffer sized by `cfg`.
+    pub fn new(cfg: &TraceConfig) -> TraceBuf {
+        TraceBuf {
+            mode: cfg.mode,
+            ring: cfg.ring.max(1),
+            full_cap: cfg.full_cap.max(1),
+            next_seq: 0,
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// True when events are being recorded at all. Callers may use this
+    /// to skip building expensive event payloads; the events here are
+    /// plain `Copy` structs, so calling [`TraceBuf::record`] directly is
+    /// also fine.
+    pub fn on(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Records `ev` at `cycle`. No-op when the mode is `Off`.
+    pub fn record(&mut self, cycle: u64, ev: TraceEvent) {
+        let cap = match self.mode {
+            TraceMode::Off => return,
+            TraceMode::Flight => self.ring,
+            TraceMode::Full => self.full_cap,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceRecord { cycle, seq, ev });
+    }
+
+    /// The last `n` records, oldest first (non-destructive — crash
+    /// snapshots take `&self`).
+    pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).copied().collect()
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted from the ring since the start of the run.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A flight-recorder entry: one [`TraceRecord`] tagged with the
+/// component it came from (`core3`, `l1c0`, `dir`, `noc`, ...).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightEntry {
+    /// Component label.
+    pub comp: String,
+    /// Simulated cycle.
+    pub cycle: u64,
+    /// Per-component sequence number.
+    pub seq: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+impl fmt::Display for FlightEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {:>8} [{:>6}] {}", self.cycle, self.comp, self.ev)
+    }
+}
+
+/// Hand-rolled JSON array for a flight-recorder tail.
+pub fn flight_json(entries: &[FlightEntry]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"comp\":\"{}\",\"cycle\":{},\"seq\":{},\"name\":\"{}\",\"args\":{}}}",
+                e.comp,
+                e.cycle,
+                e.seq,
+                e.ev.kind(),
+                e.ev.args_json()
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Renders per-component record lists as Chrome-trace/Perfetto JSON
+/// (one synthetic thread per component; duration events for closed time
+/// windows, instants for everything else; `ts` is the simulated cycle).
+pub fn chrome_trace(groups: &[(String, Vec<TraceRecord>)]) -> String {
+    let mut evs: Vec<String> = Vec::new();
+    evs.push("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"fa-sim\"}}".to_string());
+    for (tid, (comp, _)) in groups.iter().enumerate() {
+        evs.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{comp}\"}}}}"
+        ));
+    }
+    for (tid, (_, recs)) in groups.iter().enumerate() {
+        for r in recs {
+            let args = r.ev.args_json();
+            // Splice the record seq into the args object for ordering.
+            let args = format!("{{\"seq\":{},{}", r.seq, &args[1..]);
+            match r.ev.duration() {
+                Some(dur) => evs.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                    r.ev.kind(),
+                    r.cycle.saturating_sub(dur),
+                    dur.max(1),
+                    tid,
+                    args
+                )),
+                None => evs.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+                    r.ev.kind(),
+                    r.cycle,
+                    tid,
+                    args
+                )),
+            }
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ns\"}}\n", evs.join(",\n"))
+}
+
+/// Structurally validates Chrome-trace JSON without an external parser:
+/// checks string-aware brace/bracket balance, the `traceEvents` header,
+/// and returns the number of event objects.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn validate_chrome_trace(s: &str) -> Result<usize, String> {
+    let trimmed = s.trim_start();
+    if !trimmed.starts_with("{\"traceEvents\":[") {
+        return Err("missing {\"traceEvents\":[ header".to_string());
+    }
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut events = 0usize;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                // An object opening directly inside the top-level array is
+                // one trace event.
+                if stack == [b'{', b'['] {
+                    events += 1;
+                }
+                stack.push(b'{');
+            }
+            '[' => stack.push(b'['),
+            '}' if stack.pop() != Some(b'{') => {
+                return Err("unbalanced '}'".to_string());
+            }
+            ']' if stack.pop() != Some(b'[') => {
+                return Err("unbalanced ']'".to_string());
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string".to_string());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed scopes", stack.len()));
+    }
+    // Metadata events (process/thread names) are not simulator events.
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_bucket_edges_are_powers_of_two() {
+        let mut h = Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 9);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2..3
+        assert_eq!(h.buckets[3], 2); // 4..7
+        assert_eq!(h.buckets[4], 1); // 8..15
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 2); // >= 2^30
+    }
+
+    #[test]
+    fn hist_merge_is_order_independent() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+        }
+        for v in [2, 1000] {
+            b.record(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+    }
+
+    #[test]
+    fn hist_json_trims_trailing_zero_buckets() {
+        let mut h = Hist::new();
+        h.record(1);
+        assert_eq!(h.json(), "{\"count\":1,\"sum\":1,\"max\":1,\"buckets\":[0,1]}");
+        assert_eq!(Hist::new().json(), "{\"count\":0,\"sum\":0,\"max\":0,\"buckets\":[]}");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let cfg = TraceConfig { mode: TraceMode::Flight, ring: 3, ..Default::default() };
+        let mut t = TraceBuf::new(&cfg);
+        for i in 0..10u64 {
+            t.record(i, TraceEvent::DirAlloc { line: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let tail = t.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!((tail[0].cycle, tail[0].seq), (8, 8));
+        assert_eq!((tail[1].cycle, tail[1].seq), (9, 9));
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let mut t = TraceBuf::new(&TraceConfig::default());
+        assert!(!t.on());
+        t.record(1, TraceEvent::DirAlloc { line: 0 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_setting_parses() {
+        assert_eq!(parse_trace_setting("off"), Ok((TraceMode::Off, None)));
+        assert_eq!(parse_trace_setting(" flight "), Ok((TraceMode::Flight, None)));
+        assert_eq!(parse_trace_setting("full"), Ok((TraceMode::Full, None)));
+        assert_eq!(
+            parse_trace_setting("full:/tmp/t.json"),
+            Ok((TraceMode::Full, Some("/tmp/t.json".to_string())))
+        );
+        assert!(parse_trace_setting("flight:/x").is_err());
+        assert!(parse_trace_setting("verbose").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_validation() {
+        let recs = vec![
+            TraceRecord { cycle: 5, seq: 0, ev: TraceEvent::LockAcquire { line: 64, count: 1 } },
+            TraceRecord { cycle: 9, seq: 1, ev: TraceEvent::LockRelease { line: 64, held: 4 } },
+        ];
+        let json = chrome_trace(&[("l1c0".to_string(), recs)]);
+        let n = validate_chrome_trace(&json).expect("valid trace json");
+        assert_eq!(n, 2 + 2); // 2 metadata + 2 events
+        assert!(json.contains("\"name\":\"lock.acquire\""));
+        assert!(json.contains("\"ph\":\"X\"")); // release renders as a slice
+        assert!(validate_chrome_trace("{\"traceEvents\":[}").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+    }
+
+    #[test]
+    fn flight_entries_render_and_dump() {
+        let e = FlightEntry {
+            comp: "core0".to_string(),
+            cycle: 42,
+            seq: 7,
+            ev: TraceEvent::AtomicStoreUnlock { seq: 3, addr: 128, exec: 11 },
+        };
+        assert!(format!("{e}").contains("atomic.store_unlock useq=3"));
+        let j = flight_json(std::slice::from_ref(&e));
+        assert!(j.starts_with("[{\"comp\":\"core0\",\"cycle\":42,"));
+        assert!(j.contains("\"name\":\"atomic.store_unlock\""));
+    }
+}
