@@ -5,7 +5,15 @@
 set -eux
 
 cargo build --release
+# Wall-clock budget on the full suite: the conformance/checker layer must
+# not let CI creep — fail loudly the moment the suite crosses 900s.
+t0=$(date +%s)
 cargo test --workspace -q
+t1=$(date +%s)
+test $((t1 - t0)) -le 900 || {
+    echo "FAIL: test suite took $((t1 - t0))s, budget is 900s" >&2
+    exit 1
+}
 cargo clippy --workspace --all-targets -- -D warnings
 # Differential litmus fuzzing under fault injection (seeded — replayable).
 FA_FUZZ_CASES=100 FA_FUZZ_SEED=193459 cargo run -q -p fa-bench --bin fuzz
@@ -19,6 +27,25 @@ grep -q '"schema": "fa-sweep-v1"' target/BENCH_sweep.json
 grep -c '"kernel":' target/BENCH_sweep.json | grep -qx 4
 # Every row must carry the latency-histogram block.
 grep -c '"hists":{"atomic_exec":' target/BENCH_sweep.json | grep -qx 4
+# Axiomatic TSO conformance smoke: 2 kernels x {baseline, free-atomics} x
+# {ideal, contended} x {chaos off, on}, full-execution checker armed on
+# every run. The bin exits nonzero on any violation; the grep keeps the
+# gate loud even if its exit-code plumbing ever regresses.
+FA_CORES=2 FA_SCALE=0.05 FA_WORKLOADS=TATP,PC \
+    cargo run -q --release -p fa-bench --bin conformance > target/conformance.txt
+grep -q 'violations: 0, other failures: 0' target/conformance.txt
+# Checker-transparency gate: the same mini-sweep with FA_CHECK=tso must
+# reproduce the FA_CHECK=off golden rows bit-for-bit, modulo the appended
+# "checked" marker — which must be present on every row.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_BENCH_JSON=target/BENCH_sweep_checked.json FA_CHECK=tso \
+    cargo run -q --release -p fa-bench --bin sweep
+grep -c ',"checked":true' target/BENCH_sweep_checked.json | grep -qx 4
+grep '"kernel":' target/BENCH_sweep_checked.json | sed 's/,"checked":true//' \
+    > target/sweep_rows_checked.txt
+grep '"kernel":' target/BENCH_sweep.json > target/sweep_rows_off.txt
+diff target/sweep_rows_checked.txt target/sweep_rows_off.txt
 # Network-sensitivity smoke: ideal vs contended crossbar on one kernel.
 # Contended rows must carry the per-link `net` stats block.
 FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=PC \

@@ -15,6 +15,7 @@
 //! | `FA_FUZZ_MAX_THREADS` | 3 | max threads per program |
 //! | `FA_FUZZ_MAX_OPS` | 3 | max ops per thread |
 //! | `FA_THREADS` | 0 (auto) | campaign worker threads |
+//! | `FA_CHECK` | `tso` | axiomatic conformance checking per run (`off` to disable) |
 //!
 //! Case generation is serial and seeded, so the report is bit-identical
 //! at any `FA_THREADS` value.
@@ -22,6 +23,7 @@
 use fa_sim::env;
 use fa_sim::fuzz::{fuzz_litmus, FuzzConfig};
 use fa_sim::presets::tiny_machine;
+use fa_sim::CheckMode;
 
 fn main() {
     let base = FuzzConfig::default();
@@ -31,6 +33,7 @@ fn main() {
         max_threads: env::usize_or("FA_FUZZ_MAX_THREADS", base.max_threads),
         max_ops: env::usize_or("FA_FUZZ_MAX_OPS", base.max_ops),
         threads: env::usize_or("FA_THREADS", base.threads),
+        check: env::check_setting_or(CheckMode::Tso),
         ..base
     };
     let report = fuzz_litmus(&tiny_machine(), &fcfg);

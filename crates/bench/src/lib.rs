@@ -17,6 +17,7 @@
 //! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
 //! | `FA_NOC` | `ideal` | interconnect: `ideal`, `contended`, or `contended:<bw>` |
 //! | `FA_TRACE` | `off` | event tracing: `off`, `flight`, or `full[:path]` |
+//! | `FA_CHECK` | `off` | axiomatic TSO conformance checking: `off` or `tso` |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
 //!
 //! All parsing goes through [`fa_sim::env`], so a malformed value fails
@@ -31,7 +32,7 @@ use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{measure_parallel, Methodology, MultiRun};
-use fa_sim::TraceMode;
+use fa_sim::{CheckMode, TraceMode};
 use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
 
 /// Experiment sizing, read from the environment.
@@ -59,6 +60,11 @@ pub struct BenchOpts {
     /// latency histograms are always-on counters and event recording is
     /// strictly passive.
     pub trace: TraceMode,
+    /// Axiomatic TSO conformance checking (`FA_CHECK`), applied to every
+    /// driver run. Off by default; when on, every completed run is
+    /// validated against the full TSO + RMW-atomicity axioms, with
+    /// bit-identical simulation statistics either way.
+    pub check: CheckMode,
 }
 
 impl Default for BenchOpts {
@@ -72,6 +78,7 @@ impl Default for BenchOpts {
             threads: 0,
             noc: NocConfig::default(),
             trace: TraceMode::Off,
+            check: CheckMode::Off,
         }
     }
 }
@@ -95,6 +102,7 @@ impl BenchOpts {
             threads: env::usize_or("FA_THREADS", d.threads),
             noc: env::noc_config(),
             trace: env::trace_setting().0,
+            check: env::check_setting(),
         }
     }
 
@@ -131,9 +139,9 @@ impl BenchOpts {
     }
 
     /// `base` specialized for one run under these options: policy, NoC
-    /// model, and trace mode applied.
+    /// model, trace mode, and conformance-check mode applied.
     pub fn config_for(&self, base: &MachineConfig, policy: AtomicPolicy) -> MachineConfig {
-        let mut cfg = base.clone().with_trace(self.trace);
+        let mut cfg = base.clone().with_trace(self.trace).with_check(self.check);
         cfg.core.policy = policy;
         cfg.mem.noc = self.noc;
         cfg
@@ -258,10 +266,11 @@ mod tests {
     }
 
     #[test]
-    fn config_for_applies_policy_noc_and_trace() {
+    fn config_for_applies_policy_noc_trace_and_check() {
         let opts = BenchOpts {
             noc: NocConfig::contended(4),
             trace: TraceMode::Flight,
+            check: CheckMode::Tso,
             ..BenchOpts::default()
         };
         let cfg = opts.config_for(&MachineConfig::default(), AtomicPolicy::FreeFwd);
@@ -269,6 +278,11 @@ mod tests {
         assert_eq!(cfg.mem.noc, NocConfig::contended(4));
         assert_eq!(cfg.core.trace.mode, TraceMode::Flight);
         assert_eq!(cfg.mem.trace.mode, TraceMode::Flight);
+        assert_eq!(cfg.core.check, CheckMode::Tso);
+        assert_eq!(cfg.mem.check, CheckMode::Tso);
+        // Default opts keep checking off (golden stats must not change).
+        let off = BenchOpts::default().config_for(&MachineConfig::default(), AtomicPolicy::Free);
+        assert_eq!(off.core.check, CheckMode::Off);
     }
 
     #[test]

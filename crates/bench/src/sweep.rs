@@ -269,6 +269,11 @@ pub struct SweepRow {
     /// Latency histograms of the representative run, emitted by
     /// [`SweepRow::json_full`] (and therefore by `BENCH_sweep.json`).
     pub hists: RowHists,
+    /// True when every run behind this row passed the axiomatic TSO
+    /// conformance checker (`FA_CHECK=tso`); set by [`SweepReport::new`].
+    /// Flagged in `BENCH_sweep.json` but kept out of the golden-stable
+    /// [`SweepRow::json`] form.
+    pub checked: bool,
 }
 
 impl SweepRow {
@@ -286,6 +291,7 @@ impl SweepRow {
             instructions: rep.instructions(),
             net: (noc.policy == XbarPolicy::Contended).then(|| noc.clone()),
             hists: RowHists::from_run(rep),
+            checked: false,
         }
     }
 
@@ -308,11 +314,17 @@ impl SweepRow {
     }
 
     /// [`SweepRow::json`] plus the latency-histogram block — the form
-    /// `BENCH_sweep.json` emits.
+    /// `BENCH_sweep.json` emits. Checked rows (runs validated by the
+    /// axiomatic TSO checker) additionally carry `"checked":true`;
+    /// unchecked rows stay byte-identical to the pre-checker goldens.
     pub fn json_full(&self) -> String {
         let mut s = self.json();
         s.pop();
-        let _ = write!(s, ",\"hists\":{}}}", self.hists.json());
+        let _ = write!(s, ",\"hists\":{}", self.hists.json());
+        if self.checked {
+            s.push_str(",\"checked\":true");
+        }
+        s.push('}');
         s
     }
 }
@@ -360,9 +372,18 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Summarizes a finished grid under `bin`'s name.
+    /// Summarizes a finished grid under `bin`'s name. Rows of a checked
+    /// sweep (`FA_CHECK=tso`) are flagged: every run behind them passed
+    /// the axiomatic conformance checker, or the grid would have errored.
     pub fn new(bin: &str, opts: &BenchOpts, results: &[CellResult], timing: SweepTiming) -> SweepReport {
-        let rows = results.iter().map(|r| SweepRow::from_result(opts.runs, r)).collect();
+        let rows = results
+            .iter()
+            .map(|r| {
+                let mut row = SweepRow::from_result(opts.runs, r);
+                row.checked = opts.check.on();
+                row
+            })
+            .collect();
         SweepReport { bin: bin.to_string(), rows, timing }
     }
 
@@ -447,6 +468,7 @@ mod tests {
             threads,
             noc: fa_mem::NocConfig::default(),
             trace: fa_sim::TraceMode::Off,
+            check: fa_sim::CheckMode::Off,
         }
     }
 
@@ -555,6 +577,28 @@ mod tests {
         // The histogram block is actually populated in the emitted JSON.
         assert!(base_json.contains("\"hists\":{\"atomic_exec\":{\"count\":"), "{base_json}");
         assert!(base_json.contains("\"noc_delivered\":"), "{base_json}");
+    }
+
+    #[test]
+    fn checked_sweep_flags_rows_without_perturbing_stats() {
+        // FA_CHECK=tso must leave every simulated quantity bit-identical
+        // — the golden json() form byte-for-byte — and differ in
+        // json_full() only by the appended `"checked":true` flag.
+        use fa_sim::CheckMode;
+        let cells = small_grid()[..2].to_vec();
+        let off_opts = small_opts(1);
+        let tso_opts = BenchOpts { check: CheckMode::Tso, ..off_opts };
+        let (off, ot) = run_grid(&off_opts, &cells).expect("unchecked grid");
+        let (tso, tt) = run_grid(&tso_opts, &cells).expect("checked grid");
+        let off_rep = SweepReport::new("chk", &off_opts, &off, ot);
+        let tso_rep = SweepReport::new("chk", &tso_opts, &tso, tt);
+        for (a, b) in off_rep.rows.iter().zip(&tso_rep.rows) {
+            assert_eq!(a.json(), b.json(), "checking must not perturb golden rows");
+            assert!(!a.checked && b.checked);
+            assert!(!a.json_full().contains("\"checked\""));
+            assert!(b.json_full().ends_with(",\"checked\":true}"), "{}", b.json_full());
+            assert_eq!(a.json_full(), b.json_full().replace(",\"checked\":true", ""));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn golden_opts(threads: usize, noc: NocConfig) -> BenchOpts {
         threads,
         noc,
         trace: fa_sim::TraceMode::Off,
+        check: fa_sim::CheckMode::Off,
     }
 }
 

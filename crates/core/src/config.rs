@@ -1,6 +1,6 @@
 //! Core configuration and the atomic RMW execution policies.
 
-use fa_trace::TraceConfig;
+use fa_trace::{CheckMode, TraceConfig};
 use serde::{Deserialize, Serialize};
 
 /// How atomic RMW instructions execute — the paper's iteratively built
@@ -108,6 +108,11 @@ pub struct CoreConfig {
     /// Structured event tracing (default: off). Latency histograms are
     /// collected regardless of this mode; only event recording is gated.
     pub trace: TraceConfig,
+    /// End-of-run axiomatic conformance checking (default: off). With
+    /// `Tso`, the commit path logs per-access data events for the
+    /// `sim::axiom` checker; collection is passive and never perturbs
+    /// simulated state.
+    pub check: CheckMode,
 }
 
 impl Default for CoreConfig {
@@ -133,6 +138,7 @@ impl Default for CoreConfig {
             bp_history_bits: 12,
             bp_table_bits: 12,
             trace: TraceConfig::default(),
+            check: CheckMode::default(),
         }
     }
 }

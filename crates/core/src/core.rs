@@ -17,7 +17,7 @@ use crate::stats::{CoreStats, SquashCause};
 use fa_isa::reg::NUM_REGS;
 use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
 use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
-use fa_trace::{TraceBuf, TraceEvent, TraceRecord};
+use fa_trace::{write_id, DataEvent, TraceBuf, TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -154,6 +154,10 @@ pub struct Core {
     /// Structured trace ring for pipeline events (µop lifecycle, atomic
     /// lock windows, squashes). A no-op unless `cfg.trace` enables it.
     trace: TraceBuf,
+    /// Committed data accesses in program order, for the axiomatic
+    /// conformance checker. Empty unless `cfg.check` is on; strictly
+    /// passive — nothing in the pipeline reads it.
+    dlog: Vec<DataEvent>,
 }
 
 impl Core {
@@ -186,12 +190,19 @@ impl Core {
             wd_counter: 0,
             stats: CoreStats::default(),
             trace,
+            dlog: Vec::new(),
         }
     }
 
     /// This core's trace ring (empty unless `cfg.trace` enables recording).
     pub fn trace_records(&self) -> Vec<TraceRecord> {
         self.trace.records()
+    }
+
+    /// Committed data accesses in program order (empty unless
+    /// `cfg.check` is on).
+    pub fn data_events(&self) -> &[DataEvent] {
+        &self.dlog
     }
 
     /// The last `n` trace records (flight-recorder tail).
@@ -680,7 +691,11 @@ impl Core {
             .iter()
             .filter(|e| e.seq > store_seq && e.uop.is_load_class() && !e.poisoned)
             .filter(|e| e.addr == Some(saddr))
-            .filter(|e| e.mem == MemPhase::Performed || e.done)
+            // In-flight loads (WaitCache) are victims too: their response
+            // samples memory at delivery, which may land before this store
+            // performs — the load would then commit a pre-store value with
+            // nothing left to repair it (a CoWR violation).
+            .filter(|e| e.mem != MemPhase::Idle || e.done)
             .find(|e| match e.fwd_from {
                 None => true,
                 Some(f) => f < store_seq,
@@ -772,9 +787,11 @@ impl Core {
                 if is_ll {
                     self.forward_to_load_lock(seq, sseq, value, unlock, now)
                 } else {
+                    let writer = write_id(self.id.0, sseq);
                     let e = self.rob.get_mut(seq).unwrap();
                     e.result = value;
                     e.fwd_from = Some(sseq);
+                    e.writer = writer;
                     e.mem = MemPhase::Performed;
                     e.issued = true;
                     e.issued_at = Some(now);
@@ -850,10 +867,12 @@ impl Core {
         aqe.state = AqState::Fwd { store_seq: sseq, from_atomic: from_unlock };
         aqe.chain = chain;
         aqe.issued_at = now;
+        let writer = write_id(self.id.0, sseq);
         let (drain, addr) = {
             let e = self.rob.get_mut(seq).unwrap();
             e.result = value;
             e.fwd_from = Some(sseq);
+            e.writer = writer;
             e.fwd_kind = Some(if from_unlock { FwdSource::Atomic } else { FwdSource::Store });
             e.mem = MemPhase::Performed;
             e.issued = true;
@@ -916,7 +935,7 @@ impl Core {
     fn handle_responses(&mut self, responses: &[CoreResp], now: u64, mem: &mut MemorySystem) {
         for r in responses {
             match *r {
-                CoreResp::ReadResp { seq, addr, value, had_write_perm, locked, .. } => {
+                CoreResp::ReadResp { seq, addr, value, writer, had_write_perm, locked, .. } => {
                     let live = self
                         .rob
                         .get(seq)
@@ -932,6 +951,7 @@ impl Core {
                     let is_ll = {
                         let e = self.rob.get_mut(seq).unwrap();
                         e.result = value;
+                        e.writer = writer;
                         e.mem = MemPhase::Performed;
                         e.done = true;
                         e.local_wp = had_write_perm;
@@ -1050,9 +1070,25 @@ impl Core {
             match head.uop.kind {
                 UopKind::Load { .. } => {
                     self.lq_count -= 1;
+                    if self.cfg.check.on() {
+                        self.dlog.push(DataEvent::Load {
+                            seq,
+                            addr: head.addr.expect("performed load has an address"),
+                            value: head.result,
+                            writer: head.writer,
+                        });
+                    }
                 }
                 UopKind::LoadLock { .. } => {
                     self.lq_count -= 1;
+                    if self.cfg.check.on() {
+                        self.dlog.push(DataEvent::LoadLock {
+                            seq,
+                            addr: head.addr.expect("performed load_lock has an address"),
+                            value: head.result,
+                            writer: head.writer,
+                        });
+                    }
                     if head.local_wp {
                         self.stats.atomics_local_wp += 1;
                     }
@@ -1078,6 +1114,13 @@ impl Core {
                     let is_unlock = matches!(head.uop.kind, UopKind::StoreUnlock { .. });
                     let value = head.value_of(src).expect("store data ready at commit");
                     let addr = head.addr.expect("store address ready at commit");
+                    if self.cfg.check.on() {
+                        self.dlog.push(if is_unlock {
+                            DataEvent::StoreUnlock { seq, addr, value }
+                        } else {
+                            DataEvent::Store { seq, addr, value }
+                        });
+                    }
                     let entry = SbEntry {
                         seq,
                         pc: head.uop.pc,
@@ -1098,9 +1141,14 @@ impl Core {
                 }
                 UopKind::Fence(kind) => {
                     if kind.is_atomic_fence() && !self.cfg.policy.fenced() {
+                        // Omitted fences carry no ordering: not logged —
+                        // the RMW events themselves encode the obligation.
                         self.stats.fences_omitted += 1;
                     } else {
                         self.stats.fences_enforced += 1;
+                        if self.cfg.check.on() {
+                            self.dlog.push(DataEvent::Fence { seq });
+                        }
                     }
                 }
                 UopKind::Pause => self.stats.pauses += 1,
@@ -1133,7 +1181,7 @@ impl Core {
         let Some(&head) = self.sb.front() else { return };
         let line = line_of(head.addr);
         if mem.writable(self.id, line) {
-            let ok = mem.try_store_perform(self.id, head.addr, head.value, false, false);
+            let ok = mem.try_store_perform(self.id, head.seq, head.addr, head.value, false, false);
             assert!(ok, "writable line must accept the store");
             self.sb.pop_front();
             self.sq_count -= 1;
@@ -1281,13 +1329,17 @@ impl Core {
     /// speculatively performed, uncommitted load on that line (TSO
     /// load→load enforcement per Gharachorloo et al., which the paper's
     /// §3.2.3 relies on). Forwarded loads are exempt (their value came from
-    /// a local store).
+    /// a local store). Loads whose response is still in flight (WaitCache)
+    /// are victims as well: losing the line between fill and response
+    /// delivery means no later invalidation will snoop this load, yet its
+    /// delivered value may predate the write that took the line — an
+    /// unrepaired load→load reordering.
     fn squash_performed_loads_on(&mut self, line: Line, now: u64, mem: &mut MemorySystem) {
         let victim = self
             .rob
             .iter()
             .filter(|e| e.uop.is_load_class() && !e.poisoned && e.fwd_from.is_none())
-            .filter(|e| e.mem == MemPhase::Performed || e.done)
+            .filter(|e| e.mem != MemPhase::Idle || e.done)
             .find(|e| e.addr.map(|a| line_of(a) == line).unwrap_or(false))
             .map(|e| (e.seq, e.uop.pc, e.uop.slot));
         if let Some((seq, pc, slot)) = victim {

@@ -87,6 +87,9 @@ pub struct Entry {
     pub lock_on_access: bool,
     /// store_unlock must leave the line locked when performing (§3.3.1).
     pub do_not_unlock: bool,
+    /// For a performed load: write-id of the store that produced the
+    /// value (0 = initial memory). Only populated under `CheckMode::Tso`.
+    pub writer: u64,
 }
 
 impl Entry {
@@ -116,6 +119,7 @@ impl Entry {
             fwd_count: 0,
             lock_on_access: false,
             do_not_unlock: false,
+            writer: 0,
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::audit::AuditConfig;
 use crate::chaos::ChaosConfig;
 use crate::noc::NocConfig;
-use fa_trace::TraceConfig;
+use fa_trace::{CheckMode, TraceConfig};
 use serde::{Deserialize, Serialize};
 
 /// Geometry and latency parameters for the memory system.
@@ -62,6 +62,10 @@ pub struct MemConfig {
     /// Structured event tracing (default: off). Latency histograms are
     /// collected regardless of this mode; only event recording is gated.
     pub trace: TraceConfig,
+    /// End-of-run axiomatic conformance checking (default: off). With
+    /// `Tso`, the memory system logs the global write-serialization order
+    /// and per-line directory write-epochs for the `sim::axiom` checker.
+    pub check: CheckMode,
 }
 
 impl Default for MemConfig {
@@ -88,6 +92,7 @@ impl Default for MemConfig {
             chaos: ChaosConfig::default(),
             audit: AuditConfig::default(),
             trace: TraceConfig::default(),
+            check: CheckMode::default(),
         }
     }
 }

@@ -124,6 +124,13 @@ pub struct Directory {
     now: Cycle,
     /// Structured event ring for the directory.
     pub(crate) trace: TraceBuf,
+    /// Conformance-check collection enabled (`cfg.check`).
+    epochs_on: bool,
+    /// Per-line write-epoch: bumped on every exclusive grant. Keyed
+    /// outside the tag array so it survives entry eviction and keeps
+    /// increasing for the line's whole lifetime. Empty while checking is
+    /// off; never consulted by protocol logic.
+    write_epochs: HashMap<Line, u64>,
 }
 
 impl Directory {
@@ -147,7 +154,23 @@ impl Directory {
             rescue_absent: 0,
             now: 0,
             trace: TraceBuf::new(&cfg.trace),
+            epochs_on: cfg.check.on(),
+            write_epochs: HashMap::new(),
         }
+    }
+
+    /// Bumps the line's write-epoch (called at every exclusive grant).
+    fn bump_write_epoch(&mut self, line: Line) {
+        if self.epochs_on {
+            *self.write_epochs.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// The line's current write-epoch. Must be non-decreasing along the
+    /// line's write-serialization order — the conformance checker's
+    /// cross-check that performs funnel through directory grants.
+    pub(crate) fn write_epoch(&self, line: Line) -> u64 {
+        self.write_epochs.get(&line).copied().unwrap_or(0)
     }
 
     /// Sets the directory clock (trace timestamps only).
@@ -223,6 +246,7 @@ impl Directory {
             e.excl = Some(req.from);
             e.sharers = bit(req.from);
             e.busy = Some(Txn::unblock_of(req.from));
+            self.bump_write_epoch(req.line);
             out.push(DirAction::ToL1 {
                 core: req.from,
                 msg: L1Msg::GrantX { line: req.line, class },
@@ -271,6 +295,7 @@ impl Directory {
                             e.excl = Some(req.from);
                             e.sharers = bit(req.from);
                             e.busy = Some(Txn::unblock_of(req.from));
+                            self.bump_write_epoch(req.line);
                             out.push(DirAction::ToL1 {
                                 core: req.from,
                                 msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc },
@@ -295,6 +320,7 @@ impl Directory {
                     e.excl = Some(req.from);
                     e.sharers = bit(req.from);
                     e.busy = Some(Txn::unblock_of(req.from));
+                    self.bump_write_epoch(req.line);
                     out.push(DirAction::ToL1 {
                         core: req.from,
                         msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc },
@@ -481,6 +507,7 @@ impl Directory {
                     e.excl = Some(req.from);
                     e.sharers = bit(req.from);
                     e.busy = Some(Txn::unblock_of(req.from));
+                    self.bump_write_epoch(line);
                     out.push(DirAction::ToL1 {
                         core: req.from,
                         msg: L1Msg::GrantX { line, class },
@@ -493,6 +520,7 @@ impl Directory {
                         e.excl = Some(req.from);
                         e.sharers = bit(req.from);
                         e.busy = Some(Txn::unblock_of(req.from));
+                        self.bump_write_epoch(line);
                         out.push(DirAction::ToL1 {
                             core: req.from,
                             msg: L1Msg::GrantX { line, class },

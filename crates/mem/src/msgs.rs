@@ -62,6 +62,10 @@ pub enum CoreResp {
         addr: Addr,
         /// Value at perform time.
         value: Word,
+        /// Write-id of the store that produced `value` (0 = initial
+        /// memory). Only populated under `CheckMode::Tso`, for the
+        /// axiomatic checker's rf edges.
+        writer: u64,
         /// Where the line was found.
         class: LatClass,
         /// True if the private cache already held write permission when the

@@ -45,6 +45,16 @@ pub(crate) fn mesi_code(s: Option<Mesi>) -> u8 {
     s.map_or(MESI_NONE, Mesi::code)
 }
 
+/// Facts observed at a successful store perform, for the conformance
+/// checker's serialization log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PerformInfo {
+    /// The line was lock-pinned at the instant of the write (after the
+    /// `lock_on_access` step, before any unlock) — true for every
+    /// store_unlock, i.e. inside an RMW's atomicity window.
+    pub under_lock: bool,
+}
+
 /// Outcome of presenting a request to the controller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReqOutcome {
@@ -327,17 +337,18 @@ impl PrivCache {
         }
     }
 
-    /// Attempts to perform a store: requires write permission. Returns true
-    /// and transitions the line to M on success; the caller then writes the
-    /// backing store. `lock` applies the `lock_on_access` responsibility;
-    /// `unlock` releases one lock count (store_unlock draining).
+    /// Attempts to perform a store: requires write permission. Transitions
+    /// the line to M and reports perform-time facts on success; the caller
+    /// then writes the backing store. `lock` applies the `lock_on_access`
+    /// responsibility; `unlock` releases one lock count (store_unlock
+    /// draining).
     pub(crate) fn try_store_perform(
         &mut self,
         addr: Addr,
         lock: bool,
         unlock: bool,
         out: &mut Vec<Action>,
-    ) -> bool {
+    ) -> Option<PerformInfo> {
         let line = line_of(addr);
         match self.l2.touch(line) {
             Some(s) if s.writable() => {
@@ -353,12 +364,16 @@ impl PrivCache {
                 if lock {
                     self.lock(line);
                 }
+                // Capture lock state at the write proper: after the
+                // lock_on_access responsibility, before the unlock step —
+                // a draining store_unlock is *inside* its atomicity window.
+                let under_lock = self.locks.contains_key(&line);
                 if unlock {
                     self.unlock(line, out);
                 }
-                true
+                Some(PerformInfo { under_lock })
             }
-            _ => false,
+            _ => None,
         }
     }
 
@@ -797,7 +812,7 @@ mod tests {
         let mut out = Vec::new();
         c.read(1, 0x100, true, false, &mut out);
         grant(&mut c, 0x100, true, &mut out);
-        assert!(c.try_store_perform(0x100, false, false, &mut out));
+        assert!(c.try_store_perform(0x100, false, false, &mut out).is_some());
         assert_eq!(c.state(0x100), Some(Mesi::M));
         out.clear();
         c.handle_ext(L1Msg::Downgrade { line: 0x100 }, &mut out);
@@ -812,13 +827,14 @@ mod tests {
     fn store_perform_requires_write_permission() {
         let mut c = cache();
         let mut out = Vec::new();
-        assert!(!c.try_store_perform(0x100, false, false, &mut out));
+        assert!(c.try_store_perform(0x100, false, false, &mut out).is_none());
         c.read(1, 0x100, false, false, &mut out);
         grant(&mut c, 0x100, false, &mut out); // S only
-        assert!(!c.try_store_perform(0x100, false, false, &mut out));
+        assert!(c.try_store_perform(0x100, false, false, &mut out).is_none());
         c.read(2, 0x100, true, false, &mut out);
         grant(&mut c, 0x100, true, &mut out);
-        assert!(c.try_store_perform(0x100, false, false, &mut out));
+        let info = c.try_store_perform(0x100, false, false, &mut out).expect("M line performs");
+        assert!(!info.under_lock);
     }
 
     #[test]
@@ -829,10 +845,13 @@ mod tests {
         grant(&mut c, 0x100, true, &mut out);
         // lock_on_access: an ordinary store locks on behalf of a forwarded
         // load_lock.
-        assert!(c.try_store_perform(0x100, true, false, &mut out));
+        let info = c.try_store_perform(0x100, true, false, &mut out).expect("performs");
+        assert!(info.under_lock);
         assert!(c.is_locked(0x100));
-        // store_unlock drains: unlocks.
-        assert!(c.try_store_perform(0x100, false, true, &mut out));
+        // store_unlock drains: unlocks — but the write itself happens
+        // inside the lock window.
+        let info = c.try_store_perform(0x100, false, true, &mut out).expect("performs");
+        assert!(info.under_lock);
         assert!(!c.is_locked(0x100));
     }
 

@@ -24,7 +24,8 @@ use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::interp::GuestMem;
 use fa_isa::{Addr, Word};
 use fa_trace::{
-    TraceBuf, TraceEvent, TraceRecord, NOC_READ_DONE, NOC_STORE_READY, NOC_TO_DIR, NOC_TO_L1,
+    write_id, SerEvent, TraceBuf, TraceEvent, TraceRecord, NOC_READ_DONE, NOC_STORE_READY,
+    NOC_TO_DIR, NOC_TO_L1,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -101,6 +102,14 @@ pub struct MemorySystem {
     /// Structured trace ring for interconnect send/deliver events (the
     /// per-cache and directory controllers own their own rings).
     noc_trace: TraceBuf,
+    /// Conformance-check collection enabled (`cfg.check`).
+    check: bool,
+    /// Last write-id per word address, sampled by read performs for the
+    /// checker's rf edges. Empty while `check` is off.
+    last_writer: HashMap<Addr, u64>,
+    /// The global write-serialization order: one event per performed
+    /// store, in perform order. Empty while `check` is off.
+    ser: Vec<SerEvent>,
 }
 
 impl MemorySystem {
@@ -121,6 +130,9 @@ impl MemorySystem {
             noc: crate::noc::build(&cfg, n_cores, chaos),
             lock_ages: HashMap::new(),
             noc_trace: TraceBuf::new(&cfg.trace),
+            check: cfg.check.on(),
+            last_writer: HashMap::new(),
+            ser: Vec::new(),
             cfg,
             trace_line: std::env::var("FA_TRACE_LINE")
                 .ok()
@@ -222,10 +234,18 @@ impl MemorySystem {
                 self.trace(fa_isa::line_of(addr), || {
                     format!("{core:?} ReadDone seq={seq} addr={addr:#x} val={value} locked={locked}")
                 });
+                // Value and rf writer are sampled at the same instant —
+                // the read's perform point — so they always agree.
+                let writer = if self.check {
+                    self.last_writer.get(&addr).copied().unwrap_or(0)
+                } else {
+                    0
+                };
                 self.outbox[core.index()].push(CoreResp::ReadResp {
                     seq,
                     addr,
                     value,
+                    writer,
                     class,
                     had_write_perm,
                     locked,
@@ -342,28 +362,49 @@ impl MemorySystem {
 
     /// Attempts to perform a store this cycle: requires the private cache to
     /// hold write permission. On success the backing store is written
-    /// immediately (this *is* the store's perform). `lock` applies the
-    /// `lock_on_access` responsibility; `unlock` releases one lock count
-    /// (a store_unlock draining, §3.3).
+    /// immediately (this *is* the store's perform, and — with checking on —
+    /// the point logged into the global write-serialization order under
+    /// `write_id(core, seq)`). `lock` applies the `lock_on_access`
+    /// responsibility; `unlock` releases one lock count (a store_unlock
+    /// draining, §3.3).
     pub fn try_store_perform(
         &mut self,
         core: CoreId,
+        seq: u64,
         addr: Addr,
         value: Word,
         lock: bool,
         unlock: bool,
     ) -> bool {
         let mut acts = Vec::new();
-        let ok = self.caches[core.index()].try_store_perform(addr, lock, unlock, &mut acts);
-        if ok {
+        let info = self.caches[core.index()].try_store_perform(addr, lock, unlock, &mut acts);
+        if let Some(info) = &info {
             self.backing.store(addr, value);
             self.stats.cores[core.index()].stores_performed += 1;
+            if self.check {
+                let w = write_id(core.0, seq);
+                self.last_writer.insert(addr, w);
+                self.ser.push(SerEvent {
+                    addr,
+                    writer: w,
+                    value,
+                    epoch: self.dir.write_epoch(fa_isa::line_of(addr)),
+                    under_lock: info.under_lock,
+                });
+            }
             self.trace(fa_isa::line_of(addr), || {
                 format!("{core:?} StorePerform addr={addr:#x} val={value} lock={lock} unlock={unlock}")
             });
         }
         self.apply_cache_actions(core.index(), acts);
-        ok
+        info.is_some()
+    }
+
+    /// The global write-serialization order collected so far (empty while
+    /// checking is off). The per-address subsequence is the coherence
+    /// order `co` the axiomatic checker consumes.
+    pub fn ser_events(&self) -> &[SerEvent] {
+        &self.ser
     }
 
     /// Adds a lock count on `line` (load_lock performed on an
@@ -689,7 +730,7 @@ mod tests {
         assert_eq!(m.store_acquire(C0, 9, 0x200), ReqOutcome::Accepted);
         let resps = run_until_resp(&mut m, C0, 1000);
         assert!(matches!(resps[0], CoreResp::StoreReady { seq: 9, .. }));
-        assert!(m.try_store_perform(C0, 0x200, 1234, false, false));
+        assert!(m.try_store_perform(C0, 1, 0x200, 1234, false, false));
         assert_eq!(m.backing().load(0x200), 1234);
     }
 
@@ -702,7 +743,7 @@ mod tests {
         // Core 1 writes it.
         m.store_acquire(C1, 2, 0x100);
         run_until_resp(&mut m, C1, 2000);
-        assert!(m.try_store_perform(C1, 0x100, 5, false, false));
+        assert!(m.try_store_perform(C1, 1, 0x100, 5, false, false));
         let notices = m.drain_notices(C0);
         assert!(
             notices.contains(&CoreNotice::LineLost { line: 0x100, remote_write: true }),
@@ -750,7 +791,7 @@ mod tests {
         m.read(C0, 1, 0x300, true, true);
         let r = run_until_resp(&mut m, C0, 1000);
         assert!(matches!(r[0], CoreResp::ReadResp { value: 10, locked: true, .. }));
-        assert!(m.try_store_perform(C0, 0x300, 11, false, true));
+        assert!(m.try_store_perform(C0, 3, 0x300, 11, false, true));
         assert!(!m.is_locked(C0, 0x300));
         assert_eq!(m.backing().load(0x300), 11);
     }
@@ -776,8 +817,8 @@ mod tests {
         // Core 1 steals the line.
         m.store_acquire(C1, 2, 0x100);
         run_until_resp(&mut m, C1, 2000);
-        assert!(!m.try_store_perform(C0, 0x100, 1, false, false));
-        assert!(m.try_store_perform(C1, 0x100, 2, false, false));
+        assert!(!m.try_store_perform(C0, 1, 0x100, 1, false, false));
+        assert!(m.try_store_perform(C1, 2, 0x100, 2, false, false));
         assert_eq!(m.backing().load(0x100), 2);
     }
 
@@ -818,8 +859,8 @@ mod tests {
         let r = run_until_resp(&mut m, C1, 2000);
         assert!(matches!(r[0], CoreResp::ReadResp { seq: 4, locked: true, .. }));
         // Core 1 finishes both atomics; core 0 then proceeds.
-        assert!(m.try_store_perform(C1, 0x100, 1, false, true));
-        assert!(m.try_store_perform(C1, 0x200, 1, false, true));
+        assert!(m.try_store_perform(C1, 3, 0x100, 1, false, true));
+        assert!(m.try_store_perform(C1, 5, 0x200, 1, false, true));
         let r = run_until_resp(&mut m, C0, 4000);
         assert!(matches!(r[0], CoreResp::ReadResp { seq: 3, locked: true, .. }));
     }
@@ -930,7 +971,7 @@ mod tests {
             m.read(C1, round * 10 + 2, 0x2000 + round * 0x40, false, false);
             run_until_resp(&mut m, C1, 100_000);
             assert!(
-                m.try_store_perform(C0, addr, round, false, true),
+                m.try_store_perform(C0, round, addr, round, false, true),
                 "locked line must stay writable under chaos"
             );
             m.audit().expect("invariants must hold under chaos");
@@ -983,7 +1024,7 @@ mod tests {
         // Remote ownership transfer still works under contention.
         m.store_acquire(C1, 2, 0x100);
         run_until_resp(&mut m, C1, 5000);
-        assert!(m.try_store_perform(C1, 0x100, 5, false, false));
+        assert!(m.try_store_perform(C1, 1, 0x100, 5, false, false));
         let s = m.stats();
         assert_eq!(s.noc.policy, crate::XbarPolicy::Contended);
         assert_eq!(s.messages, s.noc.net_messages, "flat message count mirrors the NoC");

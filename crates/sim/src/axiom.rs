@@ -1,0 +1,886 @@
+//! Axiomatic x86-TSO + RMW-atomicity conformance checking of full
+//! executions.
+//!
+//! The operational reference model ([`crate::tsoref`]) enumerates every
+//! legal outcome of a tiny litmus program — exponential, so it caps out at
+//! a handful of operations. This module takes the opposite approach,
+//! following the axiomatic style of Owens et al. (x86-TSO) and Alglave et
+//! al. (herding cats): given the *data events* of one complete execution —
+//! per-core committed accesses with values and rf write-ids, plus the
+//! memory system's global write-serialization order — it reconstructs the
+//! program order `po`, reads-from `rf`, coherence `co`, and from-reads
+//! `fr` relations and verifies the TSO axioms in near-linear time. Any
+//! run of the detailed simulator, including full synthetic workloads
+//! under fault injection and a contended interconnect, can be checked.
+//!
+//! Checked axioms, in order:
+//!
+//! 1. **rf-wf** — every load's write-id names a committed store to the
+//!    same address carrying the same value (write-id 0 = initial memory).
+//! 2. **co-wf** — the serialization log and the committed stores agree
+//!    exactly (each committed store performs exactly once, with matching
+//!    address and value); per-line directory write-epochs are
+//!    non-decreasing along the serialization order; every `store_unlock`
+//!    performs inside a lock window.
+//! 3. **sc-per-location** — coherence per address: no CoWW, CoRW1,
+//!    CoRW2, CoWR, or CoRR shape (uniproc condition).
+//! 4. **rmw-atomicity** — a `load_lock`'s `store_unlock` is the
+//!    *immediate* co-successor of the write the `load_lock` read from: no
+//!    other write to the line lands inside the atomicity window.
+//! 5. **tso-ghb** — the global-happens-before relation
+//!    `po_tso ∪ rfe ∪ co ∪ fr` is acyclic, where `po_tso` keeps all
+//!    program-order edges except W→R (the store-buffer relaxation), and
+//!    fences and RMWs restore the W→R edges the buffer would hide.
+//!
+//! `po_tso` is built in compressed form — O(events) edges instead of
+//! O(events²) — from two per-core chains:
+//!
+//! * an *out-ordering* node (load, load_lock, enforced fence, or
+//!   store_unlock — the latter two act as full barriers on x86) orders
+//!   everything po-after it: edge to its po-successor plus an edge to the
+//!   next out-ordering node, which by induction reaches the rest;
+//! * a plain store orders only later writes and later barriers: edge to
+//!   the next write and to the next fence/load_lock (a load_lock may not
+//!   commit while the store buffer is non-empty, so W→LL is enforced).
+//!
+//! On failure the checker extracts a shortest violating cycle (SCC
+//! restriction + breadth-first search) and reports it edge by edge.
+//!
+//! Collection of the inputs is strictly passive (side logs gated by
+//! [`fa_trace::CheckMode`]); `FA_CHECK=off|tso` produce bit-identical
+//! simulation results, which `ci.sh` pins.
+
+use fa_isa::line_of;
+use fa_trace::{write_id, write_id_parts, DataEvent, SerEvent, WRITE_ID_INIT};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One complete execution's data events: per-core committed accesses in
+/// program order plus the global write-serialization order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Execution {
+    /// Committed data events per core, in commit (= program) order.
+    pub cores: Vec<Vec<DataEvent>>,
+    /// Performed stores in global serialization order; the per-address
+    /// subsequence is the coherence order `co`.
+    pub ser: Vec<SerEvent>,
+}
+
+impl Execution {
+    /// Total data events across all cores.
+    pub fn events(&self) -> usize {
+        self.cores.iter().map(Vec::len).sum()
+    }
+}
+
+/// A refuted axiom, with enough detail to debug the offending execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated axiom: `rf-wf`, `co-wf`, `sc-per-location`,
+    /// `rmw-atomicity`, or `tso-ghb`.
+    pub axiom: &'static str,
+    /// Human-readable description (offending events, or the full cycle).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "axiom {} violated: {}", self.axiom, self.detail)
+    }
+}
+
+/// Sizes of the checked relations (for overhead reporting and logging).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Data events checked.
+    pub events: usize,
+    /// Committed stores (= serialization-order length).
+    pub writes: usize,
+    /// Edges in the compressed global-happens-before graph.
+    pub ghb_edges: usize,
+}
+
+/// A committed store, keyed by its write-id.
+struct WriteInfo {
+    core: usize,
+    addr: u64,
+    value: u64,
+    unlock: bool,
+}
+
+/// The coherence order: per-address write lists plus a write-id → (addr,
+/// 1-based position) index. Position 0 is reserved for initial memory.
+struct Co {
+    order: HashMap<u64, Vec<u64>>,
+    pos: HashMap<u64, usize>,
+}
+
+impl Co {
+    /// 1-based coherence position of the write a read observed
+    /// (0 = initial memory). `None` for an unknown write-id.
+    fn read_pos(&self, writer: u64) -> Option<usize> {
+        if writer == WRITE_ID_INIT {
+            Some(0)
+        } else {
+            self.pos.get(&writer).copied()
+        }
+    }
+}
+
+/// Checks one complete execution against the x86-TSO + RMW-atomicity
+/// axioms.
+///
+/// # Errors
+///
+/// The first refuted axiom, with detail naming the offending events (or,
+/// for `tso-ghb`, a shortest violating cycle).
+pub fn check(x: &Execution) -> Result<CheckReport, Violation> {
+    let writes = collect_writes(x)?;
+    let co = check_co_wf(x, &writes)?;
+    check_rf_wf(x, &writes)?;
+    check_sc_per_location(x, &co)?;
+    check_rmw_atomicity(x, &co)?;
+    let ghb_edges = check_ghb(x, &writes, &co)?;
+    Ok(CheckReport { events: x.events(), writes: writes.len(), ghb_edges })
+}
+
+/// Renders an event for violation messages.
+fn show(core: usize, ev: &DataEvent) -> String {
+    let kind = match ev {
+        DataEvent::Load { .. } => "Load",
+        DataEvent::LoadLock { .. } => "LoadLock",
+        DataEvent::Store { .. } => "Store",
+        DataEvent::StoreUnlock { .. } => "StoreUnlock",
+        DataEvent::Fence { .. } => "Fence",
+    };
+    match ev.addr() {
+        Some(a) => format!("c{core}:{kind}@{a:#x}(seq {})", ev.seq()),
+        None => format!("c{core}:{kind}(seq {})", ev.seq()),
+    }
+}
+
+/// Renders a write-id for violation messages.
+fn show_wid(w: u64) -> String {
+    match write_id_parts(w) {
+        Some((core, seq)) => format!("c{core}/seq {seq}"),
+        None => "<init>".to_string(),
+    }
+}
+
+fn collect_writes(x: &Execution) -> Result<HashMap<u64, WriteInfo>, Violation> {
+    let mut writes = HashMap::new();
+    for (core, evs) in x.cores.iter().enumerate() {
+        for ev in evs {
+            let (addr, value, unlock) = match *ev {
+                DataEvent::Store { addr, value, .. } => (addr, value, false),
+                DataEvent::StoreUnlock { addr, value, .. } => (addr, value, true),
+                _ => continue,
+            };
+            let wid = write_id(core as u16, ev.seq());
+            if writes.insert(wid, WriteInfo { core, addr, value, unlock }).is_some() {
+                return Err(Violation {
+                    axiom: "co-wf",
+                    detail: format!("duplicate committed store {}", show(core, ev)),
+                });
+            }
+        }
+    }
+    Ok(writes)
+}
+
+/// Validates the serialization log against the committed stores and
+/// builds the coherence order.
+fn check_co_wf(x: &Execution, writes: &HashMap<u64, WriteInfo>) -> Result<Co, Violation> {
+    let fail = |detail: String| Violation { axiom: "co-wf", detail };
+    let mut order: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut pos: HashMap<u64, usize> = HashMap::new();
+    let mut line_epoch: HashMap<u64, u64> = HashMap::new();
+    for ev in &x.ser {
+        let Some(w) = writes.get(&ev.writer) else {
+            return Err(fail(format!(
+                "serialized write {} to {:#x} does not match any committed store",
+                show_wid(ev.writer),
+                ev.addr
+            )));
+        };
+        if w.addr != ev.addr || w.value != ev.value {
+            return Err(fail(format!(
+                "serialized write {} performed ({:#x}, {}) but committed ({:#x}, {})",
+                show_wid(ev.writer),
+                ev.addr,
+                ev.value,
+                w.addr,
+                w.value
+            )));
+        }
+        if w.unlock && !ev.under_lock {
+            return Err(fail(format!(
+                "store_unlock {} performed outside its lock window",
+                show_wid(ev.writer)
+            )));
+        }
+        // Write-serialization cross-check: performs funnel through
+        // directory exclusive grants, so per-line epochs only grow.
+        let line = line_of(ev.addr);
+        let last = line_epoch.entry(line).or_insert(0);
+        if ev.epoch < *last {
+            return Err(fail(format!(
+                "write-epoch regressed on line {:#x}: {} after {} (write {})",
+                line,
+                ev.epoch,
+                last,
+                show_wid(ev.writer)
+            )));
+        }
+        *last = ev.epoch;
+        let per_addr = order.entry(ev.addr).or_default();
+        per_addr.push(ev.writer);
+        if pos.insert(ev.writer, per_addr.len()).is_some() {
+            return Err(fail(format!("write {} serialized twice", show_wid(ev.writer))));
+        }
+    }
+    if pos.len() != writes.len() {
+        let missing = writes
+            .keys()
+            .find(|w| !pos.contains_key(*w))
+            .copied()
+            .unwrap_or(WRITE_ID_INIT);
+        return Err(fail(format!("committed store {} never performed", show_wid(missing))));
+    }
+    Ok(Co { order, pos })
+}
+
+/// Every load reads a committed store to the same address with the same
+/// value. Reads of initial memory (write-id 0) skip the value check —
+/// initial guest memory is mutated in place, so its original content is
+/// not recoverable at check time.
+fn check_rf_wf(x: &Execution, writes: &HashMap<u64, WriteInfo>) -> Result<(), Violation> {
+    let fail = |detail: String| Violation { axiom: "rf-wf", detail };
+    for (core, evs) in x.cores.iter().enumerate() {
+        for ev in evs {
+            let (addr, value, writer) = match *ev {
+                DataEvent::Load { addr, value, writer, .. }
+                | DataEvent::LoadLock { addr, value, writer, .. } => (addr, value, writer),
+                _ => continue,
+            };
+            if writer == WRITE_ID_INIT {
+                continue;
+            }
+            let Some(w) = writes.get(&writer) else {
+                return Err(fail(format!(
+                    "{} reads from unknown write {}",
+                    show(core, ev),
+                    show_wid(writer)
+                )));
+            };
+            if w.addr != addr {
+                return Err(fail(format!(
+                    "{} reads from write {} to a different address {:#x}",
+                    show(core, ev),
+                    show_wid(writer),
+                    w.addr
+                )));
+            }
+            if w.value != value {
+                return Err(fail(format!(
+                    "{} observed {} but its writer {} stored {}",
+                    show(core, ev),
+                    value,
+                    show_wid(writer),
+                    w.value
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The uniproc condition: per core and address, coherence positions of
+/// writes and of observed writers never move backwards. One linear pass
+/// with running maxima detects all five classic shapes.
+fn check_sc_per_location(x: &Execution, co: &Co) -> Result<(), Violation> {
+    let fail = |shape: &str, detail: String| Violation {
+        axiom: "sc-per-location",
+        detail: format!("{shape}: {detail}"),
+    };
+    for (core, evs) in x.cores.iter().enumerate() {
+        // addr -> (max co-position of po-earlier writes, of observed
+        // writers of po-earlier reads).
+        let mut maxima: HashMap<u64, (usize, usize)> = HashMap::new();
+        for ev in evs {
+            match *ev {
+                DataEvent::Store { addr, .. } | DataEvent::StoreUnlock { addr, .. } => {
+                    let wid = write_id(core as u16, ev.seq());
+                    let p = co.pos.get(&wid).copied().unwrap_or(0);
+                    let (max_w, max_r) = maxima.entry(addr).or_insert((0, 0));
+                    if p < *max_w {
+                        return Err(fail(
+                            "CoWW",
+                            format!(
+                                "{} serialized before a po-earlier write to the same address",
+                                show(core, ev)
+                            ),
+                        ));
+                    }
+                    if p < *max_r {
+                        return Err(fail(
+                            "CoRW2",
+                            format!(
+                                "{} serialized before the write a po-earlier read observed",
+                                show(core, ev)
+                            ),
+                        ));
+                    }
+                    *max_w = p;
+                }
+                DataEvent::Load { addr, writer, .. } | DataEvent::LoadLock { addr, writer, .. } => {
+                    if let Some((wc, wseq)) = write_id_parts(writer) {
+                        if wc as usize == core && wseq > ev.seq() {
+                            return Err(fail(
+                                "CoRW1",
+                                format!(
+                                    "{} reads from its own po-later store (seq {wseq})",
+                                    show(core, ev)
+                                ),
+                            ));
+                        }
+                    }
+                    let p = co.read_pos(writer).unwrap_or(0);
+                    let (max_w, max_r) = maxima.entry(addr).or_insert((0, 0));
+                    if p < *max_w {
+                        return Err(fail(
+                            "CoWR",
+                            format!(
+                                "{} observes {} although a po-earlier own store is co-later",
+                                show(core, ev),
+                                show_wid(writer)
+                            ),
+                        ));
+                    }
+                    if p < *max_r {
+                        return Err(fail(
+                            "CoRR",
+                            format!(
+                                "{} observes {}, co-older than what a po-earlier read saw",
+                                show(core, ev),
+                                show_wid(writer)
+                            ),
+                        ));
+                    }
+                    *max_r = (*max_r).max(p);
+                }
+                DataEvent::Fence { .. } => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// RMW atomicity: the `store_unlock` must be the immediate co-successor
+/// of the write its `load_lock` read — no foreign write inside the
+/// window.
+fn check_rmw_atomicity(x: &Execution, co: &Co) -> Result<(), Violation> {
+    let fail = |detail: String| Violation { axiom: "rmw-atomicity", detail };
+    for (core, evs) in x.cores.iter().enumerate() {
+        // seq -> event index, for pairing a load_lock (seq s) with its
+        // store_unlock (the µop triple is consecutive: s, s+1, s+2).
+        let by_seq: HashMap<u64, usize> = evs.iter().enumerate().map(|(i, e)| (e.seq(), i)).collect();
+        for ev in evs {
+            let DataEvent::LoadLock { seq, addr, writer, .. } = *ev else { continue };
+            let su = by_seq
+                .get(&(seq + 2))
+                .map(|&i| &evs[i])
+                .and_then(|e| match e {
+                    DataEvent::StoreUnlock { addr: a, .. } if *a == addr => Some(e),
+                    _ => None,
+                });
+            let Some(su) = su else {
+                return Err(fail(format!(
+                    "{} committed without a matching store_unlock at seq {}",
+                    show(core, ev),
+                    seq + 2
+                )));
+            };
+            let p = co.read_pos(writer).unwrap_or(0);
+            let su_wid = write_id(core as u16, su.seq());
+            let q = co.pos.get(&su_wid).copied().unwrap_or(0);
+            if q != p + 1 {
+                let interloper = co
+                    .order
+                    .get(&addr)
+                    .and_then(|o| o.get(p))
+                    .map(|&w| show_wid(w))
+                    .unwrap_or_else(|| "<missing>".to_string());
+                return Err(fail(format!(
+                    "{} read {} (co position {p}) but its store_unlock serialized at \
+                     position {q}; intervening write: {interloper}",
+                    show(core, ev),
+                    show_wid(writer)
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Edge labels in the compressed global-happens-before graph.
+const LABELS: [&str; 5] = ["po", "po-ww", "po-wb", "rfe", "co/fr"];
+const L_PO: u8 = 0;
+const L_PO_WW: u8 = 1;
+const L_PO_WB: u8 = 2;
+const L_RFE: u8 = 3;
+const L_COFR: u8 = 4;
+
+/// Acyclicity of `po_tso ∪ rfe ∪ co ∪ fr` over all events.
+fn check_ghb(
+    x: &Execution,
+    writes: &HashMap<u64, WriteInfo>,
+    co: &Co,
+) -> Result<usize, Violation> {
+    // Global node numbering: per-core blocks.
+    let mut base = Vec::with_capacity(x.cores.len());
+    let mut n = 0usize;
+    for evs in &x.cores {
+        base.push(n);
+        n += evs.len();
+    }
+    let mut adj: Vec<Vec<(u32, u8)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    let mut edges = 0usize;
+    let push = |adj: &mut Vec<Vec<(u32, u8)>>, indeg: &mut Vec<u32>, from: usize, to: usize, label: u8| {
+        adj[from].push((to as u32, label));
+        indeg[to] += 1;
+    };
+
+    // Event index of each committed store, for rfe/co/fr endpoints.
+    let mut node_of_wid: HashMap<u64, usize> = HashMap::with_capacity(writes.len());
+    for (core, evs) in x.cores.iter().enumerate() {
+        for (i, ev) in evs.iter().enumerate() {
+            if ev.is_write() {
+                node_of_wid.insert(write_id(core as u16, ev.seq()), base[core] + i);
+            }
+        }
+    }
+
+    // Compressed per-core po_tso edges.
+    let is_out_ordering = |e: &DataEvent| {
+        matches!(
+            e,
+            DataEvent::Load { .. }
+                | DataEvent::LoadLock { .. }
+                | DataEvent::Fence { .. }
+                | DataEvent::StoreUnlock { .. }
+        )
+    };
+    let is_barrier_in = |e: &DataEvent| {
+        matches!(e, DataEvent::Fence { .. } | DataEvent::LoadLock { .. })
+    };
+    for (core, evs) in x.cores.iter().enumerate() {
+        let m = evs.len();
+        // Next-index tables, built backwards.
+        let mut next_out = vec![usize::MAX; m];
+        let mut next_store = vec![usize::MAX; m];
+        let mut next_barrier = vec![usize::MAX; m];
+        let (mut o, mut s, mut b) = (usize::MAX, usize::MAX, usize::MAX);
+        for i in (0..m).rev() {
+            next_out[i] = o;
+            next_store[i] = s;
+            next_barrier[i] = b;
+            let e = &evs[i];
+            if is_out_ordering(e) {
+                o = i;
+            }
+            if e.is_write() {
+                s = i;
+            }
+            if is_barrier_in(e) {
+                b = i;
+            }
+        }
+        for (i, e) in evs.iter().enumerate() {
+            let from = base[core] + i;
+            if is_out_ordering(e) {
+                if i + 1 < m {
+                    push(&mut adj, &mut indeg, from, from + 1, L_PO);
+                    edges += 1;
+                }
+                if next_out[i] != usize::MAX && next_out[i] != i + 1 {
+                    push(&mut adj, &mut indeg, from, base[core] + next_out[i], L_PO);
+                    edges += 1;
+                }
+            } else if e.is_write() {
+                if next_store[i] != usize::MAX {
+                    push(&mut adj, &mut indeg, from, base[core] + next_store[i], L_PO_WW);
+                    edges += 1;
+                }
+                if next_barrier[i] != usize::MAX {
+                    push(&mut adj, &mut indeg, from, base[core] + next_barrier[i], L_PO_WB);
+                    edges += 1;
+                }
+            }
+        }
+    }
+
+    // Cross-core edges: rfe, co adjacency, fr.
+    for (core, evs) in x.cores.iter().enumerate() {
+        for (i, ev) in evs.iter().enumerate() {
+            let (addr, writer) = match *ev {
+                DataEvent::Load { addr, writer, .. }
+                | DataEvent::LoadLock { addr, writer, .. } => (addr, writer),
+                _ => continue,
+            };
+            let to = base[core] + i;
+            let external =
+                writes.get(&writer).map(|w| w.core != core).unwrap_or(false);
+            if external {
+                if let Some(&wn) = node_of_wid.get(&writer) {
+                    push(&mut adj, &mut indeg, wn, to, L_RFE);
+                    edges += 1;
+                }
+            }
+            // fr: the read happens-before the co-successor of its writer
+            // (includes fri — sound, since a forwarded read's writer is
+            // the forwarding store itself).
+            let p = co.read_pos(writer).unwrap_or(0);
+            if let Some(succ) = co.order.get(&addr).and_then(|o| o.get(p)) {
+                if let Some(&sn) = node_of_wid.get(succ) {
+                    push(&mut adj, &mut indeg, to, sn, L_COFR);
+                    edges += 1;
+                }
+            }
+        }
+    }
+    for order in co.order.values() {
+        for w in order.windows(2) {
+            if let (Some(&a), Some(&b)) = (node_of_wid.get(&w[0]), node_of_wid.get(&w[1])) {
+                push(&mut adj, &mut indeg, a, b, L_COFR);
+                edges += 1;
+            }
+        }
+    }
+
+    // Kahn topological sort; leftovers contain a cycle.
+    let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0usize;
+    let mut indeg_left = indeg;
+    while let Some(v) = stack.pop() {
+        seen += 1;
+        for &(w, _) in &adj[v] {
+            indeg_left[w as usize] -= 1;
+            if indeg_left[w as usize] == 0 {
+                stack.push(w as usize);
+            }
+        }
+    }
+    if seen == n {
+        return Ok(edges);
+    }
+    let remaining: Vec<usize> = (0..n).filter(|&v| indeg_left[v] > 0).collect();
+    let cycle = shortest_cycle(&adj, &remaining);
+    let describe = |v: usize| {
+        // Failure path only: linear scan for the owning core (robust to
+        // empty cores sharing a base offset).
+        for (core, evs) in x.cores.iter().enumerate() {
+            if v >= base[core] && v < base[core] + evs.len() {
+                return show(core, &evs[v - base[core]]);
+            }
+        }
+        format!("node {v}")
+    };
+    let mut msg = String::from("global-happens-before cycle: ");
+    for (k, &(v, label)) in cycle.iter().enumerate() {
+        if k > 0 {
+            msg.push_str(" -> ");
+        }
+        msg.push_str(&describe(v));
+        msg.push_str(&format!(" [{}]", LABELS[label as usize]));
+    }
+    if let Some(&(first, _)) = cycle.first() {
+        msg.push_str(&format!(" -> {}", describe(first)));
+    }
+    Err(Violation { axiom: "tso-ghb", detail: msg })
+}
+
+/// A shortest cycle inside the cyclic remainder of the graph: restrict to
+/// `remaining` (every Kahn leftover lies on or upstream of a cycle), then
+/// BFS from candidate start nodes back to themselves. Each node is
+/// annotated with the label of its outgoing edge in the cycle.
+fn shortest_cycle(adj: &[Vec<(u32, u8)>], remaining: &[usize]) -> Vec<(usize, u8)> {
+    let in_rem: std::collections::HashSet<usize> = remaining.iter().copied().collect();
+    let mut best: Vec<(usize, u8)> = Vec::new();
+    for &start in remaining {
+        // BFS over the remaining subgraph looking for a path back to start.
+        let mut prev: HashMap<usize, (usize, u8)> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        let mut found = false;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &(w, label) in &adj[v] {
+                let w = w as usize;
+                if !in_rem.contains(&w) {
+                    continue;
+                }
+                if w == start {
+                    prev.insert(start, (v, label));
+                    found = true;
+                    break 'bfs;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(w) {
+                    e.insert((v, label));
+                    queue.push_back(w);
+                }
+            }
+        }
+        if !found {
+            continue;
+        }
+        // Walk predecessors from start back around the cycle.
+        let mut cycle = Vec::new();
+        let (mut v, mut label) = prev[&start];
+        loop {
+            cycle.push((v, label));
+            if v == start {
+                break;
+            }
+            let (pv, pl) = prev[&v];
+            v = pv;
+            label = pl;
+        }
+        cycle.reverse();
+        if best.is_empty() || cycle.len() < best.len() {
+            best = cycle;
+        }
+        if best.len() <= 2 {
+            break; // cannot get shorter
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: u64 = 0x1000;
+    const Y: u64 = 0x1040;
+
+    fn st(seq: u64, addr: u64, value: u64) -> DataEvent {
+        DataEvent::Store { seq, addr, value }
+    }
+    fn ld(seq: u64, addr: u64, value: u64, writer: u64) -> DataEvent {
+        DataEvent::Load { seq, addr, value, writer }
+    }
+    fn ll(seq: u64, addr: u64, value: u64, writer: u64) -> DataEvent {
+        DataEvent::LoadLock { seq, addr, value, writer }
+    }
+    fn su(seq: u64, addr: u64, value: u64) -> DataEvent {
+        DataEvent::StoreUnlock { seq, addr, value }
+    }
+    fn fence(seq: u64) -> DataEvent {
+        DataEvent::Fence { seq }
+    }
+    /// Serialization event for `write_id(core, seq)`, plain store.
+    fn ser(core: u16, seq: u64, addr: u64, value: u64) -> SerEvent {
+        SerEvent { addr, writer: write_id(core, seq), value, epoch: 0, under_lock: false }
+    }
+    fn ser_unlock(core: u16, seq: u64, addr: u64, value: u64) -> SerEvent {
+        SerEvent { addr, writer: write_id(core, seq), value, epoch: 0, under_lock: true }
+    }
+
+    #[test]
+    fn trivial_single_core_accepted() {
+        // St x 1; Ld x 1 (forwarded or after drain — writer is the store).
+        let x = Execution {
+            cores: vec![vec![st(1, X, 1), ld(2, X, 1, write_id(0, 1))]],
+            ser: vec![ser(0, 1, X, 1)],
+        };
+        let r = check(&x).expect("accepted");
+        assert_eq!(r.events, 2);
+        assert_eq!(r.writes, 1);
+    }
+
+    #[test]
+    fn sb_weak_outcome_accepted() {
+        // Store buffering: both loads read initial memory — TSO-legal.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), ld(2, Y, 0, WRITE_ID_INIT)],
+                vec![st(1, Y, 1), ld(2, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        check(&x).expect("SB weak outcome is TSO-legal");
+    }
+
+    #[test]
+    fn sb_with_fences_forbidden_outcome_rejected() {
+        // With fences between store and load, both-read-zero is illegal.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), fence(2), ld(3, Y, 0, WRITE_ID_INIT)],
+                vec![st(1, Y, 1), fence(2), ld(3, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        let v = check(&x).expect_err("fenced SB weak outcome is illegal");
+        assert_eq!(v.axiom, "tso-ghb");
+        assert!(v.detail.contains("cycle"), "got: {}", v.detail);
+    }
+
+    #[test]
+    fn sb_with_rmws_forbidden_outcome_rejected() {
+        // The paper's Fig. 10 shape: the RMW acts as the fence. Core 0:
+        // FetchAdd x; Ld y == 0. Core 1: FetchAdd y; Ld x == 0. Illegal.
+        let x = Execution {
+            cores: vec![
+                vec![ll(1, X, 0, WRITE_ID_INIT), su(3, X, 1), ld(4, Y, 0, WRITE_ID_INIT)],
+                vec![ll(1, Y, 0, WRITE_ID_INIT), su(3, Y, 1), ld(4, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser_unlock(0, 3, X, 1), ser_unlock(1, 3, Y, 1)],
+        };
+        let v = check(&x).expect_err("RMW-fenced SB weak outcome is illegal");
+        assert_eq!(v.axiom, "tso-ghb");
+    }
+
+    #[test]
+    fn mp_forbidden_outcome_rejected() {
+        // Message passing: c1 sees the flag (y=1) but stale data (x=0),
+        // with loads in po — illegal under TSO without any fence.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![ld(1, Y, 1, write_id(0, 2)), ld(2, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, Y, 1)],
+        };
+        let v = check(&x).expect_err("MP stale-data outcome is illegal");
+        assert_eq!(v.axiom, "tso-ghb");
+    }
+
+    #[test]
+    fn rf_value_mismatch_rejected() {
+        let x = Execution {
+            cores: vec![vec![st(1, X, 1), ld(2, X, 2, write_id(0, 1))]],
+            ser: vec![ser(0, 1, X, 1)],
+        };
+        let v = check(&x).expect_err("value mismatch");
+        assert_eq!(v.axiom, "rf-wf");
+        assert!(v.detail.contains("observed 2"), "got: {}", v.detail);
+    }
+
+    #[test]
+    fn rf_unknown_writer_rejected() {
+        let x = Execution {
+            cores: vec![vec![ld(1, X, 7, write_id(3, 9))]],
+            ser: vec![],
+        };
+        let v = check(&x).expect_err("unknown writer");
+        assert_eq!(v.axiom, "rf-wf");
+    }
+
+    #[test]
+    fn co_missing_perform_rejected() {
+        let x = Execution { cores: vec![vec![st(1, X, 1)]], ser: vec![] };
+        let v = check(&x).expect_err("store never performed");
+        assert_eq!(v.axiom, "co-wf");
+        assert!(v.detail.contains("never performed"));
+    }
+
+    #[test]
+    fn co_value_mismatch_rejected() {
+        // The serialization log claims a different value than committed —
+        // catches swapped store values even with no reader.
+        let x = Execution { cores: vec![vec![st(1, X, 1)]], ser: vec![ser(0, 1, X, 9)] };
+        let v = check(&x).expect_err("ser value mismatch");
+        assert_eq!(v.axiom, "co-wf");
+    }
+
+    #[test]
+    fn co_epoch_regression_rejected() {
+        let mut s1 = ser(0, 1, X, 1);
+        s1.epoch = 5;
+        let s2 = ser(0, 2, X, 2); // epoch 0 < 5 on the same line
+        let x = Execution { cores: vec![vec![st(1, X, 1), st(2, X, 2)]], ser: vec![s1, s2] };
+        let v = check(&x).expect_err("epoch regression");
+        assert_eq!(v.axiom, "co-wf");
+        assert!(v.detail.contains("epoch"), "got: {}", v.detail);
+    }
+
+    #[test]
+    fn unlock_outside_lock_window_rejected() {
+        let x = Execution {
+            cores: vec![vec![ll(1, X, 0, WRITE_ID_INIT), su(3, X, 1)]],
+            // Logged as a plain (unlocked) perform: the atomicity window
+            // was dropped.
+            ser: vec![ser(0, 3, X, 1)],
+        };
+        let v = check(&x).expect_err("unlock outside window");
+        assert_eq!(v.axiom, "co-wf");
+        assert!(v.detail.contains("lock window"));
+    }
+
+    #[test]
+    fn coww_rejected() {
+        // Two po-ordered stores serialized in the opposite order.
+        let x = Execution {
+            cores: vec![vec![st(1, X, 1), st(2, X, 2)]],
+            ser: vec![ser(0, 2, X, 2), ser(0, 1, X, 1)],
+        };
+        let v = check(&x).expect_err("CoWW");
+        assert_eq!(v.axiom, "sc-per-location");
+        assert!(v.detail.contains("CoWW"));
+    }
+
+    #[test]
+    fn corr_rejected() {
+        // Two po-ordered reads observing co in the wrong order.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, X, 2)],
+                vec![ld(1, X, 2, write_id(0, 2)), ld(2, X, 1, write_id(0, 1))],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, X, 2)],
+        };
+        let v = check(&x).expect_err("CoRR");
+        assert_eq!(v.axiom, "sc-per-location");
+        assert!(v.detail.contains("CoRR"));
+    }
+
+    #[test]
+    fn rmw_window_violation_rejected() {
+        // A foreign store lands between the load_lock's read and its
+        // store_unlock in co: atomicity broken.
+        let x = Execution {
+            cores: vec![
+                vec![ll(1, X, 0, WRITE_ID_INIT), su(3, X, 1)],
+                vec![st(1, X, 7)],
+            ],
+            // co(X): foreign write first, then the unlock — the LL read
+            // initial memory (position 0) but its SU sits at position 2.
+            ser: vec![ser(1, 1, X, 7), ser_unlock(0, 3, X, 1)],
+        };
+        let v = check(&x).expect_err("atomicity window violated");
+        assert_eq!(v.axiom, "rmw-atomicity");
+        assert!(v.detail.contains("intervening write"), "got: {}", v.detail);
+    }
+
+    #[test]
+    fn rmw_interleaved_counter_accepted() {
+        // Two cores each FetchAdd the same counter once; windows do not
+        // overlap.
+        let x = Execution {
+            cores: vec![
+                vec![ll(1, X, 0, WRITE_ID_INIT), su(3, X, 1)],
+                vec![ll(1, X, 1, write_id(0, 3)), su(3, X, 2)],
+            ],
+            ser: vec![ser_unlock(0, 3, X, 1), ser_unlock(1, 3, X, 2)],
+        };
+        check(&x).expect("clean interleaving accepted");
+    }
+
+    #[test]
+    fn violation_display_names_axiom() {
+        let v = Violation { axiom: "tso-ghb", detail: "cycle".into() };
+        assert_eq!(v.to_string(), "axiom tso-ghb violated: cycle");
+    }
+}

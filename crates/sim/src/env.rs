@@ -2,7 +2,8 @@
 //!
 //! Every knob the benchmark and tool binaries read from the environment
 //! (`FA_THREADS`, `FA_NOC`, `FA_POLICIES`, `FA_PRESETS`, `FA_WORKLOADS`,
-//! `FA_BENCH_JSON`, `FA_TRACE`, the `FA_FUZZ_*` family, ...) goes through
+//! `FA_BENCH_JSON`, `FA_TRACE`, `FA_CHECK`, the `FA_FUZZ_*` family, ...)
+//! goes through
 //! these helpers so a malformed value fails **loudly** with the variable
 //! name and the expected shape, instead of each binary hand-rolling a
 //! slightly different `std::env::var` dance with silently divergent error
@@ -13,7 +14,7 @@
 //! value is treated as unset, so `FA_TRACE= cargo run ...` behaves like
 //! omitting the variable.
 
-use fa_trace::{parse_trace_setting, TraceMode};
+use fa_trace::{parse_check_setting, parse_trace_setting, CheckMode, TraceMode};
 
 /// The value of `name`, trimmed; `None` when unset or blank.
 pub fn var(name: &str) -> Option<String> {
@@ -126,6 +127,29 @@ pub fn trace_setting() -> (TraceMode, Option<String>) {
     }
 }
 
+/// The conformance-check setting from `FA_CHECK`: `off` (default) or
+/// `tso`.
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn check_setting() -> CheckMode {
+    check_setting_or(CheckMode::Off)
+}
+
+/// [`check_setting`] with a caller-chosen default for when `FA_CHECK` is
+/// unset (the fuzzer and conformance bins default to `tso`).
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn check_setting_or(default: CheckMode) -> CheckMode {
+    match var("FA_CHECK") {
+        None => default,
+        Some(v) => parse_check_setting(&v).unwrap_or_else(|e| panic!("FA_CHECK: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +197,14 @@ mod tests {
         assert_eq!(parse_noc("contended:4"), Some(fa_mem::NocConfig::contended(4)));
         assert_eq!(parse_noc("mesh"), None);
         assert_eq!(parse_noc("contended:x"), None);
+    }
+
+    #[test]
+    fn check_grammar_via_env() {
+        std::env::set_var("FA_TEST_ENV_CHECK", " tso ");
+        let v = var("FA_TEST_ENV_CHECK").unwrap();
+        assert_eq!(parse_check_setting(&v), Ok(CheckMode::Tso));
+        assert!(parse_check_setting("strong").is_err());
     }
 
     #[test]

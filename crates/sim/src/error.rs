@@ -24,6 +24,18 @@ pub enum SimError {
         /// Machine state at detection time.
         snapshot: MachineSnapshot,
     },
+    /// The axiomatic conformance checker refuted a TSO/RMW-atomicity
+    /// axiom on the completed execution (only possible when
+    /// `FA_CHECK=tso` / `CheckMode::Tso` is enabled).
+    Tso {
+        /// Name of the violated axiom (`rf-wf`, `co-wf`,
+        /// `sc-per-location`, `rmw-atomicity`, or `tso-ghb`).
+        axiom: &'static str,
+        /// Offending events, or the shortest violating cycle.
+        detail: String,
+        /// Machine state at quiescence, with the flight-recorder tail.
+        snapshot: MachineSnapshot,
+    },
     /// A measurement methodology that cannot produce a mean: zero runs, or
     /// `drop_slowest` discarding every run. Returned by
     /// [`measure`](crate::methodology::measure) before any simulation
@@ -43,6 +55,9 @@ impl fmt::Display for SimError {
             SimError::Timeout(t) => t.fmt(f),
             SimError::Audit { cycle, violation, snapshot } => {
                 write!(f, "invariant audit failed at cycle {cycle}: {violation}\n{snapshot}")
+            }
+            SimError::Tso { axiom, detail, snapshot } => {
+                write!(f, "TSO conformance violation (axiom {axiom}): {detail}\n{snapshot}")
             }
             SimError::InvalidMethodology { runs, drop_slowest } => write!(
                 f,
@@ -68,6 +83,7 @@ impl SimError {
         match self {
             SimError::Timeout(t) => Some(&t.snapshot),
             SimError::Audit { snapshot, .. } => Some(snapshot),
+            SimError::Tso { snapshot, .. } => Some(snapshot),
             SimError::InvalidMethodology { .. } => None,
         }
     }
@@ -93,6 +109,20 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cycle 42") && s.contains("lock leak"));
         assert!(e.snapshot().expect("audit errors carry a snapshot").cores.is_empty());
+    }
+
+    #[test]
+    fn tso_display_names_axiom_and_carries_snapshot() {
+        let e = SimError::Tso {
+            axiom: "rmw-atomicity",
+            detail: "intervening write c1/seq 4".into(),
+            snapshot: MachineSnapshot::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("TSO conformance violation"), "got: {s}");
+        assert!(s.contains("axiom rmw-atomicity"), "got: {s}");
+        assert!(s.contains("intervening write"), "got: {s}");
+        assert!(e.snapshot().is_some());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::machine::MachineConfig;
 use fa_core::AtomicPolicy;
 use fa_isa::Word;
 use fa_mem::{AuditConfig, ChaosConfig, NocConfig, SplitMix64};
+use fa_trace::CheckMode;
 use std::fmt;
 
 /// Campaign settings. Everything derives from `seed`, so a config is a
@@ -49,6 +50,11 @@ pub struct FuzzConfig {
     pub chaos: ChaosConfig,
     /// Per-run cycle budget (fault injection stretches runs).
     pub max_cycles: u64,
+    /// Axiomatic conformance checking for every run (default: on — the
+    /// fuzzer exists to find consistency bugs, so each execution is also
+    /// validated against the full TSO + RMW-atomicity axioms, not just
+    /// its final observation vector).
+    pub check: CheckMode,
     /// Worker threads for the campaign (0 = host parallelism). Case
     /// generation stays serial (it threads one rng), so the report is
     /// bit-identical at any thread count.
@@ -66,6 +72,7 @@ impl Default for FuzzConfig {
             policies: AtomicPolicy::ALL.to_vec(),
             chaos: ChaosConfig::stress(0),
             max_cycles: 2_000_000,
+            check: CheckMode::Tso,
             threads: 0,
         }
     }
@@ -236,7 +243,7 @@ pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
         let mut outcomes = Vec::new();
         let mut failures = Vec::new();
         for &policy in &fcfg.policies {
-            let mut cfg = base.clone();
+            let mut cfg = base.clone().with_check(fcfg.check);
             cfg.core.policy = policy;
             cfg.mem.chaos = ChaosConfig { seed: fc.chaos_seed, ..fcfg.chaos.clone() };
             cfg.mem.noc = fc.noc;
@@ -294,6 +301,55 @@ mod tests {
                 assert!(t.len() <= fcfg.max_ops + 1); // +1 for the appended observer
             }
             assert!(ta.num_outs() >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_covers_every_op_shape_and_thread_count() {
+        // Coverage audit for gen_test over a 500-case campaign: every LOp
+        // variant must appear, every thread count in 2..=max_threads must
+        // appear, and — the historically doubted corner — a Fence must
+        // appear in a thread's suffix *after* an RMW, since that is
+        // exactly the redundant-ordering shape (RMW already fences) a
+        // generation bug would silently stop exercising.
+        let fcfg = FuzzConfig { cases: 500, ..FuzzConfig::default() };
+        let cases = gen_cases(&fcfg);
+        assert_eq!(cases.len(), 500);
+        let mut st = 0u32;
+        let mut ld = 0u32;
+        let mut rmw = 0u32;
+        let mut fence = 0u32;
+        let mut fence_after_rmw = 0u32;
+        let mut thread_counts = std::collections::HashSet::new();
+        for fc in &cases {
+            thread_counts.insert(fc.test.threads.len());
+            for t in &fc.test.threads {
+                let mut seen_rmw = false;
+                for op in t {
+                    match op {
+                        LOp::St { .. } => st += 1,
+                        LOp::Ld { .. } => ld += 1,
+                        LOp::FetchAdd { .. } => {
+                            rmw += 1;
+                            seen_rmw = true;
+                        }
+                        LOp::Fence => {
+                            fence += 1;
+                            if seen_rmw {
+                                fence_after_rmw += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(st > 0 && ld > 0 && rmw > 0 && fence > 0, "St {st}, Ld {ld}, FetchAdd {rmw}, Fence {fence}");
+        assert!(
+            fence_after_rmw > 0,
+            "campaign must generate Fence po-after an RMW in some thread"
+        );
+        for n in 2..=fcfg.max_threads {
+            assert!(thread_counts.contains(&n), "thread count {n} never generated");
         }
     }
 

@@ -8,14 +8,17 @@
 //! ([`methodology`]), a parallel sweep engine fanning independent
 //! deterministic cells across worker threads ([`sweep`]), and a
 //! verification substrate: an operational x86-TSO
-//! reference enumerator ([`tsoref`]) plus a litmus-test harness ([`litmus`])
+//! reference enumerator ([`tsoref`]), a litmus-test harness ([`litmus`])
 //! that checks the detailed simulator's outcomes against the reference,
-//! under every atomic policy.
+//! under every atomic policy, and an axiomatic x86-TSO + RMW-atomicity
+//! conformance checker ([`axiom`]) that validates *full* executions of
+//! arbitrary workloads from their data-event streams (`FA_CHECK=tso`).
 
 // Non-test code must justify every panic site; see the `expect` messages
 // documenting each invariant. Tests keep plain unwrap for brevity.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod axiom;
 pub mod energy;
 pub mod env;
 pub mod error;
@@ -27,6 +30,7 @@ pub mod presets;
 pub mod sweep;
 pub mod tsoref;
 
+pub use axiom::{CheckReport, Execution, Violation};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::SimError;
 pub use fuzz::{fuzz_litmus, FuzzConfig, FuzzReport};
@@ -39,5 +43,6 @@ pub use sweep::{run_cells, run_cells_timed, SweepTiming};
 // The trace layer's user-facing types, re-exported so binaries configure
 // tracing without a direct fa-trace dependency.
 pub use fa_trace::{
-    flight_json, validate_chrome_trace, FlightEntry, Hist, TraceConfig, TraceMode,
+    flight_json, validate_chrome_trace, write_id, write_id_parts, CheckMode, DataEvent,
+    FlightEntry, Hist, SerEvent, TraceConfig, TraceMode, WRITE_ID_INIT,
 };

@@ -1,11 +1,12 @@
 //! The multicore machine: N cores + one memory system, one cycle loop.
 
+use crate::axiom::{self, Execution};
 use crate::error::SimError;
 use fa_core::{Core, CoreConfig, CoreDiag, CoreStats};
 use fa_isa::interp::GuestMem;
 use fa_isa::Program;
 use fa_mem::{AuditViolation, CoreId, MemConfig, MemDiag, MemStats, MemorySystem};
-use fa_trace::{chrome_trace, FlightEntry, TraceMode, TraceRecord};
+use fa_trace::{chrome_trace, CheckMode, FlightEntry, TraceMode, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -29,6 +30,16 @@ impl MachineConfig {
     pub fn with_trace(mut self, mode: TraceMode) -> MachineConfig {
         self.core.trace.mode = mode;
         self.mem.trace.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given conformance-check mode applied to
+    /// both the core and memory layers (the checker needs both the
+    /// per-core data events and the serialization log, so the two are
+    /// always configured together).
+    pub fn with_check(mut self, mode: CheckMode) -> MachineConfig {
+        self.core.check = mode;
+        self.mem.check = mode;
         self
     }
 }
@@ -153,9 +164,16 @@ impl fmt::Debug for Machine {
 
 impl Machine {
     /// Builds a machine with one core per program over `guest_mem`.
-    pub fn new(cfg: MachineConfig, programs: Vec<Program>, guest_mem: GuestMem) -> Machine {
+    pub fn new(mut cfg: MachineConfig, programs: Vec<Program>, guest_mem: GuestMem) -> Machine {
         let n = programs.len();
         assert!(n > 0, "at least one program required");
+        // The conformance checker needs *both* the per-core data events
+        // and the memory system's serialization log; if a caller set only
+        // one side, enable both (a half-collected execution would raise
+        // false co-wf violations).
+        if cfg.core.check.on() || cfg.mem.check.on() {
+            cfg = cfg.with_check(CheckMode::Tso);
+        }
         let mem_bytes = guest_mem.size();
         let mem = MemorySystem::new(cfg.mem.clone(), n, guest_mem);
         let cores = programs
@@ -283,6 +301,36 @@ impl Machine {
         self.now = target - 1;
     }
 
+    /// The collected execution — per-core committed data events plus the
+    /// coherence layer's write-serialization log — for the axiomatic
+    /// checker. Empty unless the machine was built with
+    /// [`CheckMode::Tso`].
+    pub fn execution(&self) -> Execution {
+        Execution {
+            cores: self.cores.iter().map(|c| c.data_events().to_vec()).collect(),
+            ser: self.mem.ser_events().to_vec(),
+        }
+    }
+
+    /// Runs the axiomatic TSO + RMW-atomicity checker over an execution,
+    /// wrapping any violation in a [`SimError::Tso`] that carries the
+    /// machine snapshot (with the flight-recorder tail when tracing is
+    /// on). Public so injection tests can corrupt an execution and prove
+    /// the checker is not vacuous.
+    // The Err variant carries a full diagnostic snapshot by design; it is
+    // built once on the cold failure path.
+    #[allow(clippy::result_large_err)]
+    pub fn check_execution(&self, x: &Execution) -> Result<(), SimError> {
+        match axiom::check(x) {
+            Ok(_) => Ok(()),
+            Err(v) => Err(SimError::Tso {
+                axiom: v.axiom,
+                detail: v.detail,
+                snapshot: self.snapshot(),
+            }),
+        }
+    }
+
     /// Snapshot of the whole machine for diagnostics.
     pub fn snapshot(&self) -> MachineSnapshot {
         let mut tail: Vec<FlightEntry> = Vec::new();
@@ -408,6 +456,12 @@ impl Machine {
             if self.quiesced() {
                 for c in self.cores.iter_mut() {
                     c.finalize_stats();
+                }
+                // Conformance check on the completed execution. Gated on
+                // the collected events being non-empty rather than on the
+                // config so the gate and the collection can never disagree.
+                if self.cores.iter().any(|c| !c.data_events().is_empty()) {
+                    self.check_execution(&self.execution())?;
                 }
                 return Ok(RunResult {
                     cycles: self.now,
@@ -631,6 +685,69 @@ mod tests {
         let agg = full.aggregate();
         assert!(agg.atomic_exec_hist.count > 0, "atomics must record exec latency");
         assert_eq!(agg.atomic_exec_hist, off.aggregate().atomic_exec_hist);
+    }
+
+    #[test]
+    fn checking_does_not_perturb_results() {
+        // The checker's collection invariant: FA_CHECK=off|tso must produce
+        // bit-identical cycles, stats and guest memory — event capture is
+        // strictly passive, and the check itself runs only after quiescence.
+        let run_with = |mode: CheckMode| {
+            let cfg = MachineConfig::default().with_check(mode);
+            let mut m = Machine::new(cfg, vec![counter_prog(40); 2], GuestMem::new(1 << 16));
+            let r = m.run(2_000_000).expect("quiesce");
+            let x = m.execution();
+            (r, m.guest_mem().load(0x100), x)
+        };
+        let (off, off_mem, off_x) = run_with(CheckMode::Off);
+        let (tso, tso_mem, tso_x) = run_with(CheckMode::Tso);
+        assert_eq!(off.cycles, tso.cycles);
+        assert_eq!(off.per_core, tso.per_core);
+        assert_eq!(off.mem, tso.mem);
+        assert_eq!(off_mem, tso_mem);
+        // Off collects nothing; tso collects both sides of the execution.
+        assert!(off_x.cores.iter().all(|c| c.is_empty()) && off_x.ser.is_empty());
+        assert!(tso_x.cores.iter().all(|c| !c.is_empty()));
+        assert!(!tso_x.ser.is_empty());
+        // And the collected execution passes the checker standalone too.
+        crate::axiom::check(&tso_x).expect("counter kernel must conform");
+    }
+
+    #[test]
+    fn half_configured_check_is_normalized_to_both() {
+        // Setting only one side of the check config would collect a
+        // half-execution and raise false violations; Machine::new must
+        // force both sides on.
+        let mut cfg = MachineConfig::default();
+        cfg.core.check = CheckMode::Tso;
+        let mut m = Machine::new(cfg, vec![counter_prog(5)], GuestMem::new(1 << 16));
+        m.run(2_000_000).expect("normalized run must pass the checker");
+        let x = m.execution();
+        assert!(!x.ser.is_empty(), "mem side must have been switched on");
+    }
+
+    #[test]
+    fn checked_run_rejects_corrupted_execution() {
+        // Machine::check_execution is the injection surface: corrupt one
+        // committed store's value and the co-wf axiom must fire, wrapped in
+        // a SimError::Tso carrying a snapshot.
+        let cfg = MachineConfig::default().with_check(CheckMode::Tso);
+        let mut m = Machine::new(cfg, vec![counter_prog(10); 2], GuestMem::new(1 << 16));
+        m.run(2_000_000).expect("clean run");
+        let mut x = m.execution();
+        for ev in x.cores[0].iter_mut() {
+            if let fa_trace::DataEvent::StoreUnlock { value, .. } = ev {
+                *value += 1;
+                break;
+            }
+        }
+        let err = m.check_execution(&x).unwrap_err();
+        let SimError::Tso { axiom, .. } = &err else { panic!("expected Tso, got {err:?}") };
+        assert!(
+            *axiom == "co-wf" || *axiom == "rf-wf",
+            "value corruption must trip a well-formedness axiom, got {axiom}"
+        );
+        assert!(err.snapshot().is_some());
     }
 
     #[test]

@@ -114,6 +114,192 @@ impl TraceConfig {
     }
 }
 
+/// How much consistency checking the simulator performs (`FA_CHECK`).
+///
+/// Like tracing, the collection is strictly passive: with the checker on,
+/// cores and the memory system append data events to side logs that the
+/// axiomatic checker consumes after quiescence; no simulated state ever
+/// reads them, so results are bit-identical in every mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckMode {
+    /// No data events collected, no end-of-run validation (default).
+    #[default]
+    Off,
+    /// Collect per-access data events and validate the full execution
+    /// against the x86-TSO + RMW-atomicity axioms at quiescence.
+    Tso,
+}
+
+impl CheckMode {
+    /// True when data-event collection and end-of-run checking are enabled.
+    pub fn on(self) -> bool {
+        self != CheckMode::Off
+    }
+
+    /// Lower-case name as accepted by `FA_CHECK`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckMode::Off => "off",
+            CheckMode::Tso => "tso",
+        }
+    }
+
+    /// Parses an `FA_CHECK` mode word.
+    pub fn parse(v: &str) -> Option<CheckMode> {
+        match v.trim() {
+            "off" => Some(CheckMode::Off),
+            "tso" => Some(CheckMode::Tso),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a full `FA_CHECK` setting: `off` or `tso`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed values, for the loud
+/// `sim::env` error path.
+pub fn parse_check_setting(v: &str) -> Result<CheckMode, String> {
+    CheckMode::parse(v).ok_or_else(|| format!("mode must be off|tso, got {:?}", v.trim()))
+}
+
+/// The write-id of initial memory (no store has written the word yet).
+pub const WRITE_ID_INIT: u64 = 0;
+
+/// Bits of a write-id reserved for the originating core's µop sequence
+/// number. 48 bits of seq + 16 bits of core cover any realistic run.
+const WRITE_ID_SEQ_BITS: u32 = 48;
+
+/// Globally unique id of a committed store: `(core, µop seq)` packed into
+/// one integer, with [`WRITE_ID_INIT`] = 0 reserved for initial memory
+/// (the core field is stored off-by-one so core 0 is distinguishable).
+pub fn write_id(core: u16, seq: u64) -> u64 {
+    debug_assert!(seq < (1u64 << WRITE_ID_SEQ_BITS), "µop seq overflows the write-id");
+    ((core as u64 + 1) << WRITE_ID_SEQ_BITS) | seq
+}
+
+/// Decodes a [`write_id`] back into `(core, seq)`; `None` for
+/// [`WRITE_ID_INIT`].
+pub fn write_id_parts(id: u64) -> Option<(u16, u64)> {
+    let core = id >> WRITE_ID_SEQ_BITS;
+    (core != 0).then(|| ((core - 1) as u16, id & ((1u64 << WRITE_ID_SEQ_BITS) - 1)))
+}
+
+/// One committed data access, logged by a core's commit path in program
+/// order when [`CheckMode`] is on. The axiomatic checker reconstructs
+/// `po` from the per-core event order, `rf` from the `writer` fields, and
+/// `fr` from `rf` composed with the serialization order ([`SerEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataEvent {
+    /// A committed plain load.
+    Load {
+        /// µop sequence number (per-core, strictly increasing).
+        seq: u64,
+        /// Byte address read.
+        addr: u64,
+        /// Value the load bound.
+        value: u64,
+        /// [`write_id`] of the store the value came from
+        /// ([`WRITE_ID_INIT`] = initial memory).
+        writer: u64,
+    },
+    /// A committed `load_lock` (the read half of an atomic RMW).
+    LoadLock {
+        /// µop sequence number.
+        seq: u64,
+        /// Byte address read.
+        addr: u64,
+        /// Value the load bound.
+        value: u64,
+        /// [`write_id`] of the providing store.
+        writer: u64,
+    },
+    /// A committed plain store (logged at commit; it performs later, at
+    /// store-buffer drain, where the matching [`SerEvent`] is logged).
+    Store {
+        /// µop sequence number — `write_id(core, seq)` names this write.
+        seq: u64,
+        /// Byte address written.
+        addr: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// A committed `store_unlock` (the write half of an atomic RMW; its
+    /// `load_lock` is the entry with seq `seq - 2`).
+    StoreUnlock {
+        /// µop sequence number.
+        seq: u64,
+        /// Byte address written.
+        addr: u64,
+        /// Value written.
+        value: u64,
+    },
+    /// A committed fence that was actually *enforced* (omitted atomic
+    /// fences under the free policies are not logged — the RMW events
+    /// themselves carry the ordering obligation).
+    Fence {
+        /// µop sequence number.
+        seq: u64,
+    },
+}
+
+impl DataEvent {
+    /// The µop sequence number.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            DataEvent::Load { seq, .. }
+            | DataEvent::LoadLock { seq, .. }
+            | DataEvent::Store { seq, .. }
+            | DataEvent::StoreUnlock { seq, .. }
+            | DataEvent::Fence { seq } => seq,
+        }
+    }
+
+    /// The accessed byte address (`None` for fences).
+    pub fn addr(&self) -> Option<u64> {
+        match *self {
+            DataEvent::Load { addr, .. }
+            | DataEvent::LoadLock { addr, .. }
+            | DataEvent::Store { addr, .. }
+            | DataEvent::StoreUnlock { addr, .. } => Some(addr),
+            DataEvent::Fence { .. } => None,
+        }
+    }
+
+    /// True for the two store variants.
+    pub fn is_write(&self) -> bool {
+        matches!(self, DataEvent::Store { .. } | DataEvent::StoreUnlock { .. })
+    }
+
+    /// True for the two load variants.
+    pub fn is_read(&self) -> bool {
+        matches!(self, DataEvent::Load { .. } | DataEvent::LoadLock { .. })
+    }
+}
+
+/// One performed store in the memory system's global write-serialization
+/// order, logged at the instant the backing store is written (the store's
+/// *perform* — the single serialization point every coherence transfer
+/// funnels through). The per-address subsequence of these events is the
+/// coherence order `co`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SerEvent {
+    /// Byte address written.
+    pub addr: u64,
+    /// [`write_id`] of the performing store.
+    pub writer: u64,
+    /// Value written.
+    pub value: u64,
+    /// The directory's per-line write-epoch (incremented on every
+    /// exclusive grant) at perform time — must be non-decreasing along
+    /// each line's serialization order.
+    pub epoch: u64,
+    /// The line was lock-pinned at the moment of the write (true for
+    /// every `store_unlock`: the RMW's atomicity window).
+    pub under_lock: bool,
+}
+
 /// Number of fixed log₂ buckets in a [`Hist`].
 pub const HIST_BUCKETS: usize = 32;
 
@@ -806,6 +992,40 @@ mod tests {
         );
         assert!(parse_trace_setting("flight:/x").is_err());
         assert!(parse_trace_setting("verbose").is_err());
+    }
+
+    #[test]
+    fn check_setting_parses() {
+        assert_eq!(parse_check_setting("off"), Ok(CheckMode::Off));
+        assert_eq!(parse_check_setting(" tso "), Ok(CheckMode::Tso));
+        assert!(parse_check_setting("sc").is_err());
+        assert!(CheckMode::Tso.on());
+        assert!(!CheckMode::Off.on());
+        assert_eq!(CheckMode::default(), CheckMode::Off);
+        assert_eq!(CheckMode::Tso.name(), "tso");
+    }
+
+    #[test]
+    fn write_ids_are_unique_and_decodable() {
+        assert_eq!(write_id_parts(WRITE_ID_INIT), None);
+        assert_eq!(write_id_parts(write_id(0, 0)), Some((0, 0)));
+        assert_eq!(write_id_parts(write_id(7, 123_456)), Some((7, 123_456)));
+        assert_ne!(write_id(0, 0), WRITE_ID_INIT);
+        assert_ne!(write_id(0, 1), write_id(1, 0));
+    }
+
+    #[test]
+    fn data_event_accessors() {
+        let ld = DataEvent::Load { seq: 4, addr: 64, value: 9, writer: write_id(1, 2) };
+        let st = DataEvent::Store { seq: 5, addr: 64, value: 10 };
+        let fence = DataEvent::Fence { seq: 6 };
+        assert!(ld.is_read() && !ld.is_write());
+        assert!(st.is_write() && !st.is_read());
+        assert_eq!((fence.seq(), fence.addr()), (6, None));
+        assert_eq!((st.seq(), st.addr()), (5, Some(64)));
+        let su = DataEvent::StoreUnlock { seq: 7, addr: 64, value: 11 };
+        let ll = DataEvent::LoadLock { seq: 5, addr: 64, value: 10, writer: WRITE_ID_INIT };
+        assert!(su.is_write() && ll.is_read());
     }
 
     #[test]

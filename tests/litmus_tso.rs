@@ -23,6 +23,38 @@ fn all_litmus_shapes_all_policies_are_tso_sound() {
 }
 
 #[test]
+fn gallery_is_sound_under_both_oracles_across_policies_and_nocs() {
+    // The classic gallery (IRIW, WRC, RWC, R, S, 2+2W and the RMW-as-fence
+    // variants), table-driven: every run is simultaneously validated by
+    // the operational enumerator (observation vector ∈ allowed set, via
+    // verify_under) and the axiomatic checker (CheckMode::Tso arms the
+    // full-execution conformance check inside Machine::run, so any
+    // violated axiom fails the run before an outcome is even read) — for
+    // every AtomicPolicy on both interconnect models.
+    let gallery = [
+        LitmusTest::iriw(),
+        LitmusTest::wrc(),
+        LitmusTest::wrc_rmw(),
+        LitmusTest::rwc(),
+        LitmusTest::rwc_rmw(),
+        LitmusTest::r(),
+        LitmusTest::s(),
+        LitmusTest::two_plus_two_w(),
+        LitmusTest::sb_rmw_mixed(),
+    ];
+    for noc in [free_atomics::mem::NocConfig::default(), free_atomics::mem::NocConfig::contended(2)]
+    {
+        let mut base = icelake_like().with_check(CheckMode::Tso);
+        base.mem.noc = noc;
+        for test in &gallery {
+            for policy in AtomicPolicy::ALL {
+                test.verify_under(&base, policy, &offsets());
+            }
+        }
+    }
+}
+
+#[test]
 fn dekker_with_rmws_is_type1_under_free_policies() {
     // Figure 10 of the paper, directly: the RMW must order store→load even
     // though it targets an unrelated address.

@@ -10,9 +10,16 @@
 //! 3. **TSO soundness** — randomly generated litmus shapes run on the
 //!    detailed machine must only ever produce outcomes the operational
 //!    x86-TSO enumerator allows.
+//! 4. **Oracle vs oracle** — synthetic executions produced by a
+//!    schedule-driven operational TSO machine (explicit store buffers)
+//!    must yield outcomes the enumerator allows AND histories the
+//!    axiomatic checker accepts; corrupting one value in the history must
+//!    flip the checker to reject.
 
 use free_atomics::prelude::*;
+use free_atomics::sim::{axiom, write_id, DataEvent, SerEvent, WRITE_ID_INIT};
 use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
 
 const MEM: u64 = 1 << 16;
 
@@ -234,5 +241,217 @@ proptest! {
         let base = icelake_like();
         let offsets: [&[u64]; 2] = [&[], &[offset, 0]];
         test.verify_under(&base, AtomicPolicy::ALL[policy_idx], &offsets);
+    }
+}
+
+// ---------------------------------------------------------------- family 4
+
+/// Maps an abstract litmus location to a guest address (one line apart),
+/// mirroring the harness's layout so events look like the real machine's.
+fn f4_loc(a: u8) -> u64 {
+    0x1000 + (a as u64) * 64
+}
+
+/// A small operational x86-TSO machine with explicit per-thread store
+/// buffers, driven by an arbitrary schedule. Returns the outcome vector
+/// plus the execution history in exactly the shape the detailed simulator
+/// emits: per-core committed [`DataEvent`]s (RMW = `LoadLock` at seq `s`
+/// plus `StoreUnlock` at `s+2`, store-buffer-forwarded loads reading
+/// their own store's write-id) and the global write-serialization order.
+fn run_operational_tso(
+    threads: &[Vec<LOp>],
+    schedule: &[u16],
+    num_outs: usize,
+) -> (Vec<u64>, free_atomics::sim::Execution) {
+    struct Thread<'a> {
+        ops: &'a [LOp],
+        pc: usize,
+        seq: u64,
+        sb: VecDeque<(u64, u64, u64)>, // (seq, addr, value)
+        events: Vec<DataEvent>,
+    }
+    let mut ts: Vec<Thread> = threads
+        .iter()
+        .map(|ops| Thread { ops, pc: 0, seq: 1, sb: VecDeque::new(), events: Vec::new() })
+        .collect();
+    let mut mem: HashMap<u64, u64> = HashMap::new();
+    let mut last_writer: HashMap<u64, u64> = HashMap::new();
+    let mut ser: Vec<SerEvent> = Vec::new();
+    let mut outs = vec![0u64; num_outs];
+    let mut step = 0usize;
+    loop {
+        // Enabled actions: (thread, is_drain). Executing a Fence or RMW
+        // requires an empty store buffer (they drain first on x86);
+        // draining requires a non-empty one — so some action is always
+        // enabled until every thread is done and drained.
+        let mut enabled: Vec<(usize, bool)> = Vec::new();
+        for (i, t) in ts.iter().enumerate() {
+            if t.pc < t.ops.len() {
+                let needs_empty_sb =
+                    matches!(t.ops[t.pc], LOp::Fence | LOp::FetchAdd { .. });
+                if !needs_empty_sb || t.sb.is_empty() {
+                    enabled.push((i, false));
+                }
+            }
+            if !t.sb.is_empty() {
+                enabled.push((i, true));
+            }
+        }
+        if enabled.is_empty() {
+            break;
+        }
+        let pick = schedule[step % schedule.len()] as usize % enabled.len();
+        step += 1;
+        let (i, drain) = enabled[pick];
+        let core = i as u16;
+        let t = &mut ts[i];
+        if drain {
+            let (sseq, addr, value) = t.sb.pop_front().expect("drain picked on non-empty SB");
+            let wid = write_id(core, sseq);
+            mem.insert(addr, value);
+            last_writer.insert(addr, wid);
+            ser.push(SerEvent { addr, writer: wid, value, epoch: 0, under_lock: false });
+            continue;
+        }
+        match t.ops[t.pc] {
+            LOp::St { addr, val } => {
+                let addr = f4_loc(addr);
+                t.sb.push_back((t.seq, addr, val));
+                t.events.push(DataEvent::Store { seq: t.seq, addr, value: val });
+                t.seq += 1;
+            }
+            LOp::Ld { addr, out } => {
+                let addr = f4_loc(addr);
+                // Newest same-address store-buffer entry forwards; its
+                // write-id is the rf source even before it performs.
+                let (value, writer) = match t.sb.iter().rev().find(|e| e.1 == addr) {
+                    Some(&(sseq, _, v)) => (v, write_id(core, sseq)),
+                    None => (
+                        mem.get(&addr).copied().unwrap_or(0),
+                        last_writer.get(&addr).copied().unwrap_or(WRITE_ID_INIT),
+                    ),
+                };
+                t.events.push(DataEvent::Load { seq: t.seq, addr, value, writer });
+                outs[out as usize] = value;
+                t.seq += 1;
+            }
+            LOp::FetchAdd { addr, val, out } => {
+                let addr = f4_loc(addr);
+                // SB is empty here; the read-modify-write is one atomic
+                // step. The µop triple occupies seqs s, s+1, s+2.
+                let old = mem.get(&addr).copied().unwrap_or(0);
+                let writer = last_writer.get(&addr).copied().unwrap_or(WRITE_ID_INIT);
+                let new = old.wrapping_add(val);
+                let su_seq = t.seq + 2;
+                let wid = write_id(core, su_seq);
+                t.events.push(DataEvent::LoadLock { seq: t.seq, addr, value: old, writer });
+                t.events.push(DataEvent::StoreUnlock { seq: su_seq, addr, value: new });
+                mem.insert(addr, new);
+                last_writer.insert(addr, wid);
+                ser.push(SerEvent { addr, writer: wid, value: new, epoch: 0, under_lock: true });
+                outs[out as usize] = old;
+                t.seq += 3;
+            }
+            LOp::Fence => {
+                t.events.push(DataEvent::Fence { seq: t.seq });
+                t.seq += 1;
+            }
+        }
+        t.pc += 1;
+    }
+    let cores = ts.into_iter().map(|t| t.events).collect();
+    (outs, free_atomics::sim::Execution { cores, ser })
+}
+
+fn family4_op() -> impl Strategy<Value = (u8, u8, u8)> {
+    // (kind: St/Ld/FetchAdd/Fence, addr, value)
+    (0u8..4, 0u8..3, 1u8..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn synthetic_tso_histories_satisfy_both_oracles(
+        t0 in prop::collection::vec(family4_op(), 1..4),
+        t1 in prop::collection::vec(family4_op(), 1..4),
+        schedule in prop::collection::vec(any::<u16>(), 8..32),
+    ) {
+        let mut next_out = 0u8;
+        let mut mk = |ops: &[(u8, u8, u8)]| -> Vec<LOp> {
+            ops.iter()
+                .map(|&(kind, addr, val)| match kind {
+                    0 => LOp::St { addr, val: val as u64 },
+                    1 => {
+                        let out = next_out;
+                        next_out += 1;
+                        LOp::Ld { addr, out }
+                    }
+                    2 => {
+                        let out = next_out;
+                        next_out += 1;
+                        LOp::FetchAdd { addr, val: val as u64, out }
+                    }
+                    _ => LOp::Fence,
+                })
+                .collect()
+        };
+        // Always at least one store, so the corruption step below has a
+        // write to mutate.
+        let mut first = vec![LOp::St { addr: 0, val: 7 }];
+        first.extend(mk(&t0));
+        let threads = vec![first, mk(&t1)];
+        let test = LitmusTest { name: "family4", threads: threads.clone() };
+
+        let (outs, x) = run_operational_tso(&threads, &schedule, test.num_outs());
+
+        // Oracle 1: the operational enumerator allows this outcome.
+        prop_assert!(
+            test.allowed_outcomes().contains(&outs),
+            "operational executor produced an outcome the enumerator forbids: {outs:?}"
+        );
+        // Oracle 2: the axiomatic checker accepts the full history.
+        if let Err(v) = axiom::check(&x) {
+            prop_assert!(false, "axiomatic checker rejected a TSO-valid history: {v}");
+        }
+
+        // Corrupted rf/co: bump one read-from-store value if any load read
+        // a real write, else bump a committed store's value. Either way
+        // the checker must reject with a well-formedness axiom.
+        let mut bad = x.clone();
+        let mut mutated = false;
+        'outer: for evs in bad.cores.iter_mut() {
+            for ev in evs.iter_mut() {
+                match ev {
+                    DataEvent::Load { value, writer, .. }
+                    | DataEvent::LoadLock { value, writer, .. }
+                        if *writer != WRITE_ID_INIT =>
+                    {
+                        *value += 1;
+                        mutated = true;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !mutated {
+            'outer2: for evs in bad.cores.iter_mut() {
+                for ev in evs.iter_mut() {
+                    if let DataEvent::Store { value, .. } | DataEvent::StoreUnlock { value, .. } =
+                        ev
+                    {
+                        *value += 1;
+                        break 'outer2;
+                    }
+                }
+            }
+        }
+        let v = axiom::check(&bad).expect_err("corrupted history must be rejected");
+        prop_assert!(
+            v.axiom == "rf-wf" || v.axiom == "co-wf",
+            "corruption must trip a well-formedness axiom, got {}",
+            v.axiom
+        );
     }
 }
