@@ -55,6 +55,37 @@ grep -q '"schema": "fa-sweep-v1"' target/BENCH_fig16.json
 grep -q '"net":{"policy":"contended"' target/BENCH_fig16.json
 grep -q '"queue_hist":\[' target/BENCH_fig16.json
 grep -q '"req_util":\[' target/BENCH_fig16.json
+# Supervision smoke 1 — wedged cell: an impossible 200-cycle budget must
+# quarantine every cell (structured failure in the report's quarantine
+# block) while the campaign itself completes and exits 2, not 1, not 0.
+rc=0
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_CELL_BUDGET=200 FA_RETRIES=0 \
+    FA_BENCH_JSON=target/BENCH_sweep_wedged.json \
+    ./target/release/sweep || rc=$?
+test "$rc" -eq 2
+grep -q '"quarantine"' target/BENCH_sweep_wedged.json
+grep -q 'did not quiesce within 200 cycles' target/BENCH_sweep_wedged.json
+# Supervision smoke 2 — kill/resume: SIGKILL a checkpointed campaign,
+# resume it from the journal, and require the resumed report's rows to be
+# byte-identical to the uninterrupted golden (wherever the kill landed).
+rm -f target/sweep.ckpt
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_CHECKPOINT=target/sweep.ckpt \
+    FA_BENCH_JSON=target/BENCH_sweep_killed.json \
+    ./target/release/sweep & spid=$!
+sleep 0.05
+kill -9 "$spid" 2>/dev/null || true
+wait "$spid" || true
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_CHECKPOINT=target/sweep.ckpt \
+    FA_BENCH_JSON=target/BENCH_sweep_resumed.json \
+    ./target/release/sweep
+grep '"kernel":' target/BENCH_sweep_resumed.json > target/sweep_rows_resumed.txt
+diff target/sweep_rows_resumed.txt target/sweep_rows_off.txt
 # Trace-layer smoke: a full-mode run must export non-empty, loadable
 # Chrome-trace/Perfetto JSON (the bin self-validates structure; the
 # python check proves it is real JSON to an external parser too).

@@ -12,6 +12,9 @@
 //! cell is independent, so the grid fans across `FA_THREADS` sweep
 //! workers; a failed cell is reported and the binary exits nonzero.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use fa_bench::{fmt, row, run_once_checked, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_sim::machine::MachineConfig;

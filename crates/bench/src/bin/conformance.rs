@@ -14,13 +14,21 @@
 //! Sized by the usual `FA_CORES` / `FA_SCALE` / `FA_WORKLOADS` knobs (small
 //! defaults: 4 cores, scale 0.1). `FA_CHECK` defaults to `tso` here —
 //! setting it to `off` reduces the bin to a plain smoke run, which is only
-//! useful for measuring checker overhead.
+//! useful for measuring checker overhead. Each cell runs under
+//! [`fa_sim::supervise`] with the `FA_RETRIES` / `FA_CELL_BUDGET`
+//! watchdogs, so a panicking or wedged cell is counted as a failure
+//! instead of killing or hanging the sweep.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use fa_bench::sweep::SupervisorOpts;
 use fa_bench::{row, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_mem::{ChaosConfig, NocConfig};
+use fa_sim::error::CellFailure;
 use fa_sim::presets::icelake_like;
-use fa_sim::{env, CheckMode, Machine};
+use fa_sim::{env, supervise, CheckMode, Machine};
 
 fn main() {
     let mut opts = BenchOpts::from_env();
@@ -31,6 +39,8 @@ fn main() {
         opts.cores = 4;
     }
     opts.check = env::check_setting_or(CheckMode::Tso);
+    let sup = SupervisorOpts::from_env();
+    let max_cycles = sup.budget.max_cycles.unwrap_or(400_000_000);
     let base = icelake_like();
     let params = opts.params();
     let policies = [AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd];
@@ -57,13 +67,19 @@ fn main() {
                     let mut cfg = base.clone().with_check(opts.check);
                     cfg.core.policy = policy;
                     cfg.mem.noc = *noc;
+                    cfg.mem.progress = opts.progress;
                     if let Some(seed) = chaos_seed {
                         cfg.mem.chaos = ChaosConfig::stress(*seed);
                     }
-                    let w = spec.build(&params);
-                    let mut m = Machine::new(cfg, w.programs, w.mem);
                     runs += 1;
-                    let status = match m.run(400_000_000) {
+                    // The closure's Err carries a machine snapshot; this
+                    // cold-path size is fine.
+                    #[allow(clippy::result_large_err)]
+                    let outcome = supervise(sup.retries, sup.budget.wall, || {
+                        let w = spec.build(&params);
+                        Machine::new(cfg.clone(), w.programs, w.mem).run(max_cycles)
+                    });
+                    let status = match outcome {
                         Ok(r) => {
                             println!(
                                 "{}",
@@ -78,14 +94,16 @@ fn main() {
                             );
                             continue;
                         }
-                        Err(e @ fa_sim::SimError::Tso { .. }) => {
-                            violations += 1;
-                            format!("VIOLATION: {e}")
-                        }
-                        Err(e) => {
-                            failures += 1;
-                            format!("FAILED: {e}")
-                        }
+                        Err(q) => match *q.failure {
+                            CellFailure::Sim(e @ fa_sim::SimError::Tso { .. }) => {
+                                violations += 1;
+                                format!("VIOLATION: {e}")
+                            }
+                            f => {
+                                failures += 1;
+                                format!("FAILED (after {} attempt(s)): {f}", q.attempts)
+                            }
+                        },
                     };
                     println!(
                         "{} {status}",

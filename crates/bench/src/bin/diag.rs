@@ -1,5 +1,8 @@
 //! Developer diagnostic: per-policy counter dump for selected workloads.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use fa_bench::BenchOpts;
 use fa_core::AtomicPolicy;
 use fa_sim::presets::icelake_like;

@@ -1,5 +1,8 @@
 //! Regenerates **Figure 1**: the cost of fenced atomic RMWs.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::fig01_atomic_cost(&fa_bench::BenchOpts::from_env()) {
         eprintln!("fig01_atomic_cost failed: {e}");

@@ -1,5 +1,8 @@
 //! Regenerates **Figure 12**: atomics per kilo-instruction.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::fig12_apki(&fa_bench::BenchOpts::from_env()) {
         eprintln!("fig12_apki failed: {e}");

@@ -1,5 +1,8 @@
 //! Regenerates **Figure 13**: locality of atomics.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::fig13_locality(&fa_bench::BenchOpts::from_env()) {
         eprintln!("fig13_locality failed: {e}");

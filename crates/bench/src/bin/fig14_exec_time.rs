@@ -2,6 +2,9 @@
 //! atomic policies, including the §5.5 headline averages. Runs on the
 //! parallel sweep engine (`FA_THREADS`) and writes `BENCH_sweep.json`.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::fig14_exec_time(&fa_bench::BenchOpts::from_env()) {
         eprintln!("fig14_exec_time failed: {e}");

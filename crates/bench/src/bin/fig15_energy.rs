@@ -1,6 +1,9 @@
 //! Regenerates **Figure 15**: normalized energy consumption. Runs on the
 //! parallel sweep engine (`FA_THREADS`) and writes `BENCH_sweep.json`.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::fig15_energy(&fa_bench::BenchOpts::from_env()) {
         eprintln!("fig15_energy failed: {e}");

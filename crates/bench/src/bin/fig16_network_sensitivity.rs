@@ -4,6 +4,9 @@
 //! per-link utilization and queue-depth detail. Runs on the parallel sweep
 //! engine (`FA_THREADS`) and writes the merged `BENCH_sweep.json`.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) =
         fa_bench::figures::fig16_network_sensitivity(&fa_bench::BenchOpts::from_env())

@@ -19,11 +19,19 @@
 //!
 //! Case generation is serial and seeded, so the report is bit-identical
 //! at any `FA_THREADS` value.
+//!
+//! The whole campaign runs under [`fa_sim::supervise`]: a panic anywhere
+//! in the fuzzer (or an expired `FA_CELL_BUDGET` wall-clock watchdog) is
+//! caught, reported with its structured failure, and exits nonzero instead
+//! of unwinding or hanging the CI gate.
+
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use fa_sim::env;
 use fa_sim::fuzz::{fuzz_litmus, FuzzConfig};
 use fa_sim::presets::tiny_machine;
-use fa_sim::CheckMode;
+use fa_sim::{supervise, CheckMode};
 
 fn main() {
     let base = FuzzConfig::default();
@@ -36,7 +44,17 @@ fn main() {
         check: env::check_setting_or(CheckMode::Tso),
         ..base
     };
-    let report = fuzz_litmus(&tiny_machine(), &fcfg);
+    // The supervised closure's Err type carries a machine snapshot; this
+    // cold-path size is fine.
+    #[allow(clippy::result_large_err)]
+    let report =
+        match supervise(env::retries(), env::cell_budget().wall, || Ok(fuzz_litmus(&tiny_machine(), &fcfg))) {
+            Ok(r) => r,
+            Err(q) => {
+                eprintln!("fuzz campaign quarantined after {} attempt(s): {}", q.attempts, q.failure);
+                std::process::exit(2);
+            }
+        };
     print!("{report}");
     if !report.ok() {
         std::process::exit(1);

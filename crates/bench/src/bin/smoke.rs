@@ -2,6 +2,9 @@
 //! under two policies at a small scale, printing cycles / instructions /
 //! APKI. Used during development and as a fast sanity gate.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use fa_bench::{fmt, row, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_sim::presets::icelake_like;

@@ -1,7 +1,7 @@
-//! Standalone sweep driver: measures a `(kernel, policy, preset)` grid on
-//! the parallel sweep engine, prints one row per cell, and writes the
-//! `BENCH_sweep.json` throughput report (wall clock, simulated cycles/sec,
-//! simulated MIPS).
+//! Supervised sweep driver: measures a `(kernel, policy, preset)` grid on
+//! the parallel sweep engine under per-cell isolation, prints a status line
+//! per cell, and writes the `BENCH_sweep.json` throughput report (wall
+//! clock, simulated cycles/sec, simulated MIPS, any quarantined cells).
 //!
 //! Sized by the usual `FA_*` variables; additionally:
 //!
@@ -11,70 +11,75 @@
 //! | `FA_PRESETS` | `icelake` | comma-separated preset names |
 //! | `FA_THREADS` | 0 (auto) | sweep worker threads |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | report destination |
+//! | `FA_RETRIES` | 1 | failed-cell retries before quarantine |
+//! | `FA_CELL_BUDGET` | unset | `<cycles>` or `<cycles>:<wall_secs>` per cell |
+//! | `FA_CHECKPOINT` | unset | append-only journal for kill/resume |
 //!
 //! Rows are a pure function of the simulated cells, so re-running with a
-//! different `FA_THREADS` must reproduce them byte-for-byte; only the
-//! timing block changes.
+//! different `FA_THREADS` — or killing the campaign and resuming it from
+//! the `FA_CHECKPOINT` journal — must reproduce them byte-for-byte; only
+//! the timing block changes.
+//!
+//! Exit status: 0 for a clean campaign, 1 for a configuration or I/O
+//! failure, 2 when any cell was quarantined (the report is still written).
+
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use fa_bench::sweep::{
-    grid, hot_locks, hot_locks_line, policies_from_env, presets_from_env, run_grid,
-    SweepReport, SweepRow,
+    grid, policies_from_env, presets_from_env, run_grid_supervised, SupervisorOpts, SweepReport,
 };
-use fa_bench::{row, BenchOpts};
+use fa_bench::BenchOpts;
 
 fn main() {
     let opts = BenchOpts::from_env();
+    let sup = SupervisorOpts::from_env();
     let cells = grid(&opts.workloads(), &policies_from_env(), &presets_from_env());
     println!(
-        "# sweep: {} cells (cores={}, scale={}, runs={}, drop={}, threads={}, noc={})",
+        "# sweep: {} cells (cores={}, scale={}, runs={}, drop={}, threads={}, noc={}, \
+         retries={}, budget={:?}, checkpoint={:?})",
         cells.len(),
         opts.cores,
         opts.scale,
         opts.runs,
         opts.drop_slowest,
         opts.threads,
-        opts.noc.policy.name()
+        opts.noc.policy.name(),
+        sup.retries,
+        sup.budget,
+        sup.checkpoint,
     );
-    let (results, timing) = match run_grid(&opts, &cells) {
+    let (outcome, timing) = match run_grid_supervised(&opts, &sup, &cells) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");
             std::process::exit(1);
         }
     };
-    println!(
-        "{}",
-        row(&[
-            "kernel".into(),
-            "policy".into(),
-            "preset".into(),
-            "mean cycles".into(),
-            "rep cycles".into(),
-            "instrs".into(),
-        ])
-    );
-    for r in &results {
-        let rw = SweepRow::from_result(opts.runs, r);
-        println!(
-            "{}",
-            row(&[
-                rw.kernel,
-                rw.policy,
-                rw.preset,
-                format!("{:.1}", rw.mean_cycles),
-                rw.rep_cycles.to_string(),
-                rw.instructions.to_string(),
-            ])
-        );
+    if outcome.resumed > 0 {
+        println!("resumed {} completed cell(s) from the checkpoint journal", outcome.resumed);
     }
-    let report = SweepReport::new("sweep", &opts, &results, timing);
+    let quarantined: Vec<String> = outcome.quarantine.iter().map(|q| q.cell.clone()).collect();
+    for cell in &cells {
+        let name = cell.name();
+        let status = if quarantined.contains(&name) { "QUARANTINED" } else { "ok" };
+        println!("{name}: {status}");
+    }
+    let report = SweepReport::from_outcome("sweep", &opts, outcome, timing);
     println!("\n{}", report.timing_line());
-    println!("{}", hot_locks_line(&hot_locks(&results)));
     match report.write() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("sweep: could not write report: {e}");
             std::process::exit(1);
         }
+    }
+    if !report.quarantine.is_empty() {
+        eprintln!("sweep: {} cell(s) quarantined:", report.quarantine.len());
+        for q in &report.quarantine {
+            let first = q.failure.lines().next().unwrap_or("(no detail)");
+            eprintln!("  {} after {} attempt(s): {first}", q.cell, q.attempts);
+        }
+        std::process::exit(2);
     }
 }

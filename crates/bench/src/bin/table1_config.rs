@@ -1,5 +1,8 @@
 //! Prints **Table 1**: the simulated system configuration.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     fa_bench::figures::table1_config();
 }

@@ -1,5 +1,8 @@
 //! Regenerates **Table 2**: characterization of Free atomics.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 fn main() {
     if let Err(e) = fa_bench::figures::table2_characterization(&fa_bench::BenchOpts::from_env()) {
         eprintln!("table2_characterization failed: {e}");

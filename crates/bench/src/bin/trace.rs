@@ -17,6 +17,9 @@
 //! `fa_trace.json`; the recording mode here is always `full` — this *is*
 //! the trace exporter.
 
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use fa_bench::BenchOpts;
 use fa_core::AtomicPolicy;
 use fa_isa::interp::GuestMem;

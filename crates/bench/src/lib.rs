@@ -19,15 +19,24 @@
 //! | `FA_TRACE` | `off` | event tracing: `off`, `flight`, or `full[:path]` |
 //! | `FA_CHECK` | `off` | axiomatic TSO conformance checking: `off` or `tso` |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
+//! | `FA_PROGRESS` | `on` | forward-progress escalation: `off`, `on`, or `on:<stall_cycles>` |
+//! | `FA_RETRIES` | 1 | supervised-cell retries before quarantine |
+//! | `FA_CELL_BUDGET` | unset | per-cell budget: `<cycles>` or `<cycles>:<wall_secs>` |
+//! | `FA_CHECKPOINT` | unset | append-only sweep journal for kill/resume |
 //!
 //! All parsing goes through [`fa_sim::env`], so a malformed value fails
 //! loudly with the variable name and the expected grammar.
 
+// Non-test code must justify every panic site; see the `expect` messages
+// documenting each invariant. Tests keep plain unwrap for brevity.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod checkpoint;
 pub mod figures;
 pub mod sweep;
 
 use fa_core::AtomicPolicy;
-use fa_mem::NocConfig;
+use fa_mem::{NocConfig, ProgressConfig};
 use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
@@ -65,6 +74,12 @@ pub struct BenchOpts {
     /// validated against the full TSO + RMW-atomicity axioms, with
     /// bit-identical simulation statistics either way.
     pub check: CheckMode,
+    /// Forward-progress escalation (`FA_PROGRESS`), applied to every
+    /// driver run. On by default with wedge-sized thresholds: stall
+    /// counters are unconditional passive statistics, and escalation never
+    /// fires on healthy runs, so golden results are bit-identical with the
+    /// framework on or off.
+    pub progress: ProgressConfig,
 }
 
 impl Default for BenchOpts {
@@ -79,6 +94,7 @@ impl Default for BenchOpts {
             noc: NocConfig::default(),
             trace: TraceMode::Off,
             check: CheckMode::Off,
+            progress: ProgressConfig::default(),
         }
     }
 }
@@ -103,6 +119,7 @@ impl BenchOpts {
             noc: env::noc_config(),
             trace: env::trace_setting().0,
             check: env::check_setting(),
+            progress: env::progress_setting(),
         }
     }
 
@@ -139,11 +156,13 @@ impl BenchOpts {
     }
 
     /// `base` specialized for one run under these options: policy, NoC
-    /// model, trace mode, and conformance-check mode applied.
+    /// model, trace mode, conformance-check mode, and forward-progress
+    /// escalation applied.
     pub fn config_for(&self, base: &MachineConfig, policy: AtomicPolicy) -> MachineConfig {
         let mut cfg = base.clone().with_trace(self.trace).with_check(self.check);
         cfg.core.policy = policy;
         cfg.mem.noc = self.noc;
+        cfg.mem.progress = self.progress;
         cfg
     }
 }
@@ -276,6 +295,7 @@ mod tests {
         let cfg = opts.config_for(&MachineConfig::default(), AtomicPolicy::FreeFwd);
         assert_eq!(cfg.core.policy, AtomicPolicy::FreeFwd);
         assert_eq!(cfg.mem.noc, NocConfig::contended(4));
+        assert!(cfg.mem.progress.enabled, "progress escalation rides along by default");
         assert_eq!(cfg.core.trace.mode, TraceMode::Flight);
         assert_eq!(cfg.mem.trace.mode, TraceMode::Flight);
         assert_eq!(cfg.core.check, CheckMode::Tso);

@@ -13,16 +13,17 @@
 //! fields out of `rows` so serial and parallel sweeps agree byte-for-byte
 //! there.
 
+use crate::checkpoint::{fnv1a64, CellRecord, Journal};
 use crate::BenchOpts;
 use fa_core::AtomicPolicy;
 use fa_mem::{HotLock, NocStats, XbarPolicy};
 use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
-use fa_sim::methodology::MultiRun;
-use fa_sim::sweep::{run_cells_timed, SweepTiming};
+use fa_sim::methodology::{Methodology, MultiRun};
+use fa_sim::sweep::{run_cells_timed, supervise, SweepTiming};
 use fa_sim::Hist;
-use fa_workloads::WorkloadSpec;
+use fa_workloads::{WorkloadParams, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -121,6 +122,14 @@ pub struct SweepCell {
     pub preset: Preset,
 }
 
+impl SweepCell {
+    /// The cell's stable identity, `kernel/policy/preset` — used by
+    /// quarantine reports and the campaign fingerprint.
+    pub fn name(&self) -> String {
+        format!("{}/{}/{}", self.workload.name, self.policy.label(), self.preset.name())
+    }
+}
+
 /// The full cross product, in row-major `(workload, policy, preset)` order
 /// — the canonical cell enumeration every driver shares so row order is
 /// stable across bins.
@@ -188,6 +197,200 @@ pub fn run_grid(
         out.push(CellResult { cell, summary });
     }
     Ok((out, timing))
+}
+
+/// Supervision settings for a sweep campaign: per-cell retries, the
+/// simulated-cycle / wall-clock cell budget, and the optional checkpoint
+/// journal for kill/resume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorOpts {
+    /// Failed-cell retries before quarantine (`FA_RETRIES`).
+    pub retries: u32,
+    /// Per-cell budget (`FA_CELL_BUDGET`): an optional simulated-cycle cap
+    /// overriding the methodology's `max_cycles`, and an optional
+    /// wall-clock watchdog armed for each attempt.
+    pub budget: env::CellBudget,
+    /// Checkpoint journal path (`FA_CHECKPOINT`); `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl SupervisorOpts {
+    /// Reads supervision settings from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any set-but-malformed variable, naming the grammar.
+    pub fn from_env() -> SupervisorOpts {
+        SupervisorOpts {
+            retries: env::retries(),
+            budget: env::cell_budget(),
+            checkpoint: env::checkpoint().map(PathBuf::from),
+        }
+    }
+
+    /// No retries, no budget override, no checkpointing — supervision is
+    /// pure isolation (panics still quarantine instead of unwinding).
+    pub fn none() -> SupervisorOpts {
+        SupervisorOpts::default()
+    }
+}
+
+/// One quarantined cell, as recorded in the report's `quarantine` block:
+/// the campaign completed without it after every attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedCell {
+    /// Cell identity (`kernel/policy/preset`).
+    pub cell: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The last attempt's failure, rendered — for simulation errors this
+    /// includes the machine snapshot with the flight-recorder tail.
+    pub failure: String,
+}
+
+/// The outcome of a supervised campaign: rows for every completed cell (in
+/// grid order), quarantine entries for the rest, and the resume count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// `SweepRow::json_full` lines of completed cells, in grid order.
+    /// Journal-resumed cells contribute their stored line verbatim, so a
+    /// killed-and-resumed campaign is byte-identical to an uninterrupted
+    /// one.
+    pub row_lines: Vec<String>,
+    /// Cells that failed every attempt, in grid order.
+    pub quarantine: Vec<QuarantinedCell>,
+    /// Cells replayed from the checkpoint journal instead of re-run.
+    pub resumed: usize,
+}
+
+/// The campaign fingerprint for the checkpoint journal: an FNV-1a 64 hash
+/// over everything that affects simulated rows — sizing, methodology,
+/// seed, NoC, check mode, progress thresholds, the cycle budget, and the
+/// cell identities — and nothing that does not (worker-thread count, trace
+/// mode, wall-clock budget).
+pub fn campaign_fingerprint(opts: &BenchOpts, budget_cycles: Option<u64>, cells: &[SweepCell]) -> u64 {
+    let mut s = format!(
+        "cores={} scale={:?} runs={} drop={} seed={} noc={:?} check={:?} progress={:?} \
+         budget_cycles={budget_cycles:?};cells:",
+        opts.cores, opts.scale, opts.runs, opts.drop_slowest, opts.seed, opts.noc, opts.check,
+        opts.progress
+    );
+    for c in cells {
+        s.push_str(&c.name());
+        s.push(',');
+    }
+    fnv1a64(s.as_bytes())
+}
+
+/// Runs one whole cell — every methodology run, serially — and returns its
+/// journal record: simulated totals over **all** runs (dropped ones
+/// included, matching the unsupervised engine's accounting) plus the
+/// emitted row line. Each run derives its perturbations from `seed + run`,
+/// so this is bit-identical to the `(cell, run)`-granular fan-out.
+// Cold failure path; the error's diagnostic snapshot dominates.
+#[allow(clippy::result_large_err)]
+fn run_one_cell(
+    opts: &BenchOpts,
+    meth: &Methodology,
+    params: &WorkloadParams,
+    cell: &SweepCell,
+) -> Result<CellRecord, SimError> {
+    let cfg = opts.config_for(&cell.preset.config(), cell.policy);
+    let mut runs = Vec::with_capacity(meth.runs);
+    let (mut cycles, mut instructions) = (0u64, 0u64);
+    for run in 0..meth.runs {
+        let w = cell.workload.build(params);
+        let rr = meth.run_single(&cfg, run, w.programs, w.mem)?;
+        cycles += rr.cycles;
+        instructions += rr.instructions();
+        runs.push(rr);
+    }
+    let summary = meth.summarize(runs)?;
+    let mut row = SweepRow::from_result(meth.runs, &CellResult { cell: *cell, summary });
+    row.checked = opts.check.on();
+    Ok(CellRecord { cycles, instructions, row: row.json_full() })
+}
+
+/// [`run_grid`] under full supervision: each cell is one isolated job —
+/// panics caught, the `FA_CELL_BUDGET` watchdogs armed, failures retried
+/// `sup.retries` times, survivors quarantined into the outcome instead of
+/// aborting the campaign — and, when `sup.checkpoint` is set, every
+/// completed cell is journaled as it finishes so a killed campaign resumes
+/// exactly where it stopped.
+///
+/// Completed rows are byte-identical to [`run_grid`]'s at any worker-thread
+/// count, with or without an intervening kill/resume.
+///
+/// # Errors
+///
+/// [`SimError::InvalidMethodology`] for a configuration retaining no runs.
+/// Per-cell failures do not error — they quarantine.
+///
+/// # Panics
+///
+/// Panics when the checkpoint journal cannot be opened or appended to, or
+/// belongs to a different campaign (fingerprint mismatch).
+// The supervised closure's Err carries a full machine snapshot by design;
+// it is built once on the cold failure path, never per cycle.
+#[allow(clippy::result_large_err)]
+pub fn run_grid_supervised(
+    opts: &BenchOpts,
+    sup: &SupervisorOpts,
+    cells: &[SweepCell],
+) -> Result<(SweepOutcome, SweepTiming), Box<SimError>> {
+    let mut meth = opts.methodology();
+    if let Some(c) = sup.budget.max_cycles {
+        meth.max_cycles = c;
+    }
+    meth.validate().map_err(Box::new)?;
+    let params = opts.params();
+    let journal = sup.checkpoint.as_deref().map(|p| {
+        let fp = campaign_fingerprint(opts, sup.budget.max_cycles, cells);
+        Journal::open(p, fp, cells.len())
+            .unwrap_or_else(|e| panic!("FA_CHECKPOINT {}: {e}", p.display()))
+    });
+    let done = |ci: &usize| journal.as_ref().is_some_and(|j| j.completed.contains_key(ci));
+    let pending: Vec<usize> = (0..cells.len()).filter(|ci| !done(ci)).collect();
+    let resumed = cells.len() - pending.len();
+    let (results, mut timing) = run_cells_timed(
+        &pending,
+        opts.threads,
+        |_, &ci| {
+            let r = supervise(sup.retries, sup.budget.wall, || {
+                run_one_cell(opts, &meth, &params, &cells[ci])
+            });
+            if let (Ok(rec), Some(j)) = (&r, &journal) {
+                // Journal the success before the worker moves on: a kill
+                // after this point cannot lose the cell.
+                j.record(ci, rec)
+                    .unwrap_or_else(|e| panic!("FA_CHECKPOINT {}: {e}", j.path().display()));
+            }
+            r
+        },
+        |r| r.as_ref().map(|rec| (rec.cycles, rec.instructions)).unwrap_or((0, 0)),
+    );
+    timing.cells = cells.len();
+    let mut row_lines = Vec::with_capacity(cells.len());
+    let mut quarantine = Vec::new();
+    let mut fresh = results.into_iter();
+    for (ci, cell) in cells.iter().enumerate() {
+        if let Some(rec) = journal.as_ref().and_then(|j| j.completed.get(&ci)) {
+            row_lines.push(rec.row.clone());
+            timing.sim_cycles += rec.cycles;
+            timing.sim_instructions += rec.instructions;
+            continue;
+        }
+        match fresh.next().expect("one supervised result per pending cell") {
+            Ok(rec) => row_lines.push(rec.row),
+            Err(q) => quarantine.push(QuarantinedCell {
+                cell: cell.name(),
+                attempts: q.attempts,
+                failure: q.failure.to_string(),
+            }),
+        }
+    }
+    Ok((SweepOutcome { row_lines, quarantine, resumed }, timing))
 }
 
 /// The latency-histogram block of one sweep row: log₂-bucketed
@@ -360,13 +563,41 @@ pub fn hot_locks_line(locks: &[HotLock]) -> String {
     format!("hot locks: {}", items.join(", "))
 }
 
-/// A complete sweep report: rows plus the timing block.
+/// Escapes `s` for embedding in a JSON string literal (the quarantine
+/// block carries rendered failure reports, which are multi-line).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A complete sweep report: row lines, any quarantined cells, and the
+/// timing block.
 #[derive(Clone, Debug)]
 pub struct SweepReport {
     /// The driver that produced the report (e.g. `"sweep"`, `"fig14"`).
     pub bin: String,
-    /// Measured rows, in grid (cell) order.
-    pub rows: Vec<SweepRow>,
+    /// Runs per cell (for the human summary line).
+    pub runs: usize,
+    /// Emitted rows (`SweepRow::json_full` lines), in grid (cell) order.
+    /// Kept as verbatim lines so journal-resumed campaigns re-emit bytes.
+    pub row_lines: Vec<String>,
+    /// Cells quarantined by the supervisor; empty for unsupervised grids,
+    /// and the `quarantine` block is omitted from the JSON when empty so
+    /// healthy reports stay byte-identical to the historical shape.
+    pub quarantine: Vec<QuarantinedCell>,
     /// Wall-clock / simulated-throughput accounting.
     pub timing: SweepTiming,
 }
@@ -376,19 +607,37 @@ impl SweepReport {
     /// sweep (`FA_CHECK=tso`) are flagged: every run behind them passed
     /// the axiomatic conformance checker, or the grid would have errored.
     pub fn new(bin: &str, opts: &BenchOpts, results: &[CellResult], timing: SweepTiming) -> SweepReport {
-        let rows = results
+        let row_lines = results
             .iter()
             .map(|r| {
                 let mut row = SweepRow::from_result(opts.runs, r);
                 row.checked = opts.check.on();
-                row
+                row.json_full()
             })
             .collect();
-        SweepReport { bin: bin.to_string(), rows, timing }
+        SweepReport {
+            bin: bin.to_string(),
+            runs: opts.runs,
+            row_lines,
+            quarantine: Vec::new(),
+            timing,
+        }
+    }
+
+    /// Summarizes a supervised campaign, carrying its quarantine block.
+    pub fn from_outcome(bin: &str, opts: &BenchOpts, outcome: SweepOutcome, timing: SweepTiming) -> SweepReport {
+        SweepReport {
+            bin: bin.to_string(),
+            runs: opts.runs,
+            row_lines: outcome.row_lines,
+            quarantine: outcome.quarantine,
+            timing,
+        }
     }
 
     /// The whole report as pretty-stable JSON: a `fa-sweep-v1` header, the
-    /// timing block, then one row object per line.
+    /// timing block, one row object per line, and — only when the
+    /// supervisor quarantined cells — a `quarantine` block.
     pub fn json(&self) -> String {
         let t = &self.timing;
         let mut s = String::new();
@@ -400,18 +649,33 @@ impl SweepReport {
              \"rows\": [\n",
             self.bin,
             t.threads,
-            self.rows.len(),
+            self.row_lines.len(),
             t.wall.as_secs_f64(),
             t.sim_cycles,
             t.sim_instructions,
             t.cycles_per_sec(),
             t.mips()
         );
-        for (i, row) in self.rows.iter().enumerate() {
-            let sep = if i + 1 == self.rows.len() { "" } else { "," };
-            let _ = writeln!(s, "    {}{}", row.json_full(), sep);
+        for (i, row) in self.row_lines.iter().enumerate() {
+            let sep = if i + 1 == self.row_lines.len() { "" } else { "," };
+            let _ = writeln!(s, "    {row}{sep}");
         }
-        s.push_str("  ]\n}\n");
+        if self.quarantine.is_empty() {
+            s.push_str("  ]\n}\n");
+        } else {
+            s.push_str("  ],\n  \"quarantine\": [\n");
+            for (i, q) in self.quarantine.iter().enumerate() {
+                let sep = if i + 1 == self.quarantine.len() { "" } else { "," };
+                let _ = writeln!(
+                    s,
+                    "    {{\"cell\":\"{}\",\"attempts\":{},\"failure\":\"{}\"}}{sep}",
+                    json_escape(&q.cell),
+                    q.attempts,
+                    json_escape(&q.failure)
+                );
+            }
+            s.push_str("  ]\n}\n");
+        }
         s
     }
 
@@ -435,21 +699,25 @@ impl SweepReport {
         Ok(path)
     }
 
-    /// One-line human summary of the timing block.
+    /// One-line human summary of the timing block (and any quarantine).
     pub fn timing_line(&self) -> String {
         let t = &self.timing;
-        format!(
+        let mut line = format!(
             "sweep: {} cells x {} runs on {} thread(s): {:.2}s wall, {} sim cycles \
              ({:.2e} cyc/s), {} instrs ({:.2} MIPS)",
-            self.rows.len(),
-            self.rows.first().map_or(0, |r| r.runs),
+            self.row_lines.len(),
+            self.runs,
             t.threads,
             t.wall.as_secs_f64(),
             t.sim_cycles,
             t.cycles_per_sec(),
             t.sim_instructions,
             t.mips()
-        )
+        );
+        if !self.quarantine.is_empty() {
+            let _ = write!(line, ", {} cell(s) QUARANTINED", self.quarantine.len());
+        }
+        line
     }
 }
 
@@ -469,6 +737,7 @@ mod tests {
             noc: fa_mem::NocConfig::default(),
             trace: fa_sim::TraceMode::Off,
             check: fa_sim::CheckMode::Off,
+            progress: fa_mem::ProgressConfig::default(),
         }
     }
 
@@ -515,7 +784,7 @@ mod tests {
         let o = small_opts(1);
         let a = SweepReport::new("test", &o, &serial, sweep_timing_stub());
         let b = SweepReport::new("test", &o, &parallel, sweep_timing_stub());
-        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.row_lines, b.row_lines);
         assert_eq!(a.json(), b.json());
     }
 
@@ -590,14 +859,17 @@ mod tests {
         let tso_opts = BenchOpts { check: CheckMode::Tso, ..off_opts };
         let (off, ot) = run_grid(&off_opts, &cells).expect("unchecked grid");
         let (tso, tt) = run_grid(&tso_opts, &cells).expect("checked grid");
+        for (a, b) in off.iter().zip(&tso) {
+            let ra = SweepRow::from_result(3, a);
+            let rb = SweepRow::from_result(3, b);
+            assert_eq!(ra.json(), rb.json(), "checking must not perturb golden rows");
+        }
         let off_rep = SweepReport::new("chk", &off_opts, &off, ot);
         let tso_rep = SweepReport::new("chk", &tso_opts, &tso, tt);
-        for (a, b) in off_rep.rows.iter().zip(&tso_rep.rows) {
-            assert_eq!(a.json(), b.json(), "checking must not perturb golden rows");
-            assert!(!a.checked && b.checked);
-            assert!(!a.json_full().contains("\"checked\""));
-            assert!(b.json_full().ends_with(",\"checked\":true}"), "{}", b.json_full());
-            assert_eq!(a.json_full(), b.json_full().replace(",\"checked\":true", ""));
+        for (a, b) in off_rep.row_lines.iter().zip(&tso_rep.row_lines) {
+            assert!(!a.contains("\"checked\""));
+            assert!(b.ends_with(",\"checked\":true}"), "{b}");
+            assert_eq!(*a, b.replace(",\"checked\":true", ""));
         }
     }
 
@@ -660,6 +932,175 @@ mod tests {
         assert!(j.contains("\"kernel\":\"TATP\""));
         assert!(j.contains("\"mips\":"));
         assert!(j.ends_with("  ]\n}\n"));
+        assert!(!j.contains("\"quarantine\""), "healthy reports omit the quarantine block");
         assert!(!rep.timing_line().is_empty());
+    }
+
+    fn row_lines_of(opts: &BenchOpts, results: &[CellResult]) -> Vec<String> {
+        results
+            .iter()
+            .map(|r| {
+                let mut row = SweepRow::from_result(opts.runs, r);
+                row.checked = opts.check.on();
+                row.json_full()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn supervised_rows_match_unsupervised_at_any_thread_count() {
+        let cells = small_grid();
+        let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
+        let base = row_lines_of(&small_opts(1), &results);
+        for threads in [1, 4] {
+            let (out, t) = run_grid_supervised(&small_opts(threads), &SupervisorOpts::none(), &cells)
+                .expect("supervised grid");
+            assert!(out.quarantine.is_empty());
+            assert_eq!(out.resumed, 0);
+            assert_eq!(out.row_lines, base, "threads={threads}");
+            assert_eq!(t.cells, cells.len());
+            assert!(t.sim_cycles > 0 && t.sim_instructions > 0);
+        }
+    }
+
+    fn tmp_journal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fa-sweep-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn killed_and_resumed_campaign_is_byte_identical() {
+        let cells = small_grid();
+        let (reference, _) = run_grid_supervised(&small_opts(1), &SupervisorOpts::none(), &cells)
+            .expect("reference run");
+        // One full checkpointed campaign produces the journal to truncate.
+        let jpath = tmp_journal("resume");
+        let _ = std::fs::remove_file(&jpath);
+        let sup = |threads: usize| {
+            (
+                BenchOpts { threads, ..small_opts(1) },
+                SupervisorOpts { checkpoint: Some(jpath.clone()), ..SupervisorOpts::none() },
+            )
+        };
+        let (o, s) = sup(1);
+        let (full, full_timing) = run_grid_supervised(&o, &s, &cells).expect("checkpointed run");
+        assert_eq!(full.row_lines, reference.row_lines);
+        let journal = std::fs::read(&jpath).expect("journal written");
+        let newlines: Vec<usize> =
+            journal.iter().enumerate().filter(|(_, &b)| b == b'\n').map(|(i, _)| i).collect();
+        assert_eq!(newlines.len(), 1 + cells.len(), "header + one record per cell");
+        // Kill points: mid-header, header only, after each of the first two
+        // records, mid-record (torn write), and the complete journal.
+        let cuts = [
+            5,
+            newlines[0] + 1,
+            newlines[1] + 1,
+            newlines[2] + 1,
+            newlines[2] + 30, // torn third record
+            journal.len(),
+        ];
+        for threads in [1usize, 8] {
+            for &cut in &cuts {
+                std::fs::write(&jpath, &journal[..cut]).expect("truncate journal");
+                let (o, s) = sup(threads);
+                let (resumed, t) = run_grid_supervised(&o, &s, &cells).expect("resumed run");
+                assert_eq!(
+                    resumed.row_lines, reference.row_lines,
+                    "rows must be byte-identical after kill at byte {cut}, threads={threads}"
+                );
+                assert!(resumed.quarantine.is_empty());
+                // Simulated totals are identical however the work splits
+                // between journal replay and fresh runs.
+                assert_eq!(
+                    t.sim_cycles, full_timing.sim_cycles,
+                    "resumed timing must account journaled cells too (cut {cut})"
+                );
+                assert_eq!(t.sim_instructions, full_timing.sim_instructions);
+            }
+        }
+        // After a complete campaign, every cell resumes from the journal.
+        std::fs::write(&jpath, &journal).expect("restore journal");
+        let (o, s) = sup(1);
+        let (all_resumed, _) = run_grid_supervised(&o, &s, &cells).expect("full resume");
+        assert_eq!(all_resumed.resumed, cells.len());
+        assert_eq!(all_resumed.row_lines, reference.row_lines);
+        std::fs::remove_file(&jpath).expect("cleanup");
+    }
+
+    #[test]
+    #[should_panic(expected = "different campaign")]
+    fn resuming_under_different_options_panics() {
+        let cells = small_grid();
+        let jpath = tmp_journal("mismatch");
+        let _ = std::fs::remove_file(&jpath);
+        let sup = SupervisorOpts { checkpoint: Some(jpath.clone()), ..SupervisorOpts::none() };
+        run_grid_supervised(&small_opts(1), &sup, &cells).expect("first campaign");
+        // A different seed is a different campaign; replaying its rows
+        // would corrupt the sweep, so the journal must refuse loudly.
+        let other = BenchOpts { seed: 0xBEEF, ..small_opts(1) };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_grid_supervised(&other, &sup, &cells)
+        }));
+        std::fs::remove_file(&jpath).expect("cleanup");
+        if let Err(p) = r {
+            std::panic::resume_unwind(p);
+        }
+    }
+
+    #[test]
+    fn exhausted_cell_budget_quarantines_and_the_campaign_completes() {
+        let cells = small_grid();
+        // 200 cycles is far too few for any cell: every attempt times out,
+        // is retried once, then the cell is quarantined — but the campaign
+        // still returns Ok with a structured report per lost cell.
+        let sup = SupervisorOpts {
+            retries: 1,
+            budget: env::CellBudget { max_cycles: Some(200), wall: None },
+            checkpoint: None,
+        };
+        let (out, _) = run_grid_supervised(&small_opts(1), &sup, &cells).expect("campaign");
+        assert!(out.row_lines.is_empty());
+        assert_eq!(out.quarantine.len(), cells.len());
+        let q = &out.quarantine[0];
+        assert_eq!(q.cell, "TATP/baseline/tiny");
+        assert_eq!(q.attempts, 2, "one initial attempt + FA_RETRIES=1 retry");
+        assert!(q.failure.contains("did not quiesce within 200 cycles"), "{}", q.failure);
+
+        // The report renders the quarantine block, flags the summary line,
+        // and the JSON stays well-shaped.
+        let opts = small_opts(1);
+        let rep = SweepReport::from_outcome("qtest", &opts, out, sweep_timing_stub());
+        let j = rep.json();
+        assert!(j.contains("\"quarantine\": [\n"), "{j}");
+        assert!(j.contains("{\"cell\":\"TATP/baseline/tiny\",\"attempts\":2,\"failure\":\""));
+        assert!(j.contains("did not quiesce"), "failure text is carried, escaped");
+        assert!(!j.contains("\nsnapshot"), "newlines in failures must be escaped");
+        assert!(j.ends_with("  ]\n}\n"));
+        assert!(rep.timing_line().ends_with("4 cell(s) QUARANTINED"), "{}", rep.timing_line());
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_newlines_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("l1\nl2\tt"), "l1\\nl2\\tt");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn campaign_fingerprint_tracks_results_affecting_knobs_only() {
+        let cells = small_grid();
+        let opts = small_opts(1);
+        let fp = campaign_fingerprint(&opts, None, &cells);
+        assert_eq!(fp, campaign_fingerprint(&BenchOpts { threads: 8, ..opts }, None, &cells));
+        assert_eq!(
+            fp,
+            campaign_fingerprint(&BenchOpts { trace: fa_sim::TraceMode::Flight, ..opts }, None, &cells),
+            "trace mode never perturbs rows, so it is not part of the campaign identity"
+        );
+        assert_ne!(fp, campaign_fingerprint(&BenchOpts { seed: 1, ..opts }, None, &cells));
+        assert_ne!(fp, campaign_fingerprint(&opts, Some(1000), &cells));
+        assert_ne!(fp, campaign_fingerprint(&opts, None, &cells[..3]));
     }
 }

@@ -29,6 +29,9 @@ fn golden_opts(threads: usize, noc: NocConfig) -> BenchOpts {
         noc,
         trace: fa_sim::TraceMode::Off,
         check: fa_sim::CheckMode::Off,
+        // Escalation armed even for the goldens: stall counters are passive
+        // and thresholds are wedge-sized, so rows must not move.
+        progress: fa_mem::ProgressConfig::default(),
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::audit::AuditConfig;
 use crate::chaos::ChaosConfig;
 use crate::noc::NocConfig;
+use crate::progress::ProgressConfig;
 use fa_trace::{CheckMode, TraceConfig};
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,11 @@ pub struct MemConfig {
     /// `Tso`, the memory system logs the global write-serialization order
     /// and per-line directory write-epochs for the `sim::axiom` checker.
     pub check: CheckMode,
+    /// Forward-progress escalation thresholds (default: on, with
+    /// wedge-sized thresholds no forward-progressing run reaches). The
+    /// underlying counters are collected unconditionally; `progress`
+    /// only gates escalation, so it never perturbs results.
+    pub progress: ProgressConfig,
 }
 
 impl Default for MemConfig {
@@ -93,6 +99,7 @@ impl Default for MemConfig {
             audit: AuditConfig::default(),
             trace: TraceConfig::default(),
             check: CheckMode::default(),
+            progress: ProgressConfig::default(),
         }
     }
 }
@@ -144,6 +151,14 @@ mod tests {
         let c = MemConfig::default();
         assert!(!c.chaos.enabled);
         assert!(!c.audit.enabled);
+    }
+
+    #[test]
+    fn progress_escalation_defaults_on_with_wedge_sized_thresholds() {
+        let c = MemConfig::default();
+        assert!(c.progress.enabled);
+        assert!(c.progress.max_attempts >= 1_000_000);
+        assert!(c.progress.max_backlog >= 1_000_000);
     }
 
     #[test]

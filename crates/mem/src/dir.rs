@@ -11,6 +11,7 @@
 //! pays the main-memory latency, otherwise the LLC latency.
 
 use crate::msgs::{DirMsg, DirReq, DirReqKind, L1Msg, LatClass};
+use crate::progress::{ProgressGuard, ProgressPolicy};
 use crate::tagarray::TagArray;
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_trace::{TraceBuf, TraceEvent};
@@ -30,6 +31,10 @@ const ALLOC_RESCUE_THRESHOLD: u64 = 10_000;
 /// is absent before the reservation is dropped. Guards against wedging a
 /// set on a reservation whose owner stopped retrying.
 const ALLOC_RESCUE_ABANDON: u64 = 4_096;
+
+/// The allocation valve as a [`ProgressGuard`] policy (site `dir-alloc`).
+const ALLOC_POLICY: ProgressPolicy =
+    ProgressPolicy::polling(ALLOC_RESCUE_THRESHOLD, ALLOC_RESCUE_ABANDON);
 
 /// An in-flight per-line transaction.
 #[derive(Clone, Copy, Debug)]
@@ -109,10 +114,11 @@ pub struct Directory {
     pub(crate) stat_entry_evictions: u64,
     pub(crate) stat_alloc_waits: u64,
     pub(crate) stat_alloc_rescues: u64,
-    /// Consecutive failed allocation polls per starving request. Entries
-    /// are removed when the request allocates; keyed lookups only, so the
-    /// map never affects event ordering.
-    alloc_polls: HashMap<(CoreId, Line), u64>,
+    /// Forward-progress guard for allocation polling (site `dir-alloc`):
+    /// counts consecutive failed polls per starving request and decides
+    /// when the rescue valve fires. Keyed lookups only, so the guard never
+    /// affects event ordering.
+    pub(crate) alloc_guard: ProgressGuard<(CoreId, Line)>,
     /// Active rescue reservation: the next way freed in this request's set
     /// is reserved for it alone. See [`ALLOC_RESCUE_THRESHOLD`].
     alloc_rescue: Option<(CoreId, Line)>,
@@ -149,7 +155,7 @@ impl Directory {
             stat_entry_evictions: 0,
             stat_alloc_waits: 0,
             stat_alloc_rescues: 0,
-            alloc_polls: HashMap::new(),
+            alloc_guard: ProgressGuard::new(ALLOC_POLICY, 0),
             alloc_rescue: None,
             rescue_absent: 0,
             now: 0,
@@ -354,7 +360,7 @@ impl Directory {
                 self.rescue_absent = 0;
             } else if same_set {
                 self.rescue_absent += 1;
-                if self.rescue_absent > ALLOC_RESCUE_ABANDON {
+                if self.rescue_absent > self.alloc_guard.policy().abandon_after {
                     // The reservation owner stopped retrying; drop the
                     // reservation rather than wedging the set.
                     self.alloc_rescue = None;
@@ -408,11 +414,11 @@ impl Directory {
             // finish — the poll below retries.
         }
         self.stat_alloc_waits += 1;
-        let polls = self.alloc_polls.entry(key).or_insert(0);
-        *polls += 1;
-        if *polls >= ALLOC_RESCUE_THRESHOLD && self.alloc_rescue.is_none() {
+        let polls = self.alloc_guard.note_attempt(key);
+        if self.alloc_guard.needs_rescue(polls) && self.alloc_rescue.is_none() {
             self.alloc_rescue = Some(key);
             self.rescue_absent = 0;
+            self.alloc_guard.note_rescue();
             self.stat_alloc_rescues += 1;
             self.trace.record(self.now, TraceEvent::DirRescue { line: req.line });
         }
@@ -423,7 +429,7 @@ impl Directory {
     /// Clears starvation-valve state after `key` allocated its entry.
     fn note_alloc_success(&mut self, key: (CoreId, Line)) {
         self.trace.record(self.now, TraceEvent::DirAlloc { line: key.1 });
-        self.alloc_polls.remove(&key);
+        self.alloc_guard.note_success(key);
         if self.alloc_rescue == Some(key) {
             self.alloc_rescue = None;
             self.rescue_absent = 0;

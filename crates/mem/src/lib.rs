@@ -41,6 +41,7 @@ pub mod msgs;
 pub mod noc;
 pub mod prefetch;
 pub mod privcache;
+pub mod progress;
 pub mod stats;
 pub mod system;
 pub mod tagarray;
@@ -51,6 +52,7 @@ pub use chaos::{ChaosConfig, SplitMix64};
 pub use config::MemConfig;
 pub use msgs::{CoreNotice, CoreResp, LatClass};
 pub use noc::{LinkStats, NocConfig, NocStats, XbarPolicy};
+pub use progress::{ProgressConfig, ProgressGuard, ProgressPolicy, ProgressReport, ProgressStats};
 pub use stats::{HotLock, MemStats};
 pub use system::{MemDiag, MemorySystem};
 

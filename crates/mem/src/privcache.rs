@@ -7,11 +7,16 @@
 
 use crate::msgs::{DirMsg, DirReq, DirReqKind, L1Msg, LatClass};
 use crate::prefetch::StridePrefetcher;
+use crate::progress::{ProgressGuard, ProgressPolicy};
 use crate::tagarray::TagArray;
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::{line_of, Addr};
 use fa_trace::{Hist, TraceBuf, TraceEvent, MESI_NONE};
 use std::collections::{HashMap, VecDeque};
+
+/// Stalled-fill retry policy (site `cache-fill`): bounded exponential
+/// backoff, capped at `1 << 6` = 64 cycles between attempts.
+const FILL_POLICY: ProgressPolicy = ProgressPolicy::backoff(6);
 
 /// MESI state of a privately cached line (`I` = not present).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,10 +90,9 @@ pub(crate) struct StalledFill {
     pub class: LatClass,
     /// Cycle the fill first stalled (starvation accounting).
     pub since: Cycle,
-    /// Earliest cycle the next retry may run (exponential backoff).
+    /// Earliest cycle the next retry may run (exponential backoff, computed
+    /// by the cache's `fill_guard`).
     pub next_retry: Cycle,
-    /// Failed retry attempts so far.
-    pub retries: u32,
 }
 
 /// Actions the controller asks the system to carry out (scheduling events,
@@ -126,6 +130,10 @@ pub struct PrivCache {
     mshrs: HashMap<Line, Mshr>,
     parked_ext: HashMap<Line, VecDeque<L1Msg>>,
     stalled_fills: VecDeque<StalledFill>,
+    /// Forward-progress guard for stalled fills (site `cache-fill`): counts
+    /// consecutive failed retries per line and computes the bounded
+    /// exponential backoff windows.
+    pub(crate) fill_guard: ProgressGuard<Line>,
     prefetcher: StridePrefetcher,
     prefetch_enabled: bool,
     mshr_cap: usize,
@@ -170,6 +178,7 @@ impl PrivCache {
             mshrs: HashMap::new(),
             parked_ext: HashMap::new(),
             stalled_fills: VecDeque::new(),
+            fill_guard: ProgressGuard::new(FILL_POLICY, id.0 as u64),
             prefetcher: StridePrefetcher::new(cfg.prefetch_degree),
             prefetch_enabled: cfg.stride_prefetch,
             mshr_cap: cfg.mshrs,
@@ -490,7 +499,6 @@ impl PrivCache {
                 class,
                 since: self.now,
                 next_retry: self.now,
-                retries: 0,
             });
         }
     }
@@ -516,6 +524,7 @@ impl PrivCache {
                 continue;
             }
             if self.try_fill(f.line, f.excl, f.class, out) {
+                self.fill_guard.note_success(f.line);
                 let waited = now.saturating_sub(f.since);
                 self.hist_fill_stall.record(waited);
                 self.trace.record(now, TraceEvent::FillStall { line: f.line, waited });
@@ -532,8 +541,8 @@ impl PrivCache {
                 }
             } else {
                 self.stat_fill_retries += 1;
-                f.retries += 1;
-                f.next_retry = now + (1u64 << f.retries.min(6));
+                let attempts = self.fill_guard.note_attempt(f.line);
+                f.next_retry = now + self.fill_guard.backoff_delay(attempts);
                 still_stalled.push_back(f);
             }
         }

@@ -1,0 +1,297 @@
+//! Unified forward-progress framework.
+//!
+//! Every retry loop in the memory system — directory allocation polling,
+//! all-ways-locked fill retries, LSQ request retries — is a place where a
+//! protocol bug (or injected fault) can turn into a silent hang. Before
+//! this module each site grew its own ad-hoc defense: the directory's
+//! starvation rescue valve, the private cache's exponential fill backoff,
+//! the core watchdog. [`ProgressGuard`] factors the shared mechanics into
+//! one abstraction with a common escalation ladder:
+//!
+//! 1. **count** — every failed attempt per stuck resource is counted
+//!    (`note_attempt`), cleared on success (`note_success`);
+//! 2. **back off** — sites that re-poll a contended resource space their
+//!    retries exponentially (`backoff_delay`), optionally with
+//!    deterministic seeded jitter so symmetric requesters desynchronize;
+//! 3. **rescue** — sites with a site-specific recovery action (the
+//!    directory's reserved-way valve) trigger it at
+//!    [`ProgressPolicy::rescue_after`] attempts;
+//! 4. **escalate** — when a counter passes the machine-wide
+//!    [`ProgressConfig`] threshold the run is aborted with a structured
+//!    `NoProgress` error naming the site, instead of burning the rest of
+//!    its cycle budget on a wedged resource.
+//!
+//! The guards are strictly observational below the rescue threshold: the
+//! attempt counters never influence protocol timing, so golden runs are
+//! bit-identical with the framework enabled (pinned by the differential
+//! tests in `tests/progress_regressions.rs`).
+
+use crate::chaos::SplitMix64;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Per-site progress policy: when to rescue, how to back off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressPolicy {
+    /// Attempts after which the site's rescue action fires (0 = the site
+    /// has no rescue action).
+    pub rescue_after: u64,
+    /// Attempts by *competitors* tolerated while a rescue's owner is
+    /// absent before the rescue is abandoned (0 = never abandoned).
+    pub abandon_after: u64,
+    /// Exponent cap for [`ProgressGuard::backoff_delay`]: the delay is
+    /// `1 << min(attempts, backoff_cap)` cycles.
+    pub backoff_cap: u32,
+    /// Maximum deterministic jitter (cycles) added to each backoff window
+    /// from the guard's seeded stream; 0 = no jitter (exact legacy
+    /// schedules).
+    pub jitter: u64,
+}
+
+impl ProgressPolicy {
+    /// A pure polling site (no backoff): rescue at `rescue_after`
+    /// attempts, abandon a stale rescue after `abandon_after` competitor
+    /// attempts. The directory allocation valve.
+    pub const fn polling(rescue_after: u64, abandon_after: u64) -> ProgressPolicy {
+        ProgressPolicy { rescue_after, abandon_after, backoff_cap: 0, jitter: 0 }
+    }
+
+    /// A bounded-exponential-backoff site with no rescue action. The
+    /// stalled-fill retry loop.
+    pub const fn backoff(cap: u32) -> ProgressPolicy {
+        ProgressPolicy { rescue_after: 0, abandon_after: 0, backoff_cap: cap, jitter: 0 }
+    }
+
+    /// A counting-only site (no backoff, no rescue). The LSQ retry path.
+    pub const fn counting() -> ProgressPolicy {
+        ProgressPolicy { rescue_after: 0, abandon_after: 0, backoff_cap: 0, jitter: 0 }
+    }
+}
+
+/// Per-site stall bookkeeping: consecutive failed attempts per stuck
+/// resource (keyed by whatever identifies the resource at that site),
+/// historical maxima for stats, and the backoff/jitter calculator.
+#[derive(Clone, Debug)]
+pub struct ProgressGuard<K: Eq + Hash + Copy> {
+    policy: ProgressPolicy,
+    attempts: HashMap<K, u64>,
+    rng: SplitMix64,
+    /// Largest attempt count ever reached by one resource (historical;
+    /// survives `note_success`).
+    pub attempts_max: u64,
+    /// Rescue actions fired.
+    pub rescues: u64,
+}
+
+impl<K: Eq + Hash + Copy> ProgressGuard<K> {
+    /// Creates a guard with the given policy; `seed` feeds the jitter
+    /// stream (unused while `policy.jitter == 0`).
+    pub fn new(policy: ProgressPolicy, seed: u64) -> ProgressGuard<K> {
+        ProgressGuard {
+            policy,
+            attempts: HashMap::new(),
+            rng: SplitMix64::new(seed),
+            attempts_max: 0,
+            rescues: 0,
+        }
+    }
+
+    /// The guard's policy.
+    pub fn policy(&self) -> &ProgressPolicy {
+        &self.policy
+    }
+
+    /// Records one failed attempt for `key`; returns the consecutive
+    /// attempt count.
+    pub fn note_attempt(&mut self, key: K) -> u64 {
+        let a = self.attempts.entry(key).or_insert(0);
+        *a += 1;
+        self.attempts_max = self.attempts_max.max(*a);
+        *a
+    }
+
+    /// Clears `key`'s counter after it made progress.
+    pub fn note_success(&mut self, key: K) {
+        self.attempts.remove(&key);
+    }
+
+    /// Current consecutive attempt count for `key`.
+    pub fn attempts(&self, key: K) -> u64 {
+        self.attempts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// True once `attempts` has reached the rescue threshold.
+    pub fn needs_rescue(&self, attempts: u64) -> bool {
+        self.policy.rescue_after != 0 && attempts >= self.policy.rescue_after
+    }
+
+    /// Records that the site's rescue action fired.
+    pub fn note_rescue(&mut self) {
+        self.rescues += 1;
+    }
+
+    /// Backoff window after `attempts` consecutive failures:
+    /// `1 << min(attempts, backoff_cap)` cycles, plus up to
+    /// `policy.jitter` cycles of deterministic seeded jitter.
+    pub fn backoff_delay(&mut self, attempts: u64) -> u64 {
+        let base = 1u64 << attempts.min(self.policy.backoff_cap as u64);
+        if self.policy.jitter == 0 {
+            base
+        } else {
+            base + self.rng.below(self.policy.jitter + 1)
+        }
+    }
+
+    /// The worst consecutive attempt count currently outstanding (the
+    /// escalation observable: a wedged resource's counter grows without
+    /// bound, a merely contended one is cleared on success).
+    pub fn worst_outstanding(&self) -> u64 {
+        self.attempts.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Machine-wide escalation thresholds, carried in
+/// [`MemConfig`](crate::MemConfig). The counters behind them are always
+/// collected (they are a handful of compares on existing retry paths);
+/// `enabled` gates only the escalation checks, so switching it off cannot
+/// perturb results. Defaults sit far beyond anything a forward-progressing
+/// run produces — golden runs never escalate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressConfig {
+    /// Escalate to a structured `NoProgress` error when any site trips
+    /// its threshold (default on; thresholds are wedge-sized).
+    pub enabled: bool,
+    /// Cycles an awake, unhalted core may go without committing before
+    /// the machine driver escalates (site `core-commit`).
+    pub stall_cycles: u64,
+    /// Consecutive failed attempts one resource may accumulate at any
+    /// retry site (`dir-alloc`, `cache-fill`, `lsq-retry`).
+    pub max_attempts: u64,
+    /// In-flight interconnect events allowed at any instant
+    /// (`noc-backlog`).
+    pub max_backlog: u64,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> ProgressConfig {
+        ProgressConfig {
+            enabled: true,
+            stall_cycles: 10_000_000,
+            max_attempts: 5_000_000,
+            max_backlog: 10_000_000,
+        }
+    }
+}
+
+impl ProgressConfig {
+    /// Escalation disabled (counters still collected).
+    pub fn off() -> ProgressConfig {
+        ProgressConfig { enabled: false, ..ProgressConfig::default() }
+    }
+}
+
+/// The minimal stuck-resource report an escalation produces: which site
+/// tripped, what it observed, and the threshold it crossed. The machine
+/// driver wraps this in a `SimError::NoProgress` together with a full
+/// machine snapshot (locked lines, busy directory entries, flight tail).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Site name: `dir-alloc`, `cache-fill`, `lsq-retry`, `noc-backlog`
+    /// or (machine-level) `core-commit`.
+    pub site: &'static str,
+    /// The counter value that tripped.
+    pub observed: u64,
+    /// The configured threshold it crossed.
+    pub threshold: u64,
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "site {} observed {} (threshold {})",
+            self.site, self.observed, self.threshold
+        )
+    }
+}
+
+/// Per-site progress counters surfaced through
+/// [`MemStats`](crate::MemStats). Always-on and strictly observational:
+/// identical across trace modes, audit settings and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgressStats {
+    /// Worst consecutive directory-allocation poll count ever reached.
+    pub dir_alloc_attempts_max: u64,
+    /// Directory rescue reservations fired (mirrors `dir.alloc_rescues`).
+    pub dir_rescues: u64,
+    /// Worst consecutive failed fill retries on one line.
+    pub fill_attempts_max: u64,
+    /// Worst consecutive LSQ request retries on one core.
+    pub lsq_attempts_max: u64,
+    /// Largest in-flight interconnect event population observed.
+    pub noc_backlog_max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_count_clear_and_track_maxima() {
+        let mut g: ProgressGuard<u64> = ProgressGuard::new(ProgressPolicy::counting(), 7);
+        assert_eq!(g.note_attempt(1), 1);
+        assert_eq!(g.note_attempt(1), 2);
+        assert_eq!(g.note_attempt(2), 1);
+        assert_eq!(g.worst_outstanding(), 2);
+        g.note_success(1);
+        assert_eq!(g.attempts(1), 0);
+        assert_eq!(g.worst_outstanding(), 1);
+        // Historical max survives the clear.
+        assert_eq!(g.attempts_max, 2);
+    }
+
+    #[test]
+    fn rescue_threshold_matches_policy() {
+        let g: ProgressGuard<u64> = ProgressGuard::new(ProgressPolicy::polling(10, 4), 0);
+        assert!(!g.needs_rescue(9));
+        assert!(g.needs_rescue(10));
+        let none: ProgressGuard<u64> = ProgressGuard::new(ProgressPolicy::counting(), 0);
+        assert!(!none.needs_rescue(u64::MAX), "rescue_after == 0 means no rescue");
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jitter_free_by_default() {
+        let mut g: ProgressGuard<u64> = ProgressGuard::new(ProgressPolicy::backoff(6), 0);
+        assert_eq!(g.backoff_delay(1), 2);
+        assert_eq!(g.backoff_delay(3), 8);
+        assert_eq!(g.backoff_delay(6), 64);
+        assert_eq!(g.backoff_delay(40), 64, "cap bounds the window");
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_seed_deterministic() {
+        let policy = ProgressPolicy { jitter: 5, ..ProgressPolicy::backoff(6) };
+        let draws = |seed: u64| {
+            let mut g: ProgressGuard<u64> = ProgressGuard::new(policy, seed);
+            (0..32).map(|_| g.backoff_delay(2)).collect::<Vec<u64>>()
+        };
+        let a = draws(42);
+        let b = draws(42);
+        assert_eq!(a, b, "same seed must draw the same jitter");
+        assert!(a.iter().all(|&d| (4..=9).contains(&d)), "jitter bounded by policy");
+        assert_ne!(a, draws(43), "different seeds must desynchronize");
+    }
+
+    #[test]
+    fn config_defaults_are_wedge_sized_and_report_renders() {
+        let p = ProgressConfig::default();
+        assert!(p.enabled);
+        assert!(p.stall_cycles >= 1_000_000);
+        assert!(!ProgressConfig::off().enabled);
+        let r = ProgressReport { site: "dir-alloc", observed: 12, threshold: 10 };
+        let s = r.to_string();
+        assert!(s.contains("dir-alloc") && s.contains("12") && s.contains("10"), "got: {s}");
+    }
+}

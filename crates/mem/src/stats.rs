@@ -3,6 +3,7 @@
 use crate::audit::AuditStats;
 use crate::chaos::ChaosStats;
 use crate::noc::NocStats;
+use crate::progress::ProgressStats;
 use crate::{Cycle, Line};
 use fa_trace::Hist;
 use serde::{Deserialize, Serialize};
@@ -81,6 +82,9 @@ pub struct MemStats {
     pub chaos: ChaosStats,
     /// Invariant-audit counters (all zero when auditing is off).
     pub audit: AuditStats,
+    /// Forward-progress counters per retry site (always collected; zero
+    /// on runs that never retried anything).
+    pub progress: ProgressStats,
     /// The hottest locked lines across all cores, ordered by total hold
     /// cycles (descending, line address as the deterministic tiebreak),
     /// truncated to [`MemStats::HOT_LOCKS`] entries.

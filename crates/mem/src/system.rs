@@ -19,6 +19,7 @@ use crate::dir::{DirAction, Directory};
 use crate::msgs::{CoreNotice, CoreResp, DirMsg, LatClass};
 use crate::noc::{Interconnect, NocEv};
 use crate::privcache::{Action, PrivCache, ReqOutcome};
+use crate::progress::{ProgressGuard, ProgressPolicy, ProgressReport, ProgressStats};
 use crate::stats::{HotLock, MemStats};
 use crate::{CoreId, Cycle, Line, MemConfig};
 use fa_isa::interp::GuestMem;
@@ -110,6 +111,15 @@ pub struct MemorySystem {
     /// The global write-serialization order: one event per performed
     /// store, in perform order. Empty while `check` is off.
     ser: Vec<SerEvent>,
+    /// Forward-progress guard for the LSQ retry path (site `lsq-retry`):
+    /// consecutive [`ReqOutcome::Retry`] outcomes per core.
+    lsq_guard: ProgressGuard<CoreId>,
+    /// Largest in-flight interconnect event population observed, sampled
+    /// at the top of every tick (site `noc-backlog`). Between core sends
+    /// and deliveries the population is constant, so sampling only ticked
+    /// cycles sees the same maximum whether or not idle spans are
+    /// fast-forwarded.
+    backlog_max: u64,
 }
 
 impl MemorySystem {
@@ -133,6 +143,8 @@ impl MemorySystem {
             check: cfg.check.on(),
             last_writer: HashMap::new(),
             ser: Vec::new(),
+            lsq_guard: ProgressGuard::new(ProgressPolicy::counting(), 0),
+            backlog_max: 0,
             cfg,
             trace_line: std::env::var("FA_TRACE_LINE")
                 .ok()
@@ -175,6 +187,10 @@ impl MemorySystem {
     /// Advances one cycle and processes all protocol events now due.
     pub fn tick(&mut self) {
         self.now += 1;
+        // Progress site `noc-backlog`: sample before this tick's deliveries
+        // so the maximum is identical under idle-span fast-forwarding (the
+        // population only changes at ticked cycles).
+        self.backlog_max = self.backlog_max.max(self.noc.pending() as u64);
         // Trace timestamps only — the directory's protocol logic is
         // event-driven and never reads the clock.
         self.dir.set_now(self.now);
@@ -349,6 +365,7 @@ impl MemorySystem {
         let mut acts = Vec::new();
         let r = self.caches[core.index()].read(seq, addr, exclusive, lock_intent, &mut acts);
         self.apply_cache_actions(core.index(), acts);
+        self.note_lsq_outcome(core, r);
         r
     }
 
@@ -357,7 +374,19 @@ impl MemorySystem {
         let mut acts = Vec::new();
         let r = self.caches[core.index()].store_acquire(seq, addr, &mut acts);
         self.apply_cache_actions(core.index(), acts);
+        self.note_lsq_outcome(core, r);
         r
+    }
+
+    /// Progress site `lsq-retry`: count consecutive structural-hazard
+    /// retries per core, cleared the moment a request is accepted.
+    fn note_lsq_outcome(&mut self, core: CoreId, r: ReqOutcome) {
+        match r {
+            ReqOutcome::Retry => {
+                self.lsq_guard.note_attempt(core);
+            }
+            ReqOutcome::Accepted => self.lsq_guard.note_success(core),
+        }
     }
 
     /// Attempts to perform a store this cycle: requires the private cache to
@@ -501,6 +530,51 @@ impl MemorySystem {
         }
     }
 
+    /// Checks every memory-side forward-progress site against the
+    /// configured [`ProgressConfig`](crate::ProgressConfig) thresholds and
+    /// returns the first tripped site's minimal stuck-resource report, or
+    /// `None` while everything is within bounds (always, when escalation
+    /// is disabled). Pure reads — polling this never perturbs the run.
+    pub fn progress_report(&self) -> Option<ProgressReport> {
+        let p = &self.cfg.progress;
+        if !p.enabled {
+            return None;
+        }
+        let dir = self.dir.alloc_guard.worst_outstanding();
+        if dir > p.max_attempts {
+            return Some(ProgressReport {
+                site: "dir-alloc",
+                observed: dir,
+                threshold: p.max_attempts,
+            });
+        }
+        let fill =
+            self.caches.iter().map(|c| c.fill_guard.worst_outstanding()).max().unwrap_or(0);
+        if fill > p.max_attempts {
+            return Some(ProgressReport {
+                site: "cache-fill",
+                observed: fill,
+                threshold: p.max_attempts,
+            });
+        }
+        let lsq = self.lsq_guard.worst_outstanding();
+        if lsq > p.max_attempts {
+            return Some(ProgressReport {
+                site: "lsq-retry",
+                observed: lsq,
+                threshold: p.max_attempts,
+            });
+        }
+        if self.backlog_max > p.max_backlog {
+            return Some(ProgressReport {
+                site: "noc-backlog",
+                observed: self.backlog_max,
+                threshold: p.max_backlog,
+            });
+        }
+        None
+    }
+
     /// Runs one invariant-audit sweep. Free when `cfg.audit.enabled` is
     /// false; otherwise checks SWMR, directory–L1 inclusion and the
     /// lock-hold bound (see [`crate::audit`]), returning the first violation
@@ -633,6 +707,18 @@ impl MemorySystem {
         s.chaos = self.noc.chaos().stats.clone();
         s.noc = self.noc.stats(self.now);
         s.messages = s.noc.net_messages;
+        s.progress = ProgressStats {
+            dir_alloc_attempts_max: self.dir.alloc_guard.attempts_max,
+            dir_rescues: self.dir.alloc_guard.rescues,
+            fill_attempts_max: self
+                .caches
+                .iter()
+                .map(|c| c.fill_guard.attempts_max)
+                .max()
+                .unwrap_or(0),
+            lsq_attempts_max: self.lsq_guard.attempts_max,
+            noc_backlog_max: self.backlog_max,
+        };
         s
     }
 

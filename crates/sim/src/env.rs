@@ -15,6 +15,7 @@
 //! omitting the variable.
 
 use fa_trace::{parse_check_setting, parse_trace_setting, CheckMode, TraceMode};
+use std::time::Duration;
 
 /// The value of `name`, trimmed; `None` when unset or blank.
 pub fn var(name: &str) -> Option<String> {
@@ -150,6 +151,123 @@ pub fn check_setting_or(default: CheckMode) -> CheckMode {
     }
 }
 
+/// Supervised-cell retry count from `FA_RETRIES` (default 1: one initial
+/// attempt plus one retry before quarantine).
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a non-negative integer.
+pub fn retries() -> u32 {
+    match var("FA_RETRIES") {
+        None => 1,
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            panic!("FA_RETRIES: invalid value {v:?}: {e} (expected a non-negative integer)")
+        }),
+    }
+}
+
+/// Per-cell budget parsed from `FA_CELL_BUDGET`: a simulated-cycle cap and
+/// an optional wall-clock watchdog. Both default to "no override".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellBudget {
+    /// Simulated-cycle cap per run (overrides the methodology's
+    /// `max_cycles` when set).
+    pub max_cycles: Option<u64>,
+    /// Wall-clock watchdog per cell attempt
+    /// (armed via [`crate::machine::set_wall_deadline`]).
+    pub wall: Option<Duration>,
+}
+
+/// Parses one `FA_CELL_BUDGET` spec: `<cycles>` or `<cycles>:<wall_secs>`,
+/// both strictly positive.
+pub fn parse_cell_budget(v: &str) -> Option<CellBudget> {
+    let (cycles, wall) = match v.split_once(':') {
+        Some((c, w)) => (c, Some(w)),
+        None => (v, None),
+    };
+    let max_cycles: u64 = cycles.parse().ok()?;
+    if max_cycles == 0 {
+        return None;
+    }
+    let wall = match wall {
+        Some(w) => {
+            let secs: u64 = w.parse().ok()?;
+            if secs == 0 {
+                return None;
+            }
+            Some(Duration::from_secs(secs))
+        }
+        None => None,
+    };
+    Some(CellBudget { max_cycles: Some(max_cycles), wall })
+}
+
+/// The per-cell budget from `FA_CELL_BUDGET`: `<cycles>` or
+/// `<cycles>:<wall_secs>`. Unset = no override (the methodology's
+/// `max_cycles` stands, no wall watchdog).
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn cell_budget() -> CellBudget {
+    match var("FA_CELL_BUDGET") {
+        None => CellBudget::default(),
+        Some(v) => parse_cell_budget(&v).unwrap_or_else(|| {
+            panic!(
+                "FA_CELL_BUDGET: invalid value {v:?} (expected `<cycles>` or \
+                 `<cycles>:<wall_secs>`, both positive integers)"
+            )
+        }),
+    }
+}
+
+/// The checkpoint journal path from `FA_CHECKPOINT` (`None` = no
+/// checkpointing). Any non-blank string is a valid path.
+pub fn checkpoint() -> Option<String> {
+    var("FA_CHECKPOINT")
+}
+
+/// Parses one `FA_PROGRESS` spec: `off`, `on` (default thresholds), or
+/// `on:<n>` — escalation on with both the core-commit stall threshold and
+/// the per-site retry threshold tightened to `n` cycles/attempts (the NoC
+/// backlog threshold keeps its default: it counts events, not cycles).
+pub fn parse_progress(v: &str) -> Option<fa_mem::ProgressConfig> {
+    match v {
+        "off" => Some(fa_mem::ProgressConfig::off()),
+        "on" => Some(fa_mem::ProgressConfig::default()),
+        other => {
+            let n: u64 = other.strip_prefix("on:")?.parse().ok()?;
+            if n == 0 {
+                return None;
+            }
+            Some(fa_mem::ProgressConfig {
+                enabled: true,
+                stall_cycles: n,
+                max_attempts: n,
+                ..fa_mem::ProgressConfig::default()
+            })
+        }
+    }
+}
+
+/// The forward-progress escalation setting from `FA_PROGRESS`: `off`,
+/// `on` (the default), or `on:<stall_cycles>`.
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn progress_setting() -> fa_mem::ProgressConfig {
+    match var("FA_PROGRESS") {
+        None => fa_mem::ProgressConfig::default(),
+        Some(v) => parse_progress(&v).unwrap_or_else(|| {
+            panic!(
+                "FA_PROGRESS: invalid value {v:?} (expected `off`, `on`, or \
+                 `on:<stall_cycles>` with a positive integer)"
+            )
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +323,46 @@ mod tests {
         let v = var("FA_TEST_ENV_CHECK").unwrap();
         assert_eq!(parse_check_setting(&v), Ok(CheckMode::Tso));
         assert!(parse_check_setting("strong").is_err());
+    }
+
+    #[test]
+    fn cell_budget_grammar() {
+        assert_eq!(
+            parse_cell_budget("5000000"),
+            Some(CellBudget { max_cycles: Some(5_000_000), wall: None })
+        );
+        assert_eq!(
+            parse_cell_budget("1000:30"),
+            Some(CellBudget { max_cycles: Some(1000), wall: Some(Duration::from_secs(30)) })
+        );
+        assert_eq!(parse_cell_budget("0"), None, "zero-cycle budget is malformed");
+        assert_eq!(parse_cell_budget("1000:0"), None, "zero-second watchdog is malformed");
+        assert_eq!(parse_cell_budget("fast"), None);
+        assert_eq!(parse_cell_budget("1000:30:9"), None);
+    }
+
+    #[test]
+    fn progress_grammar() {
+        assert_eq!(parse_progress("off"), Some(fa_mem::ProgressConfig::off()));
+        assert_eq!(parse_progress("on"), Some(fa_mem::ProgressConfig::default()));
+        let tight = parse_progress("on:50000").unwrap();
+        assert!(tight.enabled);
+        assert_eq!(tight.stall_cycles, 50_000);
+        assert_eq!(tight.max_attempts, 50_000);
+        assert_eq!(
+            tight.max_backlog,
+            fa_mem::ProgressConfig::default().max_backlog,
+            "backlog threshold counts events, not cycles — untouched by on:<n>"
+        );
+        assert_eq!(parse_progress("on:0"), None);
+        assert_eq!(parse_progress("always"), None);
+    }
+
+    #[test]
+    fn retries_and_checkpoint_via_env() {
+        assert_eq!(retries(), 1, "default is one retry");
+        std::env::set_var("FA_TEST_ENV_CKPT", "  /tmp/journal  ");
+        assert_eq!(var("FA_TEST_ENV_CKPT").as_deref(), Some("/tmp/journal"));
     }
 
     #[test]

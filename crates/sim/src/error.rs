@@ -47,6 +47,73 @@ pub enum SimError {
         /// Configured number of slowest runs to discard.
         drop_slowest: usize,
     },
+    /// The forward-progress framework detected a wedged resource: some
+    /// retry site's stall counter crossed its
+    /// [`ProgressConfig`](fa_mem::ProgressConfig) threshold. Raised instead
+    /// of burning the rest of the cycle budget on a hang.
+    NoProgress {
+        /// The tripped site (`core-commit`, `dir-alloc`, `cache-fill`,
+        /// `lsq-retry` or `noc-backlog`).
+        site: &'static str,
+        /// The counter value that tripped.
+        observed: u64,
+        /// The configured threshold it crossed.
+        threshold: u64,
+        /// Machine state at detection time — the minimal stuck-resource
+        /// report (locked lines, busy directory entries, stalled fills,
+        /// flight-recorder tail).
+        snapshot: MachineSnapshot,
+    },
+    /// The per-cell wall-clock watchdog expired
+    /// (armed by [`set_wall_deadline`](crate::machine::set_wall_deadline);
+    /// the supervised sweep runner sets it from `FA_CELL_BUDGET`).
+    WallTimeout {
+        /// The wall-clock budget that expired, in milliseconds.
+        budget_ms: u64,
+        /// Machine state when the deadline was observed.
+        snapshot: MachineSnapshot,
+    },
+    /// A supervised sweep cell failed every attempt and was quarantined.
+    /// Carries the last attempt's underlying failure (including the
+    /// flight-recorder snapshot for simulation errors).
+    CellFailed {
+        /// Identity of the failed cell, e.g. `TATP/FreeFwd/Tiny`.
+        cell: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last attempt's failure.
+        cause: Box<CellFailure>,
+    },
+}
+
+/// Why one supervised cell attempt failed: a structured simulation error,
+/// or a panic caught at the cell isolation boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellFailure {
+    /// The cell returned a structured [`SimError`].
+    Sim(SimError),
+    /// The cell panicked; the payload is the panic message.
+    Panic(String),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Sim(e) => e.fmt(f),
+            CellFailure::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+impl CellFailure {
+    /// The machine snapshot attached to the underlying failure, if any
+    /// (panics unwound past the machine, so they carry none).
+    pub fn snapshot(&self) -> Option<&MachineSnapshot> {
+        match self {
+            CellFailure::Sim(e) => e.snapshot(),
+            CellFailure::Panic(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +131,17 @@ impl fmt::Display for SimError {
                 "invalid methodology: {runs} runs with {drop_slowest} dropped leaves no \
                  retained run to average"
             ),
+            SimError::NoProgress { site, observed, threshold, snapshot } => write!(
+                f,
+                "no forward progress at site {site}: observed {observed} \
+                 (threshold {threshold})\n{snapshot}"
+            ),
+            SimError::WallTimeout { budget_ms, snapshot } => {
+                write!(f, "wall-clock watchdog expired after {budget_ms} ms\n{snapshot}")
+            }
+            SimError::CellFailed { cell, attempts, cause } => {
+                write!(f, "cell {cell} failed after {attempts} attempt(s): {cause}")
+            }
         }
     }
 }
@@ -85,6 +163,9 @@ impl SimError {
             SimError::Audit { snapshot, .. } => Some(snapshot),
             SimError::Tso { snapshot, .. } => Some(snapshot),
             SimError::InvalidMethodology { .. } => None,
+            SimError::NoProgress { snapshot, .. } => Some(snapshot),
+            SimError::WallTimeout { snapshot, .. } => Some(snapshot),
+            SimError::CellFailed { cause, .. } => cause.snapshot(),
         }
     }
 }
@@ -131,5 +212,54 @@ mod tests {
         assert!(e.snapshot().is_none());
         let s = e.to_string();
         assert!(s.contains("2 runs") && s.contains("2 dropped"), "got: {s}");
+    }
+
+    #[test]
+    fn no_progress_display_names_site_and_thresholds() {
+        let e = SimError::NoProgress {
+            site: "dir-alloc",
+            observed: 5_000_123,
+            threshold: 5_000_000,
+            snapshot: MachineSnapshot::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("no forward progress"), "got: {s}");
+        assert!(s.contains("site dir-alloc"), "got: {s}");
+        assert!(s.contains("5000123") && s.contains("5000000"), "got: {s}");
+        assert!(e.snapshot().is_some());
+    }
+
+    #[test]
+    fn wall_timeout_display_carries_budget_and_snapshot() {
+        let e = SimError::WallTimeout { budget_ms: 1500, snapshot: MachineSnapshot::default() };
+        let s = e.to_string();
+        assert!(s.contains("wall-clock watchdog") && s.contains("1500 ms"), "got: {s}");
+        assert!(e.snapshot().is_some());
+    }
+
+    #[test]
+    fn cell_failed_delegates_snapshot_through_cause() {
+        let sim = SimError::CellFailed {
+            cell: "TATP/FreeFwd/Tiny".into(),
+            attempts: 3,
+            cause: Box::new(CellFailure::Sim(SimError::NoProgress {
+                site: "lsq-retry",
+                observed: 9,
+                threshold: 8,
+                snapshot: MachineSnapshot::default(),
+            })),
+        };
+        let s = sim.to_string();
+        assert!(s.contains("cell TATP/FreeFwd/Tiny"), "got: {s}");
+        assert!(s.contains("3 attempt(s)") && s.contains("lsq-retry"), "got: {s}");
+        assert!(sim.snapshot().is_some(), "sim causes surface their snapshot");
+
+        let panicked = SimError::CellFailed {
+            cell: "PC/Free/Icelake".into(),
+            attempts: 1,
+            cause: Box::new(CellFailure::Panic("index out of bounds".into())),
+        };
+        assert!(panicked.to_string().contains("panic: index out of bounds"));
+        assert!(panicked.snapshot().is_none(), "panics carry no snapshot");
     }
 }

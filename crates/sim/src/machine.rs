@@ -8,10 +8,38 @@ use fa_isa::Program;
 use fa_mem::{AuditViolation, CoreId, MemConfig, MemDiag, MemStats, MemorySystem};
 use fa_trace::{chrome_trace, CheckMode, FlightEntry, TraceMode, TraceRecord};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Events per component kept in a snapshot's flight-recorder tail.
 const FLIGHT_TAIL: usize = 8;
+
+thread_local! {
+    /// The wall-clock deadline armed for [`Machine::run`] calls on this
+    /// thread: `(deadline, budget_ms)`. Thread-local so concurrent sweep
+    /// workers each carry their own cell budget.
+    static WALL_DEADLINE: Cell<Option<(Instant, u64)>> = const { Cell::new(None) };
+}
+
+/// Arms (or with `None`, disarms) a wall-clock watchdog for subsequent
+/// [`Machine::run`] calls on *this thread*. When the deadline passes
+/// mid-run, the run aborts with [`SimError::WallTimeout`] carrying a full
+/// machine snapshot. The supervised sweep runner arms this per cell
+/// attempt from `FA_CELL_BUDGET`; it is sampled every few thousand loop
+/// iterations, so enforcement granularity is microseconds, not cycles.
+pub fn set_wall_deadline(budget: Option<Duration>) {
+    WALL_DEADLINE.with(|d| {
+        d.set(budget.map(|b| (Instant::now() + b, b.as_millis() as u64)));
+    });
+}
+
+/// The armed budget in milliseconds, when the deadline has passed.
+fn wall_deadline_expired() -> Option<u64> {
+    WALL_DEADLINE
+        .with(Cell::get)
+        .and_then(|(at, ms)| (Instant::now() >= at).then_some(ms))
+}
 
 /// Machine-level configuration: one core config (homogeneous) + the memory
 /// hierarchy.
@@ -406,8 +434,12 @@ impl Machine {
     /// `max_cycles` — with the deadlock-avoidance watchdog active this
     /// indicates either an undersized budget or a genuine forward-progress
     /// bug, which is exactly what the deadlock test suite looks for — and
-    /// [`SimError::Audit`] on an invariant violation. Both carry a
-    /// [`MachineSnapshot`].
+    /// [`SimError::Audit`] on an invariant violation. With
+    /// `MemConfig::progress` escalation enabled (the default), a wedged
+    /// retry site or a core that stops committing raises
+    /// [`SimError::NoProgress`] long before the cycle budget burns down,
+    /// and an armed [`set_wall_deadline`] raises [`SimError::WallTimeout`].
+    /// All carry a [`MachineSnapshot`].
     // The Err variant carries a full diagnostic snapshot by design; it is
     // built once on the cold failure path, never per cycle.
     #[allow(clippy::result_large_err)]
@@ -415,16 +447,20 @@ impl Machine {
         let audit_on = self.mem.config().audit.enabled;
         let max_stall = self.mem.config().audit.max_core_stall;
         let sweep_every = self.mem.config().audit.sweep_every.max(1);
+        let prog = self.mem.config().progress;
         // (instructions, cycle) at each core's last observed commit.
         let mut progress: Vec<(u64, u64)> =
             self.cores.iter().map(|c| (c.stats.instructions, self.now)).collect();
+        let mut iters: u64 = 0;
         while self.now < max_cycles {
             // Fast-forward only outside audited runs: the auditor's sweep
             // cadence and forward-progress bookkeeping observe every cycle.
+            let before = self.now;
             if self.fast_paths && !audit_on {
                 self.try_fast_forward(max_cycles);
             }
             self.tick();
+            iters += 1;
             if audit_on {
                 if self.now.is_multiple_of(sweep_every) {
                     if let Err(violation) = self.mem.audit() {
@@ -451,6 +487,52 @@ impl Machine {
                             snapshot: self.snapshot(),
                         });
                     }
+                }
+            } else if prog.enabled {
+                // Site `core-commit`: the audit bookkeeping, with the
+                // escalation threshold from the (always-on) progress
+                // config. A fast-forwarded span proves every core was
+                // quiescent across it, so it resets the stall baselines —
+                // wedged cores spin awake and are never skipped.
+                if self.now > before + 1 {
+                    for p in progress.iter_mut() {
+                        p.1 = self.now;
+                    }
+                }
+                for (i, c) in self.cores.iter().enumerate() {
+                    if c.halted() || c.sleeping() || c.stats.instructions != progress[i].0 {
+                        progress[i] = (c.stats.instructions, self.now);
+                    } else if self.now > self.start_offsets[i]
+                        && self.now - progress[i].1 > prog.stall_cycles
+                    {
+                        return Err(SimError::NoProgress {
+                            site: "core-commit",
+                            observed: self.now - progress[i].1,
+                            threshold: prog.stall_cycles,
+                            snapshot: self.snapshot(),
+                        });
+                    }
+                }
+            }
+            // Memory-side progress sites and the wall-clock watchdog are
+            // polled on iteration cadences (pure reads — cheap enough to
+            // leave always-on without perturbing anything).
+            if prog.enabled && iters.is_multiple_of(1024) {
+                if let Some(r) = self.mem.progress_report() {
+                    return Err(SimError::NoProgress {
+                        site: r.site,
+                        observed: r.observed,
+                        threshold: r.threshold,
+                        snapshot: self.snapshot(),
+                    });
+                }
+            }
+            if iters.is_multiple_of(4096) {
+                if let Some(budget_ms) = wall_deadline_expired() {
+                    return Err(SimError::WallTimeout {
+                        budget_ms,
+                        snapshot: self.snapshot(),
+                    });
                 }
             }
             if self.quiesced() {

@@ -20,6 +20,9 @@
 //! take on crossbeam's scoped threads — so borrowed jobs and closures need
 //! no `'static` bound and no external dependency.
 
+use crate::error::{CellFailure, SimError};
+use crate::machine::set_wall_deadline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -73,6 +76,80 @@ where
     merged.sort_by_key(|&(i, _)| i);
     debug_assert!(merged.len() == jobs.len());
     merged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A supervised cell that failed every attempt: how many attempts were
+/// made and the last attempt's failure. The campaign quarantines the cell
+/// and continues.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellQuarantine {
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The last attempt's failure (boxed: a `SimError` carries a full
+    /// machine snapshot, and the healthy path should stay thin).
+    pub failure: Box<CellFailure>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` under per-cell isolation: panics are caught at this boundary,
+/// the thread's wall-clock watchdog ([`set_wall_deadline`]) is armed for
+/// each attempt, and failed attempts are retried up to `retries` times
+/// before the cell is quarantined with its last failure.
+///
+/// The default panic hook still prints each caught panic to stderr; that
+/// noise is deliberate (the campaign log should show what happened), and
+/// replacing the global hook from concurrent sweep workers would race.
+pub fn supervise<R>(
+    retries: u32,
+    wall: Option<Duration>,
+    mut f: impl FnMut() -> Result<R, SimError>,
+) -> Result<R, CellQuarantine> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        set_wall_deadline(wall);
+        let outcome = catch_unwind(AssertUnwindSafe(&mut f));
+        set_wall_deadline(None);
+        let failure = match outcome {
+            Ok(Ok(v)) => return Ok(v),
+            Ok(Err(e)) => CellFailure::Sim(e),
+            Err(payload) => CellFailure::Panic(panic_message(payload)),
+        };
+        if attempts > retries {
+            return Err(CellQuarantine { attempts, failure: Box::new(failure) });
+        }
+    }
+}
+
+/// [`run_cells`] with per-cell supervision: each cell runs under
+/// [`supervise`] (panic isolation + wall watchdog + retries), so one
+/// wedged or panicking cell is quarantined instead of killing the
+/// campaign. Results keep job order; deterministic cells still merge
+/// bit-identical to a serial run at any thread count.
+// The inner closure's Err carries a full machine snapshot by design; it
+// is built once on the cold failure path, never per cycle.
+#[allow(clippy::result_large_err)]
+pub fn run_cells_supervised<J, R>(
+    jobs: &[J],
+    threads: usize,
+    retries: u32,
+    wall: Option<Duration>,
+    f: impl Fn(usize, &J) -> Result<R, SimError> + Sync,
+) -> Vec<Result<R, CellQuarantine>>
+where
+    J: Sync,
+    R: Send,
+{
+    run_cells(jobs, threads, |i, j| supervise(retries, wall, || f(i, j)))
 }
 
 /// Wall-clock and simulated-throughput accounting for one sweep, the basis
@@ -136,6 +213,8 @@ where
 }
 
 #[cfg(test)]
+// Test closures return SimError directly; the cold-path size is fine.
+#[allow(clippy::result_large_err)]
 mod tests {
     use super::*;
 
@@ -164,6 +243,70 @@ mod tests {
         // 64 threads over 3 jobs must not spawn idle workers or lose cells.
         assert_eq!(run_cells(&jobs, 64, |_, &j| j * 2), vec![2, 4, 6]);
         assert_eq!(run_cells::<u64, u64>(&[], 8, |_, &j| j), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn supervise_retries_then_succeeds() {
+        let mut calls = 0;
+        let r: Result<u64, CellQuarantine> = supervise(2, None, || {
+            calls += 1;
+            if calls < 3 {
+                Err(SimError::InvalidMethodology { runs: 0, drop_slowest: 0 })
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r, Ok(7));
+        assert_eq!(calls, 3, "two retries were allowed and consumed");
+    }
+
+    #[test]
+    fn supervise_quarantines_with_last_failure_after_retries() {
+        let mut calls = 0u32;
+        let r: Result<u64, CellQuarantine> = supervise(1, None, || {
+            calls += 1;
+            Err(SimError::InvalidMethodology { runs: calls as usize, drop_slowest: 0 })
+        });
+        let q = r.expect_err("every attempt failed");
+        assert_eq!(q.attempts, 2, "one initial attempt + one retry");
+        assert_eq!(
+            *q.failure,
+            CellFailure::Sim(SimError::InvalidMethodology { runs: 2, drop_slowest: 0 }),
+            "the quarantine carries the LAST attempt's failure"
+        );
+    }
+
+    #[test]
+    fn supervise_catches_panics_and_preserves_the_message() {
+        let r: Result<(), CellQuarantine> =
+            supervise(0, None, || panic!("wedged at cycle {}", 42));
+        let q = r.expect_err("panics must not unwind past supervise");
+        assert_eq!(q.attempts, 1);
+        assert_eq!(*q.failure, CellFailure::Panic("wedged at cycle 42".to_string()));
+    }
+
+    #[test]
+    fn supervised_sweep_quarantines_one_cell_and_completes_the_rest() {
+        let jobs: Vec<u64> = (0..20).collect();
+        let f = |_i: usize, &j: &u64| -> Result<u64, SimError> {
+            if j == 13 {
+                panic!("unlucky cell");
+            }
+            Ok(j * 10)
+        };
+        for threads in [1, 4] {
+            let rs = run_cells_supervised(&jobs, threads, 1, None, f);
+            assert_eq!(rs.len(), 20);
+            for (i, r) in rs.iter().enumerate() {
+                if i == 13 {
+                    let q = r.as_ref().expect_err("cell 13 panics every attempt");
+                    assert_eq!(q.attempts, 2);
+                    assert_eq!(*q.failure, CellFailure::Panic("unlucky cell".to_string()));
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 10), "threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]
