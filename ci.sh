@@ -27,6 +27,44 @@ grep -q '"schema": "fa-sweep-v1"' target/BENCH_sweep.json
 grep -c '"kernel":' target/BENCH_sweep.json | grep -qx 4
 # Every row must carry the latency-histogram block.
 grep -c '"hists":{"atomic_exec":' target/BENCH_sweep.json | grep -qx 4
+# ... and the cycle-accounting block (the report bin's input).
+grep -c '"cpi":{"core_cycles":' target/BENCH_sweep.json | grep -qx 4
+# CPI-stack driver smoke: the fig-14 grid rendered as top-down cycle
+# accounting, writing its own artifact with the cpi blocks.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=TATP,PC \
+    FA_BENCH_JSON=target/BENCH_cpistack.json \
+    cargo run -q --release -p fa-bench --bin cpistack > target/cpistack.txt
+grep -q '"cpi":{"core_cycles":' target/BENCH_cpistack.json
+grep -q 'atomic-lifetime attribution' target/cpistack.txt
+# Differential bottleneck report smoke 1 — passivity: a report diffed
+# against itself is clean and exits 0.
+FA_REPORT_BASELINE=target/BENCH_sweep.json \
+    ./target/release/report target/BENCH_sweep.json > target/report_self.txt
+grep -q 'verdict: OK' target/report_self.txt
+# Report smoke 2 — deliberate regression: inflate one taxonomy leaf of one
+# row by 10% of its total cycles; the diff must name the leaf and exit 2.
+python3 - <<'EOF'
+import re
+lines = open("target/BENCH_sweep.json").read().splitlines(True)
+out, done = [], False
+for ln in lines:
+    if not done and '"cpi":{"core_cycles":' in ln:
+        total = int(re.search(r'"core_cycles":(\d+)', ln).group(1))
+        bump = max(total // 10, 200)
+        ln = re.sub(r'("rob_full":)(\d+)',
+                    lambda m: m.group(1) + str(int(m.group(2)) + bump), ln, count=1)
+        done = True
+    out.append(ln)
+assert done, "no cpi row found to inflate"
+open("target/BENCH_sweep_regressed.json", "w").writelines(out)
+EOF
+rc=0
+FA_REPORT_BASELINE=target/BENCH_sweep.json \
+    ./target/release/report target/BENCH_sweep_regressed.json \
+    > target/report_regressed.txt || rc=$?
+test "$rc" -eq 2
+grep -q 'leaf rob_full:' target/report_regressed.txt
+grep -q 'verdict: REGRESSED' target/report_regressed.txt
 # Axiomatic TSO conformance smoke: 2 kernels x {baseline, free-atomics} x
 # {ideal, contended} x {chaos off, on}, full-execution checker armed on
 # every run. The bin exits nonzero on any violation; the grep keeps the

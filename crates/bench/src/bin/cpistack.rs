@@ -1,0 +1,18 @@
+//! Per-cell CPI stacks for the figure-14 grid: every core cycle of each
+//! `(workload, policy)` cell attributed to one leaf of the fixed cycle
+//! taxonomy, plus the atomic-lifetime attribution table. Runs on the
+//! parallel sweep engine (`FA_THREADS`) and writes `BENCH_sweep.json`
+//! whose rows carry the `cpi` blocks the `report` bin diffs.
+//!
+//! Exit status: 0 on success, 1 for a configuration, simulation or I/O
+//! failure.
+
+// Non-test code must justify every panic site.
+#![deny(clippy::unwrap_used)]
+
+fn main() {
+    if let Err(e) = fa_bench::figures::cpi_stacks(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("cpistack failed: {e}");
+        std::process::exit(1);
+    }
+}

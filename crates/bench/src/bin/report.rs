@@ -1,0 +1,67 @@
+//! Differential bottleneck report: diffs the cycle-accounting (`cpi`)
+//! blocks of two `BENCH_sweep.json` files and prints per-cell, per-leaf
+//! deltas with a loud verdict.
+//!
+//! Usage:
+//!
+//! ```text
+//! FA_REPORT_BASELINE=<baseline.json> report [current.json]
+//! report <baseline.json> <current.json>
+//! ```
+//!
+//! With `FA_REPORT_BASELINE` set, the current report defaults to the
+//! `FA_BENCH_JSON` destination (`BENCH_sweep.json`), so the natural flow
+//! is: run a sweep on the baseline commit, set the variable to the saved
+//! artifact, re-run the sweep, then run `report` with no arguments.
+//!
+//! Exit status: 0 for a clean diff, 1 for a configuration or I/O failure
+//! (missing baseline, unreadable file, no `cpi` rows), 2 when any
+//! compared cell regressed — total core cycles past the row threshold or
+//! any taxonomy leaf past the leaf threshold (see `fa_bench::report`).
+
+// Non-test code must justify every panic site.
+#![deny(clippy::unwrap_used)]
+
+use fa_bench::report::{diff, parse_rows};
+use fa_bench::sweep::SweepReport;
+use fa_sim::env;
+
+fn read_rows(path: &str) -> Vec<fa_bench::report::CpiRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("report: {path}: {e}");
+        std::process::exit(1);
+    });
+    let rows = parse_rows(&text);
+    if rows.is_empty() {
+        eprintln!(
+            "report: {path}: no rows with a cpi block (not a BENCH_sweep.json written \
+             with cycle accounting?)"
+        );
+        std::process::exit(1);
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline, current) = match (env::report_baseline(), args.as_slice()) {
+        (Some(b), []) => (b, SweepReport::default_path().display().to_string()),
+        (Some(b), [c]) => (b, c.clone()),
+        (None, [b, c]) => (b.clone(), c.clone()),
+        _ => {
+            eprintln!(
+                "report: need a baseline and a current report — set \
+                 FA_REPORT_BASELINE=<baseline.json> (current defaults to FA_BENCH_JSON / \
+                 BENCH_sweep.json, or pass it positionally) or run \
+                 `report <baseline.json> <current.json>`"
+            );
+            std::process::exit(1);
+        }
+    };
+    println!("# report: {baseline} (baseline) vs {current} (current)\n");
+    let d = diff(&read_rows(&baseline), &read_rows(&current));
+    print!("{}", d.render());
+    if d.regressed() {
+        std::process::exit(2);
+    }
+}

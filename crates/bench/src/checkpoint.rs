@@ -14,8 +14,14 @@
 //!
 //! ```text
 //! fa-checkpoint-v1 fingerprint=<hex16> cells=<n>
-//! cell <idx> cycles=<c> instr=<i> row=<row json>
+//! cell <idx> cycles=<c> instr=<i> health=<r>:<da>:<fa>:<la>:<nb> row=<row json>
 //! ```
+//!
+//! The `health=` token carries the cell's forward-progress counters
+//! (directory rescues, then the worst dir-alloc / fill / LSQ attempt
+//! counts and the NoC backlog high-water mark) so a resumed campaign's
+//! summary line accounts journaled cells too. The token is optional on
+//! replay — records written by older journals parse with zeroed health.
 //!
 //! The header fingerprint is an FNV-1a 64 hash of the canonical campaign
 //! configuration (everything that affects simulated results — seed, sizing,
@@ -33,6 +39,7 @@
 //! records for one cell are last-wins — append-only journals never need
 //! rewriting.
 
+use fa_mem::ProgressStats;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -55,12 +62,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// One journaled cell: the simulated totals (summed over every methodology
 /// run, for resumed timing accounting) and the emitted row line, verbatim.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CellRecord {
     /// Simulated cycles across all runs of the cell (including dropped).
     pub cycles: u64,
     /// Committed instructions across all runs of the cell.
     pub instructions: u64,
+    /// Forward-progress counters aggregated over every run of the cell
+    /// (rescues summed, high-water marks maxed) — journaled so a resumed
+    /// campaign's health summary matches an uninterrupted one.
+    pub health: ProgressStats,
     /// The row exactly as the report emits it (`SweepRow::json_full`).
     pub row: String,
 }
@@ -129,8 +140,18 @@ impl Journal {
     /// Any I/O error from the append.
     pub fn record(&self, idx: usize, r: &CellRecord) -> std::io::Result<()> {
         debug_assert!(!r.row.contains('\n'), "rows are single-line JSON");
-        let line =
-            format!("cell {idx} cycles={} instr={} row={}\n", r.cycles, r.instructions, r.row);
+        let h = &r.health;
+        let line = format!(
+            "cell {idx} cycles={} instr={} health={}:{}:{}:{}:{} row={}\n",
+            r.cycles,
+            r.instructions,
+            h.dir_rescues,
+            h.dir_alloc_attempts_max,
+            h.fill_attempts_max,
+            h.lsq_attempts_max,
+            h.noc_backlog_max,
+            r.row
+        );
         let mut f = self.file.lock().expect("a sweep worker panicked holding the journal");
         f.write_all(line.as_bytes())
     }
@@ -184,7 +205,16 @@ fn parse_record(line: &str, cells: usize) -> Option<(usize, CellRecord)> {
         return None;
     }
     let (cycles, rest) = rest.strip_prefix("cycles=")?.split_once(' ')?;
-    let (instr, row) = rest.strip_prefix("instr=")?.split_once(" row=")?;
+    let (instr, rest) = rest.strip_prefix("instr=")?.split_once(' ')?;
+    // The health token is optional: records from journals written before
+    // the cycle-accounting layer carry none and replay with zeroed health.
+    let (health, row) = match rest.strip_prefix("health=") {
+        Some(r) => {
+            let (h, row) = r.split_once(" row=")?;
+            (parse_health(h)?, row)
+        }
+        None => (ProgressStats::default(), rest.strip_prefix("row=")?),
+    };
     // A torn write cannot end in a newline, so any complete `row=` payload
     // is the full verbatim row; still insist it looks like one JSON object.
     if !(row.starts_with('{') && row.ends_with('}')) {
@@ -192,8 +222,31 @@ fn parse_record(line: &str, cells: usize) -> Option<(usize, CellRecord)> {
     }
     Some((
         idx,
-        CellRecord { cycles: cycles.parse().ok()?, instructions: instr.parse().ok()?, row: row.to_string() },
+        CellRecord {
+            cycles: cycles.parse().ok()?,
+            instructions: instr.parse().ok()?,
+            health,
+            row: row.to_string(),
+        },
     ))
+}
+
+/// Parses the 5-field colon-separated health token (see the module docs
+/// for field order); `None` for any other shape.
+fn parse_health(h: &str) -> Option<ProgressStats> {
+    let mut it = h.split(':').map(str::parse::<u64>);
+    let mut next = || it.next()?.ok();
+    let s = ProgressStats {
+        dir_rescues: next()?,
+        dir_alloc_attempts_max: next()?,
+        fill_attempts_max: next()?,
+        lsq_attempts_max: next()?,
+        noc_backlog_max: next()?,
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(s)
 }
 
 #[cfg(test)]
@@ -218,19 +271,46 @@ mod tests {
     fn fresh_journal_writes_header_and_replays_records() {
         let p = tmp("fresh");
         let _ = std::fs::remove_file(&p);
+        let health = ProgressStats {
+            dir_rescues: 2,
+            dir_alloc_attempts_max: 9,
+            fill_attempts_max: 4,
+            lsq_attempts_max: 1,
+            noc_backlog_max: 37,
+        };
         {
             let j = Journal::open(&p, 0xABCD, 4).unwrap();
             assert!(j.completed.is_empty());
-            j.record(2, &CellRecord { cycles: 100, instructions: 50, row: "{\"k\":1}".into() })
-                .unwrap();
-            j.record(0, &CellRecord { cycles: 7, instructions: 3, row: "{\"k\":0}".into() })
+            j.record(
+                2,
+                &CellRecord { cycles: 100, instructions: 50, health, row: "{\"k\":1}".into() },
+            )
+            .unwrap();
+            j.record(0, &CellRecord { cycles: 7, instructions: 3, row: "{\"k\":0}".into(), ..CellRecord::default() })
                 .unwrap();
         }
         let j = Journal::open(&p, 0xABCD, 4).unwrap();
         assert_eq!(j.completed.len(), 2);
         assert_eq!(j.completed[&2].row, "{\"k\":1}");
+        assert_eq!(j.completed[&2].health, health, "health survives the round trip");
         assert_eq!(j.completed[&0].cycles, 7);
+        assert_eq!(j.completed[&0].health, ProgressStats::default());
         std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn records_without_health_token_replay_with_zeroed_health() {
+        // Journals written before the cycle-accounting layer carry no
+        // `health=` token; their records must still replay.
+        let line = "cell 1 cycles=10 instr=5 row={\"a\":1}";
+        let (idx, rec) = parse_record(line, 4).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(rec.cycles, 10);
+        assert_eq!(rec.health, ProgressStats::default());
+        assert_eq!(rec.row, "{\"a\":1}");
+        // A malformed health token drops the record (the cell re-runs).
+        assert!(parse_record("cell 1 cycles=10 instr=5 health=1:2 row={\"a\":1}", 4).is_none());
+        assert!(parse_record("cell 1 cycles=10 instr=5 health=x:0:0:0:0 row={\"a\":1}", 4).is_none());
     }
 
     #[test]

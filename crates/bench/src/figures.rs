@@ -9,7 +9,7 @@
 //! the parallel sweep engine and the figure-14/15 drivers emit the
 //! `BENCH_sweep.json` throughput report.
 
-use crate::sweep::{grid, presets_from_env, run_grid, CellResult, Preset, SweepReport};
+use crate::sweep::{grid, presets_from_env, run_grid, CellResult, Preset, RowCpi, SweepReport};
 use crate::{fmt, mean, row, run_once_checked, BenchOpts};
 use fa_core::AtomicPolicy;
 use fa_mem::NocConfig;
@@ -18,6 +18,7 @@ use fa_sim::error::SimError;
 use fa_sim::machine::RunResult;
 use fa_sim::presets::{icelake_like, skylake_like};
 use fa_sim::sweep::SweepTiming;
+use fa_sim::CpiLeaf;
 
 fn agg(r: &RunResult) -> fa_core::CoreStats {
     r.aggregate()
@@ -307,6 +308,75 @@ pub fn fig14_exec_time(opts: &BenchOpts) -> Result<(), Box<SimError>> {
         full * 100.0,
         ai * 100.0
     );
+    emit_report(&report);
+    Ok(())
+}
+
+/// **CPI stacks** — the figure-14 grid re-rendered as top-down cycle
+/// accounting: for every `(workload, policy)` cell, the percentage of all
+/// core cycles attributed to each leaf of the fixed taxonomy (merged over
+/// cores of the representative run; the leaves sum to 100% by the
+/// conservation invariant), followed by the atomic-lifetime attribution
+/// table splitting each policy's mean RMW exec latency into cache-lock
+/// acquire, remote transfer, directory park and local execute. Runs on
+/// the sweep engine and emits `BENCH_sweep.json` with the `cpi` blocks
+/// the `report` bin diffs.
+///
+/// # Errors
+///
+/// The first failed `(cell, run)` job.
+pub fn cpi_stacks(opts: &BenchOpts) -> Result<(), Box<SimError>> {
+    println!("\n## CPI stacks — top-down cycle accounting (% of core cycles)\n");
+    let mut header = vec!["workload".to_string(), "policy".to_string()];
+    header.extend(CpiLeaf::ALL.iter().map(|l| l.name().to_string()));
+    println!("{}", row(&header));
+    let (groups, report) = policy_grid("cpistack", opts)?;
+    for runs in &groups {
+        for r in runs {
+            let cpi = RowCpi::from_run(r.summary.representative());
+            let total = cpi.core_cycles.max(1) as f64;
+            let mut cells =
+                vec![r.cell.workload.name.to_string(), r.cell.policy.label().to_string()];
+            cells.extend(
+                CpiLeaf::ALL.iter().map(|&l| fmt(cpi.stack.get(l) as f64 * 100.0 / total, 1)),
+            );
+            println!("{}", row(&cells));
+        }
+    }
+    println!("\natomic-lifetime attribution (cycles per committed atomic, representative runs):\n");
+    println!(
+        "{}",
+        row(&[
+            "workload".into(),
+            "policy".into(),
+            "acquire".into(),
+            "xfer".into(),
+            "dir park".into(),
+            "local".into(),
+            "exec total".into(),
+        ])
+    );
+    for runs in &groups {
+        for r in runs {
+            let rep = r.summary.representative();
+            let cpi = RowCpi::from_run(rep);
+            let atomics: u64 = rep.per_core.iter().map(|c| c.atomics).sum();
+            let per = |v: u64| if atomics == 0 { 0.0 } else { v as f64 / atomics as f64 };
+            let exec: u64 = rep.per_core.iter().map(|c| c.atomic_exec_cycles).sum();
+            println!(
+                "{}",
+                row(&[
+                    r.cell.workload.name.into(),
+                    r.cell.policy.label().into(),
+                    fmt(per(cpi.atomic_acquire), 1),
+                    fmt(per(cpi.atomic_xfer.iter().sum()), 1),
+                    fmt(per(cpi.atomic_dir_park), 1),
+                    fmt(per(cpi.atomic_local), 1),
+                    fmt(per(exec), 1),
+                ])
+            );
+        }
+    }
     emit_report(&report);
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | `FA_RETRIES` | 1 | supervised-cell retries before quarantine |
 //! | `FA_CELL_BUDGET` | unset | per-cell budget: `<cycles>` or `<cycles>:<wall_secs>` |
 //! | `FA_CHECKPOINT` | unset | append-only sweep journal for kill/resume |
+//! | `FA_REPORT_BASELINE` | unset | baseline `BENCH_sweep.json` for the `report` bin's diff |
 //!
 //! All parsing goes through [`fa_sim::env`], so a malformed value fails
 //! loudly with the variable name and the expected grammar.
@@ -33,6 +34,7 @@
 
 pub mod checkpoint;
 pub mod figures;
+pub mod report;
 pub mod sweep;
 
 use fa_core::AtomicPolicy;

@@ -16,13 +16,13 @@
 use crate::checkpoint::{fnv1a64, CellRecord, Journal};
 use crate::BenchOpts;
 use fa_core::AtomicPolicy;
-use fa_mem::{HotLock, NocStats, XbarPolicy};
+use fa_mem::{HotLock, NocStats, ProgressStats, XbarPolicy};
 use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{Methodology, MultiRun};
 use fa_sim::sweep::{run_cells_timed, supervise, SweepTiming};
-use fa_sim::Hist;
+use fa_sim::{json_object, json_u64_array, CpiStack, Hist};
 use fa_workloads::{WorkloadParams, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -262,6 +262,22 @@ pub struct SweepOutcome {
     pub quarantine: Vec<QuarantinedCell>,
     /// Cells replayed from the checkpoint journal instead of re-run.
     pub resumed: usize,
+    /// Forward-progress counters aggregated over every run of every
+    /// completed cell (rescues summed, high-water marks maxed); journaled
+    /// cells contribute their stored health, so a resumed campaign's
+    /// summary matches an uninterrupted one.
+    pub health: ProgressStats,
+}
+
+/// Folds one forward-progress sample into an aggregate: event counts
+/// (rescues) sum, high-water marks max — the same shape at every level of
+/// aggregation (runs into a cell, cells into a campaign).
+pub fn merge_health(into: &mut ProgressStats, h: &ProgressStats) {
+    into.dir_rescues += h.dir_rescues;
+    into.dir_alloc_attempts_max = into.dir_alloc_attempts_max.max(h.dir_alloc_attempts_max);
+    into.fill_attempts_max = into.fill_attempts_max.max(h.fill_attempts_max);
+    into.lsq_attempts_max = into.lsq_attempts_max.max(h.lsq_attempts_max);
+    into.noc_backlog_max = into.noc_backlog_max.max(h.noc_backlog_max);
 }
 
 /// The campaign fingerprint for the checkpoint journal: an FNV-1a 64 hash
@@ -299,17 +315,19 @@ fn run_one_cell(
     let cfg = opts.config_for(&cell.preset.config(), cell.policy);
     let mut runs = Vec::with_capacity(meth.runs);
     let (mut cycles, mut instructions) = (0u64, 0u64);
+    let mut health = ProgressStats::default();
     for run in 0..meth.runs {
         let w = cell.workload.build(params);
         let rr = meth.run_single(&cfg, run, w.programs, w.mem)?;
         cycles += rr.cycles;
         instructions += rr.instructions();
+        merge_health(&mut health, &rr.mem.progress);
         runs.push(rr);
     }
     let summary = meth.summarize(runs)?;
     let mut row = SweepRow::from_result(meth.runs, &CellResult { cell: *cell, summary });
     row.checked = opts.check.on();
-    Ok(CellRecord { cycles, instructions, row: row.json_full() })
+    Ok(CellRecord { cycles, instructions, health, row: row.json_full() })
 }
 
 /// [`run_grid`] under full supervision: each cell is one isolated job —
@@ -373,16 +391,21 @@ pub fn run_grid_supervised(
     timing.cells = cells.len();
     let mut row_lines = Vec::with_capacity(cells.len());
     let mut quarantine = Vec::new();
+    let mut health = ProgressStats::default();
     let mut fresh = results.into_iter();
     for (ci, cell) in cells.iter().enumerate() {
         if let Some(rec) = journal.as_ref().and_then(|j| j.completed.get(&ci)) {
             row_lines.push(rec.row.clone());
             timing.sim_cycles += rec.cycles;
             timing.sim_instructions += rec.instructions;
+            merge_health(&mut health, &rec.health);
             continue;
         }
         match fresh.next().expect("one supervised result per pending cell") {
-            Ok(rec) => row_lines.push(rec.row),
+            Ok(rec) => {
+                merge_health(&mut health, &rec.health);
+                row_lines.push(rec.row);
+            }
             Err(q) => quarantine.push(QuarantinedCell {
                 cell: cell.name(),
                 attempts: q.attempts,
@@ -390,7 +413,7 @@ pub fn run_grid_supervised(
             }),
         }
     }
-    Ok((SweepOutcome { row_lines, quarantine, resumed }, timing))
+    Ok((SweepOutcome { row_lines, quarantine, resumed, health }, timing))
 }
 
 /// The latency-histogram block of one sweep row: log₂-bucketed
@@ -432,17 +455,89 @@ impl RowHists {
         h
     }
 
+    /// The block as a single-line JSON object (stable field order), via
+    /// the same hand-rolled serializer helper every emitted block shares.
+    pub fn json(&self) -> String {
+        json_object(&[
+            ("atomic_exec", self.atomic_exec.json()),
+            ("atomic_drain", self.atomic_drain.json()),
+            ("fill_stall", self.fill_stall.json()),
+            ("lock_hold", self.lock_hold.json()),
+            ("noc_delivered", self.noc_delivered.json()),
+        ])
+    }
+}
+
+/// The cycle-accounting block of one sweep row, from the representative
+/// run: every core's CPI stack merged element-wise (so the block's
+/// `stack` total equals `core_cycles` exactly — the same conservation
+/// invariant the per-core stacks obey), the atomic-lifetime split
+/// (acquire / per-[`LatClass`](fa_mem::LatClass) transfer / directory
+/// park / local execute, summing exactly to the committed atomics' exec
+/// latency), and the memory side's fill-latency attribution by class.
+/// All counters are always-on passive statistics, so the block is
+/// bit-identical at any `FA_THREADS` value and any `FA_TRACE` mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowCpi {
+    /// Core cycles summed over every core of the representative run —
+    /// exactly `stack`'s total.
+    pub core_cycles: u64,
+    /// Element-wise sum of the per-core CPI stacks.
+    pub stack: CpiStack,
+    /// Σ cache-lock acquire cycles of committed atomics across cores.
+    pub atomic_acquire: u64,
+    /// Σ remote-line transfer cycles of committed atomics' fills, indexed
+    /// by [`LatClass::index`](fa_mem::LatClass::index).
+    pub atomic_xfer: [u64; 5],
+    /// Σ cycles committed atomics' fills sat parked behind a busy
+    /// directory entry.
+    pub atomic_dir_park: u64,
+    /// Σ local-execute cycles (lock acquired → store_unlock performed).
+    pub atomic_local: u64,
+    /// Σ fill latency by [`LatClass::index`](fa_mem::LatClass::index)
+    /// across cores, from the memory side (demand fills, not just
+    /// atomics).
+    pub fill: [u64; 5],
+}
+
+impl RowCpi {
+    /// Collects the cycle-accounting block from one run's statistics.
+    pub fn from_run(r: &RunResult) -> RowCpi {
+        let mut cpi = RowCpi::default();
+        for c in &r.per_core {
+            cpi.core_cycles += c.cycles;
+            cpi.stack.merge(&c.cpi);
+            cpi.atomic_acquire += c.atomic_lock_acquire_cycles;
+            for (t, v) in cpi.atomic_xfer.iter_mut().zip(c.atomic_xfer_cycles) {
+                *t += v;
+            }
+            cpi.atomic_dir_park += c.atomic_dir_park_cycles;
+            cpi.atomic_local += c.atomic_local_cycles;
+        }
+        for m in &r.mem.cores {
+            for (t, v) in cpi.fill.iter_mut().zip(m.fill_cycles_by_class) {
+                *t += v;
+            }
+        }
+        cpi
+    }
+
     /// The block as a single-line JSON object (stable field order).
     pub fn json(&self) -> String {
-        format!(
-            "{{\"atomic_exec\":{},\"atomic_drain\":{},\"fill_stall\":{},\
-             \"lock_hold\":{},\"noc_delivered\":{}}}",
-            self.atomic_exec.json(),
-            self.atomic_drain.json(),
-            self.fill_stall.json(),
-            self.lock_hold.json(),
-            self.noc_delivered.json()
-        )
+        json_object(&[
+            ("core_cycles", self.core_cycles.to_string()),
+            ("stack", self.stack.json()),
+            (
+                "atomic",
+                json_object(&[
+                    ("acquire", self.atomic_acquire.to_string()),
+                    ("xfer", json_u64_array(&self.atomic_xfer)),
+                    ("dir_park", self.atomic_dir_park.to_string()),
+                    ("local", self.atomic_local.to_string()),
+                ]),
+            ),
+            ("fill", json_u64_array(&self.fill)),
+        ])
     }
 }
 
@@ -472,6 +567,11 @@ pub struct SweepRow {
     /// Latency histograms of the representative run, emitted by
     /// [`SweepRow::json_full`] (and therefore by `BENCH_sweep.json`).
     pub hists: RowHists,
+    /// Cycle-accounting block of the representative run (CPI stack,
+    /// atomic-lifetime split, fill attribution), emitted by
+    /// [`SweepRow::json_full`] — the `cpistack` and `report` bins read it
+    /// back out of `BENCH_sweep.json`.
+    pub cpi: RowCpi,
     /// True when every run behind this row passed the axiomatic TSO
     /// conformance checker (`FA_CHECK=tso`); set by [`SweepReport::new`].
     /// Flagged in `BENCH_sweep.json` but kept out of the golden-stable
@@ -494,6 +594,7 @@ impl SweepRow {
             instructions: rep.instructions(),
             net: (noc.policy == XbarPolicy::Contended).then(|| noc.clone()),
             hists: RowHists::from_run(rep),
+            cpi: RowCpi::from_run(rep),
             checked: false,
         }
     }
@@ -516,14 +617,16 @@ impl SweepRow {
         s
     }
 
-    /// [`SweepRow::json`] plus the latency-histogram block — the form
-    /// `BENCH_sweep.json` emits. Checked rows (runs validated by the
-    /// axiomatic TSO checker) additionally carry `"checked":true`;
-    /// unchecked rows stay byte-identical to the pre-checker goldens.
+    /// [`SweepRow::json`] plus the latency-histogram and cycle-accounting
+    /// blocks — the form `BENCH_sweep.json` emits. Checked rows (runs
+    /// validated by the axiomatic TSO checker) additionally carry
+    /// `"checked":true`; unchecked rows stay byte-identical to the
+    /// pre-checker goldens.
     pub fn json_full(&self) -> String {
         let mut s = self.json();
         s.pop();
         let _ = write!(s, ",\"hists\":{}", self.hists.json());
+        let _ = write!(s, ",\"cpi\":{}", self.cpi.json());
         if self.checked {
             s.push_str(",\"checked\":true");
         }
@@ -598,6 +701,12 @@ pub struct SweepReport {
     /// and the `quarantine` block is omitted from the JSON when empty so
     /// healthy reports stay byte-identical to the historical shape.
     pub quarantine: Vec<QuarantinedCell>,
+    /// Forward-progress counters aggregated across the campaign
+    /// (directory rescues summed; dir-alloc / fill / LSQ attempt and NoC
+    /// backlog high-water marks maxed) — surfaced on the human summary
+    /// line. Supervised campaigns aggregate over every run; unsupervised
+    /// grids over the retained runs of each cell.
+    pub health: ProgressStats,
     /// Wall-clock / simulated-throughput accounting.
     pub timing: SweepTiming,
 }
@@ -615,22 +724,31 @@ impl SweepReport {
                 row.json_full()
             })
             .collect();
+        let mut health = ProgressStats::default();
+        for r in results {
+            for run in &r.summary.runs {
+                merge_health(&mut health, &run.mem.progress);
+            }
+        }
         SweepReport {
             bin: bin.to_string(),
             runs: opts.runs,
             row_lines,
             quarantine: Vec::new(),
+            health,
             timing,
         }
     }
 
-    /// Summarizes a supervised campaign, carrying its quarantine block.
+    /// Summarizes a supervised campaign, carrying its quarantine block
+    /// and aggregated forward-progress health.
     pub fn from_outcome(bin: &str, opts: &BenchOpts, outcome: SweepOutcome, timing: SweepTiming) -> SweepReport {
         SweepReport {
             bin: bin.to_string(),
             runs: opts.runs,
             row_lines: outcome.row_lines,
             quarantine: outcome.quarantine,
+            health: outcome.health,
             timing,
         }
     }
@@ -699,12 +817,16 @@ impl SweepReport {
         Ok(path)
     }
 
-    /// One-line human summary of the timing block (and any quarantine).
+    /// One-line human summary of the timing block, the forward-progress
+    /// health counters (directory rescues and the worst retry/backlog
+    /// high-water marks), and any quarantine.
     pub fn timing_line(&self) -> String {
         let t = &self.timing;
+        let h = &self.health;
         let mut line = format!(
             "sweep: {} cells x {} runs on {} thread(s): {:.2}s wall, {} sim cycles \
-             ({:.2e} cyc/s), {} instrs ({:.2} MIPS)",
+             ({:.2e} cyc/s), {} instrs ({:.2} MIPS), progress: {} dir rescue(s), \
+             worst attempts dir={} fill={} lsq={}, noc backlog {}",
             self.row_lines.len(),
             self.runs,
             t.threads,
@@ -712,7 +834,12 @@ impl SweepReport {
             t.sim_cycles,
             t.cycles_per_sec(),
             t.sim_instructions,
-            t.mips()
+            t.mips(),
+            h.dir_rescues,
+            h.dir_alloc_attempts_max,
+            h.fill_attempts_max,
+            h.lsq_attempts_max,
+            h.noc_backlog_max
         );
         if !self.quarantine.is_empty() {
             let _ = write!(line, ", {} cell(s) QUARANTINED", self.quarantine.len());
@@ -893,6 +1020,135 @@ mod tests {
     }
 
     #[test]
+    fn cpi_block_conserves_cycles_and_stays_out_of_golden_rows() {
+        use fa_sim::CpiLeaf;
+        let cells = small_grid();
+        let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
+        for r in &results {
+            let row = SweepRow::from_result(3, r);
+            // Conservation: the merged stack accounts every core cycle of
+            // the representative run, exactly.
+            assert_eq!(
+                row.cpi.stack.total(),
+                row.cpi.core_cycles,
+                "{}/{}: CPI stack must conserve cycles",
+                row.kernel,
+                row.policy
+            );
+            assert!(row.cpi.stack.get(CpiLeaf::Commit) > 0, "work commits in every cell");
+            // The atomic-lifetime split sums exactly to the committed
+            // atomics' exec latency.
+            let split = row.cpi.atomic_acquire
+                + row.cpi.atomic_xfer.iter().sum::<u64>()
+                + row.cpi.atomic_dir_park
+                + row.cpi.atomic_local;
+            let exec: u64 =
+                r.summary.representative().per_core.iter().map(|c| c.atomic_exec_cycles).sum();
+            assert_eq!(split, exec, "{}/{}: atomic split must be exact", row.kernel, row.policy);
+            // The block lives in json_full only; json() stays golden.
+            let (j, jf) = (row.json(), row.json_full());
+            assert!(!j.contains("\"cpi\""), "golden rows must not grow a cpi block");
+            assert!(jf.contains(",\"cpi\":{\"core_cycles\":"), "{jf}");
+            assert!(jf.contains("\"stack\":{\"commit\":"), "{jf}");
+            assert!(jf.contains("\"atomic\":{\"acquire\":"), "{jf}");
+        }
+        // Baseline pays fence drains the free policies do not.
+        let base = SweepRow::from_result(3, &results[0]);
+        let free = SweepRow::from_result(3, &results[1]);
+        assert_eq!(base.policy, "baseline");
+        assert_eq!(free.policy, "FreeAtomics+Fwd");
+        assert!(
+            base.cpi.stack.get(CpiLeaf::SbDrain) > free.cpi.stack.get(CpiLeaf::SbDrain),
+            "the baseline's store-buffer drain leaf must dominate FreeFwd's \
+             (base {} vs free {})",
+            base.cpi.stack.get(CpiLeaf::SbDrain),
+            free.cpi.stack.get(CpiLeaf::SbDrain)
+        );
+    }
+
+    #[test]
+    fn atomic_split_stays_exact_under_watchdog_storms() {
+        // CQ and RBT drive heavy squash/reissue traffic (watchdog-recovered
+        // lock deadlocks, long directory parks). A reissued load_lock merges
+        // onto its first attempt's still-in-flight MSHR, so the response's
+        // transfer/park stamps can predate the reissue — the staging clamp
+        // must keep acquire + xfer + park + local == exec exact anyway.
+        let ws = suite::select(&["CQ", "RBT"]).expect("suite names");
+        let cells =
+            grid(&ws, &[AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd], &[Preset::Tiny]);
+        let mut opts = small_opts(2);
+        opts.cores = 4;
+        let (results, _) = run_grid(&opts, &cells).expect("grid");
+        for r in &results {
+            for run in &r.summary.runs {
+                for (i, c) in run.per_core.iter().enumerate() {
+                    let split = c.atomic_lock_acquire_cycles
+                        + c.atomic_xfer_cycles.iter().sum::<u64>()
+                        + c.atomic_dir_park_cycles
+                        + c.atomic_local_cycles;
+                    assert_eq!(
+                        split, c.atomic_exec_cycles,
+                        "{}/{} core {i}: split must stay exact under storms",
+                        r.cell.workload.name,
+                        r.cell.policy.label()
+                    );
+                    assert_eq!(
+                        c.cpi.total(),
+                        c.cycles,
+                        "{}/{} core {i}: leaf sum != cycles",
+                        r.cell.workload.name,
+                        r.cell.policy.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timing_line_surfaces_progress_health() {
+        let cells = small_grid()[..1].to_vec();
+        let opts = small_opts(1);
+        let (results, timing) = run_grid(&opts, &cells).expect("grid");
+        let rep = SweepReport::new("health", &opts, &results, timing);
+        let line = rep.timing_line();
+        assert!(line.contains(", progress: 0 dir rescue(s)"), "healthy runs never rescue: {line}");
+        assert!(line.contains("worst attempts dir="), "{line}");
+        assert!(line.contains("noc backlog"), "{line}");
+        // merge_health: counts sum, high-water marks max.
+        let mut agg = ProgressStats::default();
+        merge_health(
+            &mut agg,
+            &ProgressStats {
+                dir_rescues: 2,
+                dir_alloc_attempts_max: 5,
+                fill_attempts_max: 1,
+                lsq_attempts_max: 0,
+                noc_backlog_max: 10,
+            },
+        );
+        merge_health(
+            &mut agg,
+            &ProgressStats {
+                dir_rescues: 1,
+                dir_alloc_attempts_max: 3,
+                fill_attempts_max: 4,
+                lsq_attempts_max: 2,
+                noc_backlog_max: 7,
+            },
+        );
+        assert_eq!(
+            agg,
+            ProgressStats {
+                dir_rescues: 3,
+                dir_alloc_attempts_max: 5,
+                fill_attempts_max: 4,
+                lsq_attempts_max: 2,
+                noc_backlog_max: 10,
+            }
+        );
+    }
+
+    #[test]
     fn hot_locks_merge_and_render() {
         let cells = small_grid();
         let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
@@ -952,7 +1208,7 @@ mod tests {
         let cells = small_grid();
         let (results, _) = run_grid(&small_opts(1), &cells).expect("grid");
         let base = row_lines_of(&small_opts(1), &results);
-        for threads in [1, 4] {
+        for threads in [1, 4, 8] {
             let (out, t) = run_grid_supervised(&small_opts(threads), &SupervisorOpts::none(), &cells)
                 .expect("supervised grid");
             assert!(out.quarantine.is_empty());
@@ -1010,6 +1266,9 @@ mod tests {
                     "rows must be byte-identical after kill at byte {cut}, threads={threads}"
                 );
                 assert!(resumed.quarantine.is_empty());
+                // Health is identical however the work splits between
+                // journal replay and fresh runs.
+                assert_eq!(resumed.health, reference.health, "cut {cut}");
                 // Simulated totals are identical however the work splits
                 // between journal replay and fresh runs.
                 assert_eq!(

@@ -37,6 +37,23 @@ pub struct AqEntry {
     /// Cycle the load_lock issued (Figure-1 "Atomic" accounting; 0 = not
     /// yet issued).
     pub issued_at: u64,
+    /// Cycle the atomic acquired its line lock (fill response arrived, or
+    /// data forwarded); 0 = not yet acquired. Splits the exec window into
+    /// acquire-side and local-execute-side for the atomic-lifetime
+    /// attribution.
+    pub acquired_at: u64,
+    /// Acquire-side latency split of the issue→response window, staged
+    /// here and folded into [`CoreStats`](crate::CoreStats) only when the
+    /// atomic's store_unlock performs — squashed atomics contribute
+    /// nothing, so the committed split sums exactly to the exec latency.
+    /// Cache-lock acquire cycles (the window minus transfer and park).
+    pub acquire: u64,
+    /// Interconnect transfer cycles of the fill's final leg.
+    pub xfer: u64,
+    /// `LatClass::index()` of the fill, bucketing `xfer`.
+    pub xfer_class: usize,
+    /// Cycles the directory request sat parked behind a busy entry.
+    pub park: u64,
 }
 
 /// The Atomic Queue, managed as a FIFO in program order.
@@ -76,7 +93,17 @@ impl AtomicQueue {
     pub fn alloc(&mut self, ll_seq: Seq) {
         assert!(!self.is_full(), "AQ overflow");
         debug_assert!(self.entries.back().map(|e| e.ll_seq < ll_seq).unwrap_or(true));
-        self.entries.push_back(AqEntry { ll_seq, state: AqState::WaitLock, chain: 0, issued_at: 0 });
+        self.entries.push_back(AqEntry {
+            ll_seq,
+            state: AqState::WaitLock,
+            chain: 0,
+            issued_at: 0,
+            acquired_at: 0,
+            acquire: 0,
+            xfer: 0,
+            xfer_class: 0,
+            park: 0,
+        });
     }
 
     /// Entry owned by load_lock `ll_seq`.

@@ -17,7 +17,7 @@ use crate::stats::{CoreStats, SquashCause};
 use fa_isa::reg::NUM_REGS;
 use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
 use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
-use fa_trace::{write_id, DataEvent, TraceBuf, TraceEvent, TraceRecord};
+use fa_trace::{write_id, CpiLeaf, DataEvent, TraceBuf, TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -149,6 +149,12 @@ pub struct Core {
     state: CoreState,
     wd_counter: u64,
 
+    /// Per-cycle cycle-accounting flags, reset at the top of every tick:
+    /// fetch stopped because the ROB had no room for the next instruction.
+    fetch_blocked_rob: bool,
+    /// Fetch stopped on an LQ/SQ/AQ structural limit.
+    fetch_blocked_lsq: bool,
+
     /// Statistics, live during the run.
     pub stats: CoreStats,
     /// Structured trace ring for pipeline events (µop lifecycle, atomic
@@ -188,6 +194,8 @@ impl Core {
             ss,
             state: CoreState::Running,
             wd_counter: 0,
+            fetch_blocked_rob: false,
+            fetch_blocked_lsq: false,
             stats: CoreStats::default(),
             trace,
             dlog: Vec::new(),
@@ -253,6 +261,7 @@ impl Core {
         debug_assert!(self.sleeping(), "idle credit is only defined while sleeping");
         self.stats.cycles += n;
         self.stats.sleep_cycles += n;
+        self.stats.cpi.add(CpiLeaf::Idle, n);
     }
 
     /// The core's id.
@@ -288,6 +297,8 @@ impl Core {
             return;
         }
         self.stats.cycles += 1;
+        self.fetch_blocked_rob = false;
+        self.fetch_blocked_lsq = false;
 
         let notices = mem.drain_notices(self.id);
         let responses = mem.drain_responses(self.id);
@@ -295,6 +306,7 @@ impl Core {
         // Sleeping: drain the SB and watch for the wake condition.
         if let CoreState::Sleeping { line, wake_at, resume_pc } = self.state {
             self.stats.sleep_cycles += 1;
+            self.stats.cpi.record(CpiLeaf::Idle);
             self.handle_idle_responses(&responses, mem);
             self.drain_store_buffer(now, mem);
             let line_written = notices
@@ -338,6 +350,7 @@ impl Core {
         self.watchdog(now, mem);
 
         // 5. In-order commit.
+        let uops_before = self.stats.uops;
         self.commit(now, mem);
 
         // 6. Store-buffer drain.
@@ -349,6 +362,61 @@ impl Core {
 
         // 8. Fetch/decode/rename/dispatch.
         self.fetch(now);
+
+        // 9. Cycle accounting: attribute this cycle to exactly one leaf.
+        self.account_cycle(uops_before, mem);
+    }
+
+    /// Attributes the cycle just simulated to one [`CpiLeaf`], top-down:
+    /// a committing cycle is `Commit` no matter what else stalled; an
+    /// empty ROB is front-end starvation; otherwise the ROB head names the
+    /// bottleneck (commit-blocking drains, then the memory wait — refined
+    /// by the memory system's pure-read probes — then the structural
+    /// back-pressure fetch recorded this cycle). Strictly passive: every
+    /// input is state the pipeline already computed.
+    fn account_cycle(&mut self, uops_before: u64, mem: &MemorySystem) {
+        let leaf = if self.stats.uops > uops_before {
+            CpiLeaf::Commit
+        } else if self.rob.is_empty() {
+            CpiLeaf::FetchStarved
+        } else {
+            let head = self.rob.front().expect("nonempty");
+            let is_ll = matches!(head.uop.kind, UopKind::LoadLock { .. });
+            if head.done && is_ll && !self.sb.is_empty() {
+                // store→RMW commit order (§3.2.3): the atomic waits on the
+                // store buffer.
+                CpiLeaf::SbDrain
+            } else if matches!(head.uop.kind, UopKind::Fence(FenceKind::Standalone))
+                && !self.sb.is_empty()
+            {
+                CpiLeaf::FenceDrain
+            } else if head.mem == MemPhase::WaitCache {
+                if mem.core_alloc_waiting(self.id) {
+                    CpiLeaf::DirAllocWait
+                } else if mem.core_backpressured(self.id) {
+                    CpiLeaf::NocBackpressure
+                } else if is_ll {
+                    CpiLeaf::AtomicLockWait
+                } else {
+                    CpiLeaf::LoadFill
+                }
+            } else if is_ll
+                && !head.issued
+                && head.addr.is_some()
+                && !self.load_lock_may_issue(head.seq)
+            {
+                // Fenced-policy issue gate: the head atomic may not issue
+                // until the store buffer drains.
+                CpiLeaf::SbDrain
+            } else if self.fetch_blocked_rob {
+                CpiLeaf::RobFull
+            } else if self.fetch_blocked_lsq {
+                CpiLeaf::LsqFull
+            } else {
+                CpiLeaf::Issue
+            }
+        };
+        self.stats.cpi.record(leaf);
     }
 
     // ---------------------------------------------------------------- fetch
@@ -367,6 +435,7 @@ impl Core {
             let uops = fa_isa::decode(instr, pc);
             // Structural resources for the whole instruction.
             if self.rob.len() + uops.len() > self.cfg.rob_size {
+                self.fetch_blocked_rob = true;
                 break;
             }
             let loads = uops.iter().filter(|u| u.is_load_class()).count()
@@ -378,10 +447,12 @@ impl Core {
             if self.lq_count + loads > self.cfg.lq_size
                 || self.sq_count + stores > self.cfg.sq_size
             {
+                self.fetch_blocked_lsq = true;
                 break;
             }
             if instr.is_rmw() && self.aq.is_full() {
                 self.stats.aq_full_stalls += 1;
+                self.fetch_blocked_lsq = true;
                 break;
             }
             for u in &uops {
@@ -867,6 +938,9 @@ impl Core {
         aqe.state = AqState::Fwd { store_seq: sseq, from_atomic: from_unlock };
         aqe.chain = chain;
         aqe.issued_at = now;
+        // Forwarded load_locks perform immediately: the whole lifetime is
+        // local execute (acquire/transfer/park contribute nothing).
+        aqe.acquired_at = now;
         let writer = write_id(self.id.0, sseq);
         let (drain, addr) = {
             let e = self.rob.get_mut(seq).unwrap();
@@ -935,7 +1009,17 @@ impl Core {
     fn handle_responses(&mut self, responses: &[CoreResp], now: u64, mem: &mut MemorySystem) {
         for r in responses {
             match *r {
-                CoreResp::ReadResp { seq, addr, value, writer, had_write_perm, locked, .. } => {
+                CoreResp::ReadResp {
+                    seq,
+                    addr,
+                    value,
+                    writer,
+                    class,
+                    had_write_perm,
+                    locked,
+                    xfer,
+                    park,
+                } => {
                     let live = self
                         .rob
                         .get(seq)
@@ -961,11 +1045,33 @@ impl Core {
                         debug_assert!(locked, "load_lock response must lock");
                         let aqe = self.aq.get_mut(seq).expect("AQ entry");
                         aqe.state = AqState::Locked(line_of(addr));
+                        aqe.acquired_at = now;
+                        // Lifetime split: the issue→response window is
+                        // directory park + interconnect transfer (both
+                        // stamped by the memory system) + everything else,
+                        // which is the cache-lock acquire path. Staged on
+                        // the AQ entry; folded into stats only if the
+                        // atomic commits (its store_unlock drains).
+                        //
+                        // A squash-reissued load_lock can merge onto the
+                        // still-in-flight MSHR of its first attempt, so the
+                        // response's transfer/park stamps may cover a window
+                        // that started before this attempt issued. Only the
+                        // portion inside this attempt's wait window is this
+                        // atomic's exec latency — clamp transfer (the tail
+                        // nearest the response) first, park to the rest —
+                        // keeping acquire + xfer + park == wait exact.
+                        let wait = now.saturating_sub(aqe.issued_at);
+                        let xfer = xfer.min(wait);
+                        let park = park.min(wait - xfer);
+                        aqe.acquire = wait - xfer - park;
+                        aqe.xfer = xfer;
+                        aqe.xfer_class = class.index();
+                        aqe.park = park;
                         // §3.2.5: the watchdog resets whenever a load_lock
                         // performs.
                         self.wd_counter = 0;
                     }
-                    let _ = now;
                 }
                 CoreResp::StoreReady { seq, .. } => {
                     if let Some(s) = self.sb.iter_mut().find(|s| s.seq == seq) {
@@ -1207,6 +1313,15 @@ impl Core {
                 let exec = now.saturating_sub(aqe.issued_at);
                 self.stats.atomic_exec_cycles += exec;
                 self.stats.atomic_exec_hist.record(exec);
+                // Fold the staged acquire-side split plus the local-execute
+                // remainder into stats, exactly once per committed atomic:
+                // acquire + xfer + park + local == exec by construction.
+                self.stats.atomic_lock_acquire_cycles += aqe.acquire;
+                self.stats.atomic_xfer_cycles[aqe.xfer_class] += aqe.xfer;
+                self.stats.atomic_dir_park_cycles += aqe.park;
+                let local_since =
+                    if aqe.acquired_at > 0 { aqe.acquired_at } else { aqe.issued_at };
+                self.stats.atomic_local_cycles += now.saturating_sub(local_since);
                 self.trace.record(
                     now,
                     TraceEvent::AtomicStoreUnlock { seq: head.seq, addr: head.addr, exec },

@@ -1,7 +1,13 @@
 //! Per-core statistics feeding every figure and table of the paper.
 
-use fa_trace::Hist;
+use fa_trace::{CpiStack, Hist};
 use serde::{Deserialize, Serialize};
+
+/// Number of `fa_mem::LatClass` latency classes mirrored in the
+/// per-class atomic transfer counters (indexed by `LatClass::index()`
+/// at the recording site; kept as a plain const so the stats struct
+/// stays serde-derivable with a fixed-size array).
+pub const LAT_CLASSES: usize = 5;
 
 /// Cause of a pipeline squash.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -79,6 +85,24 @@ pub struct CoreStats {
     /// Distribution of per-atomic load_lock-issue → store_unlock-perform
     /// windows (the population whose sum is `atomic_exec_cycles`).
     pub atomic_exec_hist: Hist,
+    /// Top-down cycle accounting: every powered cycle attributed to
+    /// exactly one taxonomy leaf. Invariant: `cpi.total() == cycles`.
+    pub cpi: CpiStack,
+    /// Σ cycles atomics spent acquiring the cache-line lock after the
+    /// fill arrived at the directory side (exec minus transfer, park and
+    /// local execute). Part of the atomic-lifetime split:
+    /// `atomic_exec_cycles == acquire + Σ xfer + park + local` for
+    /// cache-served atomics (forwarded atomics contribute only `local`).
+    pub atomic_lock_acquire_cycles: u64,
+    /// Σ remote-line transfer cycles per `LatClass` (NoC injection stamp →
+    /// delivery, from the fill response), indexed by `LatClass::index()`.
+    pub atomic_xfer_cycles: [u64; LAT_CLASSES],
+    /// Σ cycles atomics' fill requests sat parked behind a busy directory
+    /// entry before being granted.
+    pub atomic_dir_park_cycles: u64,
+    /// Σ cycles from lock acquisition to `store_unlock` perform (the local
+    /// execute portion of the atomic window).
+    pub atomic_local_cycles: u64,
 }
 
 impl CoreStats {
@@ -167,6 +191,13 @@ impl CoreStats {
         self.aq_full_stalls += o.aq_full_stalls;
         self.atomic_drain_hist.merge(&o.atomic_drain_hist);
         self.atomic_exec_hist.merge(&o.atomic_exec_hist);
+        self.cpi.merge(&o.cpi);
+        self.atomic_lock_acquire_cycles += o.atomic_lock_acquire_cycles;
+        for (a, b) in self.atomic_xfer_cycles.iter_mut().zip(o.atomic_xfer_cycles.iter()) {
+            *a += *b;
+        }
+        self.atomic_dir_park_cycles += o.atomic_dir_park_cycles;
+        self.atomic_local_cycles += o.atomic_local_cycles;
     }
 }
 
@@ -219,5 +250,31 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.instructions, 12);
+    }
+
+    #[test]
+    fn merge_sums_cpi_and_atomic_split_element_wise() {
+        use fa_trace::CpiLeaf;
+        let mut a = CoreStats {
+            atomic_lock_acquire_cycles: 3,
+            atomic_xfer_cycles: [1, 0, 0, 2, 0],
+            atomic_dir_park_cycles: 5,
+            atomic_local_cycles: 7,
+            ..CoreStats::default()
+        };
+        a.cpi.add(CpiLeaf::Commit, 4);
+        let mut b = CoreStats {
+            atomic_lock_acquire_cycles: 10,
+            atomic_xfer_cycles: [0, 0, 6, 0, 0],
+            ..CoreStats::default()
+        };
+        b.cpi.add(CpiLeaf::Idle, 9);
+        a.merge(&b);
+        assert_eq!(a.cpi.get(CpiLeaf::Commit), 4);
+        assert_eq!(a.cpi.get(CpiLeaf::Idle), 9);
+        assert_eq!(a.atomic_lock_acquire_cycles, 13);
+        assert_eq!(a.atomic_xfer_cycles, [1, 0, 6, 2, 0]);
+        assert_eq!(a.atomic_dir_park_cycles, 5);
+        assert_eq!(a.atomic_local_cycles, 7);
     }
 }

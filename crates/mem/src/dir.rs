@@ -41,8 +41,10 @@ const ALLOC_POLICY: ProgressPolicy =
 struct Txn {
     /// Bitmask of cores whose ack is awaited.
     awaiting: u64,
-    /// Request to grant when the acks complete (None for pure evictions).
-    grant: Option<(DirReq, LatClass)>,
+    /// Request to grant when the acks complete (None for pure evictions);
+    /// the third element is the park time the request accumulated behind
+    /// this entry before processing began (attribution metadata only).
+    grant: Option<(DirReq, LatClass, Cycle)>,
     /// True for inclusion evictions: free the entry on completion.
     free_after: bool,
     /// Grantee whose fill-completion Unblock is awaited. While set, the
@@ -52,7 +54,7 @@ struct Txn {
 }
 
 impl Txn {
-    fn acks(awaiting: u64, grant: Option<(DirReq, LatClass)>, free_after: bool) -> Txn {
+    fn acks(awaiting: u64, grant: Option<(DirReq, LatClass, Cycle)>, free_after: bool) -> Txn {
         Txn { awaiting, grant, free_after, awaiting_unblock: None }
     }
 
@@ -70,8 +72,10 @@ struct DirEntry {
     excl: Option<CoreId>,
     /// Serializing transaction.
     busy: Option<Txn>,
-    /// Requests parked behind `busy`.
-    parked: VecDeque<DirReq>,
+    /// Requests parked behind `busy`, each stamped with its arrival cycle
+    /// so the eventual grant can report the park duration (the stamp is
+    /// attribution metadata — protocol logic never reads it).
+    parked: VecDeque<(DirReq, Cycle)>,
 }
 
 impl DirEntry {
@@ -237,8 +241,9 @@ impl Directory {
             if e.busy.is_some() {
                 break;
             }
-            let Some(req) = e.parked.pop_front() else { break };
-            self.process_on_idle_entry(req, out);
+            let Some((req, since)) = e.parked.pop_front() else { break };
+            let waited = self.now.saturating_sub(since);
+            self.process_on_idle_entry(req, waited, out);
         }
     }
 
@@ -255,23 +260,26 @@ impl Directory {
             self.bump_write_epoch(req.line);
             out.push(DirAction::ToL1 {
                 core: req.from,
-                msg: L1Msg::GrantX { line: req.line, class },
+                msg: L1Msg::GrantX { line: req.line, class, park: 0 },
                 extra: self.dir_lat + self.class_extra(class),
             });
             return;
         }
+        let now = self.now;
         let e = self.entries.peek_mut(req.line).expect("peeked non-absent above");
         if e.busy.is_some() {
             self.stat_parked_busy += 1;
-            e.parked.push_back(req);
+            e.parked.push_back((req, now));
             self.trace.record(self.now, TraceEvent::DirPark { line: req.line });
             return;
         }
-        self.process_on_idle_entry(req, out);
+        self.process_on_idle_entry(req, 0, out);
     }
 
-    /// Processes `req` against an existing, idle entry.
-    fn process_on_idle_entry(&mut self, req: DirReq, out: &mut Vec<DirAction>) {
+    /// Processes `req` against an existing, idle entry. `park` is how long
+    /// the request already sat parked behind this entry (0 when served
+    /// directly); it rides along on the eventual grant for attribution.
+    fn process_on_idle_entry(&mut self, req: DirReq, park: Cycle, out: &mut Vec<DirAction>) {
         let dir_lat = self.dir_lat;
         let llc_extra = self.class_extra(LatClass::Llc);
         // Callers guarantee the entry exists and is idle.
@@ -283,7 +291,7 @@ impl Directory {
                     Some(owner) if owner != req.from => {
                         e.busy = Some(Txn::acks(
                             bit(owner),
-                            Some((req, LatClass::Remote)),
+                            Some((req, LatClass::Remote, park)),
                             false,
                         ));
                         self.stat_downgrades_sent += 1;
@@ -304,7 +312,7 @@ impl Directory {
                             self.bump_write_epoch(req.line);
                             out.push(DirAction::ToL1 {
                                 core: req.from,
-                                msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc },
+                                msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc, park },
                                 extra: dir_lat + llc_extra,
                             });
                         } else {
@@ -313,7 +321,7 @@ impl Directory {
                             e.busy = Some(Txn::unblock_of(req.from));
                             out.push(DirAction::ToL1 {
                                 core: req.from,
-                                msg: L1Msg::GrantS { line: req.line, class: LatClass::Llc },
+                                msg: L1Msg::GrantS { line: req.line, class: LatClass::Llc, park },
                                 extra: dir_lat + llc_extra,
                             });
                         }
@@ -329,12 +337,12 @@ impl Directory {
                     self.bump_write_epoch(req.line);
                     out.push(DirAction::ToL1 {
                         core: req.from,
-                        msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc },
+                        msg: L1Msg::GrantX { line: req.line, class: LatClass::Llc, park },
                         extra: dir_lat + llc_extra,
                     });
                 } else {
                     let class = if e.excl.is_some() { LatClass::Remote } else { LatClass::Llc };
-                    e.busy = Some(Txn::acks(others, Some((req, class)), false));
+                    e.busy = Some(Txn::acks(others, Some((req, class, park)), false));
                     for c in cores_in(others) {
                         self.stat_invals_sent += 1;
                         out.push(DirAction::ToL1 {
@@ -500,14 +508,17 @@ impl Directory {
         let txn = e.busy.take().expect("complete without txn");
         debug_assert_eq!(txn.awaiting, 0);
         if txn.free_after {
+            // Parked requests restart from scratch via Redispatch; their
+            // park stamps are dropped, so park attribution undercounts
+            // across inclusion evictions (rare, and an undercount only).
             let parked = std::mem::take(&mut e.parked);
             self.entries.remove(line);
-            for req in parked {
+            for (req, _) in parked {
                 out.push(DirAction::Redispatch(req));
             }
             return;
         }
-        if let Some((req, class)) = txn.grant {
+        if let Some((req, class, park)) = txn.grant {
             match req.kind {
                 DirReqKind::GetX => {
                     e.excl = Some(req.from);
@@ -516,7 +527,7 @@ impl Directory {
                     self.bump_write_epoch(line);
                     out.push(DirAction::ToL1 {
                         core: req.from,
-                        msg: L1Msg::GrantX { line, class },
+                        msg: L1Msg::GrantX { line, class, park },
                         extra: dir_lat + self.class_extra(class),
                     });
                 }
@@ -529,7 +540,7 @@ impl Directory {
                         self.bump_write_epoch(line);
                         out.push(DirAction::ToL1 {
                             core: req.from,
-                            msg: L1Msg::GrantX { line, class },
+                            msg: L1Msg::GrantX { line, class, park },
                             extra: dir_lat + self.class_extra(class),
                         });
                     } else {
@@ -538,7 +549,7 @@ impl Directory {
                         e.busy = Some(Txn::unblock_of(req.from));
                         out.push(DirAction::ToL1 {
                             core: req.from,
-                            msg: L1Msg::GrantS { line, class },
+                            msg: L1Msg::GrantS { line, class, park },
                             extra: dir_lat + self.class_extra(class),
                         });
                     }
@@ -574,6 +585,14 @@ impl Directory {
     /// True if the directory tracks `line` at all.
     pub fn has_entry(&self, line: Line) -> bool {
         self.entries.peek(line).is_some()
+    }
+
+    /// True when `core` has a request polling for directory-entry
+    /// allocation (an outstanding `dir-alloc` retry site). Pure read over
+    /// the progress guard's attempt table — used by the cycle-accounting
+    /// classifier, never by protocol logic.
+    pub(crate) fn core_alloc_waiting(&self, core: CoreId) -> bool {
+        self.alloc_guard.keys().any(|(c, _)| *c == core)
     }
 
     /// Lines whose entries have a transaction in flight, in deterministic

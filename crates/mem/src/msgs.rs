@@ -76,6 +76,14 @@ pub enum CoreResp {
         /// (lock-intent reads). If the requesting micro-op was squashed
         /// meanwhile, the core must release the lock immediately.
         locked: bool,
+        /// Interconnect transfer cycles of the final fill leg (NoC
+        /// injection stamp → delivery; 0 for local hits). Passive
+        /// attribution metadata — never consulted by protocol logic.
+        xfer: u64,
+        /// Cycles the underlying directory request spent parked behind a
+        /// busy entry before being granted (0 when served without
+        /// parking). Passive attribution metadata.
+        park: u64,
     },
     /// Write permission is held for this line; the store at the buffer head
     /// may perform.
@@ -124,10 +132,11 @@ pub(crate) struct DirReq {
 /// Messages delivered to a private cache controller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum L1Msg {
-    /// Directory grants shared permission.
-    GrantS { line: Line, class: LatClass },
-    /// Directory grants exclusive permission.
-    GrantX { line: Line, class: LatClass },
+    /// Directory grants shared permission. `park` is how long the request
+    /// sat parked behind a busy directory entry (attribution metadata).
+    GrantS { line: Line, class: LatClass, park: u64 },
+    /// Directory grants exclusive permission. `park` as in `GrantS`.
+    GrantX { line: Line, class: LatClass, park: u64 },
     /// Invalidate `line` (remote GetX or directory eviction); reply InvAck.
     Inv { line: Line },
     /// Downgrade `line` M/E → S (remote GetS); reply DownAck.

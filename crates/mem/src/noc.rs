@@ -293,6 +293,9 @@ pub(crate) enum NocEv {
         class: LatClass,
         had_write_perm: bool,
         locked: bool,
+        /// Directory park cycles carried through from the grant
+        /// (attribution metadata for the core's atomic-latency split).
+        park: u64,
     },
     /// Write permission obtained; deliver StoreReady to the core.
     StoreReady { core: CoreId, seq: u64, line: Line },
@@ -359,6 +362,14 @@ pub(crate) trait Interconnect: fmt::Debug + Send {
     /// crossbars are skippable unless fault injection needs per-cycle
     /// storm checks.
     fn fast_forwardable(&self) -> bool;
+
+    /// True while either of `core`'s links (request egress or response
+    /// ingress) has a transmission horizon past `now` — i.e. the core's
+    /// traffic is queued behind link serialization. Pure read used by the
+    /// cycle-accounting layer; the ideal crossbar never backpressures.
+    fn core_backpressured(&self, _core: usize, _now: Cycle) -> bool {
+        false
+    }
 
     /// Statistics snapshot at cycle `now`.
     fn stats(&self, now: Cycle) -> NocStats;
@@ -620,6 +631,11 @@ impl Interconnect for ContendedXbar {
         !self.chaos.enabled()
     }
 
+    fn core_backpressured(&self, core: usize, now: Cycle) -> bool {
+        self.req_links.get(core).is_some_and(|l| l.busy_until > now)
+            || self.resp_links.get(core).is_some_and(|l| l.busy_until > now)
+    }
+
     fn stats(&self, now: Cycle) -> NocStats {
         NocStats {
             policy: XbarPolicy::Contended,
@@ -653,7 +669,7 @@ mod tests {
     }
 
     fn grant(core: u16, class: LatClass) -> NocEv {
-        NocEv::ToL1(CoreId(core), L1Msg::GrantS { line: 0x100, class })
+        NocEv::ToL1(CoreId(core), L1Msg::GrantS { line: 0x100, class, park: 0 })
     }
 
     fn drain_times(x: &mut dyn Interconnect, horizon: Cycle) -> Vec<Cycle> {
@@ -758,6 +774,21 @@ mod tests {
             assert_eq!(x.next_at(), Some(7));
             assert_eq!(x.stats(10).net_messages, 0, "redispatch is not a network message");
         }
+    }
+
+    #[test]
+    fn backpressure_probe_tracks_link_horizons() {
+        let mut ideal = IdealXbar::new(8, quiet_chaos());
+        ideal.send(0, 0, req(0));
+        assert!(!ideal.core_backpressured(0, 0), "ideal xbar never backpressures");
+
+        let cfg = MemConfig { noc: NocConfig::contended(1), ..MemConfig::default() };
+        let mut x = ContendedXbar::new(&cfg, 2, quiet_chaos());
+        x.send(0, 0, grant(0, LatClass::Mem));
+        assert!(x.core_backpressured(0, 0), "resp link busy while the grant serializes");
+        assert!(!x.core_backpressured(1, 0), "other cores' links are idle");
+        let last = *drain_times(&mut x, 300).last().expect("grant delivers");
+        assert!(!x.core_backpressured(0, last), "horizon passed, probe clears");
     }
 
     #[test]

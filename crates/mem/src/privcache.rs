@@ -88,6 +88,9 @@ pub(crate) struct StalledFill {
     pub line: Line,
     pub excl: bool,
     pub class: LatClass,
+    /// Directory park time carried on the grant (attribution metadata,
+    /// threaded through to the eventual `ReadDone`).
+    pub park: u64,
     /// Cycle the fill first stalled (starvation accounting).
     pub since: Cycle,
     /// Earliest cycle the next retry may run (exponential backoff, computed
@@ -103,7 +106,9 @@ pub(crate) struct StalledFill {
 /// network-agnostic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Action {
-    /// Deliver a read response to the core after `delay` cycles.
+    /// Deliver a read response to the core after `delay` cycles. `park` is
+    /// the directory park time the underlying request accumulated
+    /// (attribution metadata; 0 for local hits).
     ReadDone {
         delay: Cycle,
         seq: u64,
@@ -111,6 +116,7 @@ pub(crate) enum Action {
         class: LatClass,
         had_write_perm: bool,
         locked: bool,
+        park: u64,
     },
     /// Deliver a store-ready response after `delay` cycles.
     StoreReady { delay: Cycle, seq: u64, line: Line },
@@ -273,6 +279,7 @@ impl PrivCache {
                 class,
                 had_write_perm: had_wp,
                 locked: lock_intent,
+                park: 0,
             });
             return ReqOutcome::Accepted;
         }
@@ -480,8 +487,8 @@ impl PrivCache {
                 };
                 out.push(Action::ToDir(DirMsg::DownAck { from: self.id, line, had_line: had }));
             }
-            L1Msg::GrantS { line, class } => self.on_grant(line, false, class, out),
-            L1Msg::GrantX { line, class } => self.on_grant(line, true, class, out),
+            L1Msg::GrantS { line, class, park } => self.on_grant(line, false, class, park, out),
+            L1Msg::GrantX { line, class, park } => self.on_grant(line, true, class, park, out),
         }
     }
 
@@ -489,14 +496,15 @@ impl PrivCache {
         self.stalled_fills.iter().any(|f| f.line == line)
     }
 
-    fn on_grant(&mut self, line: Line, excl: bool, class: LatClass, out: &mut Vec<Action>) {
+    fn on_grant(&mut self, line: Line, excl: bool, class: LatClass, park: u64, out: &mut Vec<Action>) {
         crate::trace(line, || format!("{:?} Grant excl={excl}", self.id));
-        if !self.try_fill(line, excl, class, out) {
+        if !self.try_fill(line, excl, class, park, out) {
             self.stat_fill_stalled += 1;
             self.stalled_fills.push_back(StalledFill {
                 line,
                 excl,
                 class,
+                park,
                 since: self.now,
                 next_retry: self.now,
             });
@@ -523,7 +531,7 @@ impl PrivCache {
                 still_stalled.push_back(f);
                 continue;
             }
-            if self.try_fill(f.line, f.excl, f.class, out) {
+            if self.try_fill(f.line, f.excl, f.class, f.park, out) {
                 self.fill_guard.note_success(f.line);
                 let waited = now.saturating_sub(f.since);
                 self.hist_fill_stall.record(waited);
@@ -549,7 +557,14 @@ impl PrivCache {
         self.stalled_fills = still_stalled;
     }
 
-    fn try_fill(&mut self, line: Line, excl: bool, class: LatClass, out: &mut Vec<Action>) -> bool {
+    fn try_fill(
+        &mut self,
+        line: Line,
+        excl: bool,
+        class: LatClass,
+        park: u64,
+        out: &mut Vec<Action>,
+    ) -> bool {
         if !self.l2.contains(line) {
             let filled = if excl { Mesi::E } else { Mesi::S };
             let locks = &self.locks;
@@ -609,6 +624,7 @@ impl PrivCache {
                         class,
                         had_write_perm: false,
                         locked: lock_intent,
+                        park,
                     });
                 }
                 Pending::Store { seq } => {
@@ -703,9 +719,9 @@ mod tests {
 
     fn grant(c: &mut PrivCache, line: Line, excl: bool, out: &mut Vec<Action>) {
         let msg = if excl {
-            L1Msg::GrantX { line, class: LatClass::Mem }
+            L1Msg::GrantX { line, class: LatClass::Mem, park: 0 }
         } else {
-            L1Msg::GrantS { line, class: LatClass::Mem }
+            L1Msg::GrantS { line, class: LatClass::Mem, park: 0 }
         };
         c.handle_ext(msg, out);
     }

@@ -150,6 +150,12 @@ impl<K: Eq + Hash + Copy> ProgressGuard<K> {
     pub fn worst_outstanding(&self) -> u64 {
         self.attempts.values().copied().max().unwrap_or(0)
     }
+
+    /// Iterates the resources with outstanding failed attempts (pure
+    /// read; arbitrary order — callers must not depend on it).
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.attempts.keys()
+    }
 }
 
 /// Machine-wide escalation thresholds, carried in

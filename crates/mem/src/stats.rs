@@ -36,6 +36,10 @@ pub struct CoreMemStats {
     pub prefetches: u64,
     /// Stores performed (backing store writes).
     pub stores_performed: u64,
+    /// Σ interconnect transfer cycles of demand-read fills, per
+    /// [`LatClass`](crate::msgs::LatClass) index (the memory-side view of
+    /// where fill latency went; local L1 hits contribute 0).
+    pub fill_cycles_by_class: [u64; 5],
     /// Distribution of cycles fills spent stalled on an all-ways-locked
     /// set (one sample per stalled fill, recorded at placement).
     pub fill_stall_hist: Hist,

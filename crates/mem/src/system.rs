@@ -237,7 +237,12 @@ impl MemorySystem {
                 self.caches[core.index()].handle_ext(msg, &mut acts);
                 self.apply_cache_actions(core.index(), acts);
             }
-            NocEv::ReadDone { core, seq, addr, class, had_write_perm, locked } => {
+            NocEv::ReadDone { core, seq, addr, class, had_write_perm, locked, park } => {
+                // Interconnect transfer cycles of the final fill leg:
+                // injection stamp → delivery. Zero for local hits under a
+                // quiet network (the stamp excludes the sender-side cache
+                // pipeline delay).
+                let xfer = self.now.saturating_sub(sent);
                 let c = &mut self.stats.cores[core.index()];
                 match class {
                     LatClass::L1 => c.l1_hits += 1,
@@ -246,6 +251,7 @@ impl MemorySystem {
                     LatClass::Mem => c.mem_accesses += 1,
                     LatClass::Remote => c.remote_transfers += 1,
                 }
+                c.fill_cycles_by_class[class.index()] += xfer;
                 let value = self.backing.load(addr);
                 self.trace(fa_isa::line_of(addr), || {
                     format!("{core:?} ReadDone seq={seq} addr={addr:#x} val={value} locked={locked}")
@@ -265,6 +271,8 @@ impl MemorySystem {
                     class,
                     had_write_perm,
                     locked,
+                    xfer,
+                    park,
                 });
             }
             NocEv::StoreReady { core, seq, line } => {
@@ -319,7 +327,7 @@ impl MemorySystem {
                 }
             }
             match a {
-                Action::ReadDone { delay, seq, addr, class, had_write_perm, locked } => {
+                Action::ReadDone { delay, seq, addr, class, had_write_perm, locked, park } => {
                     self.noc.send(
                         self.now,
                         delay,
@@ -330,6 +338,7 @@ impl MemorySystem {
                             class,
                             had_write_perm,
                             locked,
+                            park,
                         },
                     );
                 }
@@ -528,6 +537,20 @@ impl MemorySystem {
         for c in &mut self.caches {
             c.set_now(cycle);
         }
+    }
+
+    /// True while `core`'s interconnect links are serializing queued
+    /// traffic (contended crossbar only). Pure read for the cycle-
+    /// accounting layer — never perturbs the run.
+    pub fn core_backpressured(&self, core: CoreId) -> bool {
+        self.noc.core_backpressured(core.index(), self.now)
+    }
+
+    /// True while `core` has a directory request waiting on entry
+    /// allocation (the `dir-alloc` progress site). Pure read for the
+    /// cycle-accounting layer — never perturbs the run.
+    pub fn core_alloc_waiting(&self, core: CoreId) -> bool {
+        self.dir.core_alloc_waiting(core)
     }
 
     /// Checks every memory-side forward-progress site against the

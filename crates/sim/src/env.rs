@@ -227,6 +227,16 @@ pub fn checkpoint() -> Option<String> {
     var("FA_CHECKPOINT")
 }
 
+/// The baseline sweep report for the differential bottleneck report
+/// (`FA_REPORT_BASELINE`): the path of a previously written
+/// `BENCH_sweep.json` to diff the current one against. Any non-blank
+/// string is a valid path; `None` means no baseline was named, which the
+/// `report` bin treats as a configuration error (it has nothing to diff
+/// without one, unless a positional baseline argument is given).
+pub fn report_baseline() -> Option<String> {
+    var("FA_REPORT_BASELINE")
+}
+
 /// Parses one `FA_PROGRESS` spec: `off`, `on` (default thresholds), or
 /// `on:<n>` — escalation on with both the core-commit stall threshold and
 /// the per-site retry threshold tightened to `n` cycles/attempts (the NoC
@@ -363,6 +373,16 @@ mod tests {
         assert_eq!(retries(), 1, "default is one retry");
         std::env::set_var("FA_TEST_ENV_CKPT", "  /tmp/journal  ");
         assert_eq!(var("FA_TEST_ENV_CKPT").as_deref(), Some("/tmp/journal"));
+    }
+
+    #[test]
+    fn report_baseline_reads_fa_report_baseline() {
+        // No other test touches this variable, so the sequence is safe
+        // under parallel test execution.
+        assert_eq!(report_baseline(), None);
+        std::env::set_var("FA_REPORT_BASELINE", "  base.json  ");
+        assert_eq!(report_baseline().as_deref(), Some("base.json"));
+        std::env::remove_var("FA_REPORT_BASELINE");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use sweep::{
 // The trace layer's user-facing types, re-exported so binaries configure
 // tracing without a direct fa-trace dependency.
 pub use fa_trace::{
-    flight_json, validate_chrome_trace, write_id, write_id_parts, CheckMode, DataEvent,
-    FlightEntry, Hist, SerEvent, TraceConfig, TraceMode, WRITE_ID_INIT,
+    flight_json, json_object, json_u64_array, validate_chrome_trace, write_id, write_id_parts,
+    CheckMode, CpiLeaf, CpiStack, DataEvent, FlightEntry, Hist, SerEvent, TraceConfig, TraceMode,
+    CPI_LEAVES, WRITE_ID_INIT,
 };

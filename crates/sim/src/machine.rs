@@ -717,6 +717,89 @@ mod tests {
     }
 
     #[test]
+    fn cpi_stack_conserves_cycles_across_policies_and_nocs() {
+        // The one-leaf-per-cycle invariant: for every policy, on both
+        // crossbars, every core's leaf sum equals its cycle count exactly.
+        use fa_trace::CpiLeaf;
+        for policy in [
+            AtomicPolicy::FencedBaseline,
+            AtomicPolicy::FencedSpec,
+            AtomicPolicy::Free,
+            AtomicPolicy::FreeFwd,
+        ] {
+            for contended in [false, true] {
+                let mut cfg = MachineConfig {
+                    core: CoreConfig::default().with_policy(policy),
+                    ..MachineConfig::default()
+                };
+                if contended {
+                    cfg.mem.noc = fa_mem::NocConfig::contended(1);
+                }
+                let mut m =
+                    Machine::new(cfg, vec![counter_prog(30); 2], GuestMem::new(1 << 16));
+                let r = m.run(2_000_000).expect("quiesce");
+                for (i, c) in r.per_core.iter().enumerate() {
+                    assert_eq!(
+                        c.cpi.total(),
+                        c.cycles,
+                        "{policy:?} contended={contended} core {i}: leaf sum != cycles"
+                    );
+                    assert!(
+                        c.cpi.get(CpiLeaf::Commit) > 0,
+                        "{policy:?} contended={contended} core {i}: no commit cycles?"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cpi_conservation_holds_through_fast_forwarded_sleep() {
+        // Fast-forwarded quiescent spans are credited to the idle leaf; the
+        // invariant must hold bit-exactly with the fast paths on and off,
+        // including the span the setter's 20k-cycle start offset creates.
+        use fa_trace::CpiLeaf;
+        for fast in [false, true] {
+            let (r, flag) = run_pair(fast, vec![0, 20_000]);
+            assert_eq!(flag, 1);
+            for (i, c) in r.per_core.iter().enumerate() {
+                assert_eq!(c.cpi.total(), c.cycles, "fast={fast} core {i}");
+            }
+            let idle = r.per_core[0].cpi.get(CpiLeaf::Idle);
+            assert!(idle > 10_000, "waiter's sleep span must land on idle, got {idle}");
+        }
+    }
+
+    #[test]
+    fn atomic_latency_split_sums_to_exec_exactly() {
+        // acquire + transfer + park + local == exec for committed atomics,
+        // by construction (the split is staged on the AQ entry and folded
+        // in only at store_unlock drain).
+        for policy in [AtomicPolicy::FencedBaseline, AtomicPolicy::Free, AtomicPolicy::FreeFwd]
+        {
+            let cfg = MachineConfig {
+                core: CoreConfig::default().with_policy(policy),
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::new(cfg, vec![counter_prog(50); 2], GuestMem::new(1 << 16));
+            let r = m.run(2_000_000).expect("quiesce");
+            let mut saw_atomics = false;
+            for (i, c) in r.per_core.iter().enumerate() {
+                let split = c.atomic_lock_acquire_cycles
+                    + c.atomic_xfer_cycles.iter().sum::<u64>()
+                    + c.atomic_dir_park_cycles
+                    + c.atomic_local_cycles;
+                assert_eq!(
+                    split, c.atomic_exec_cycles,
+                    "{policy:?} core {i}: split must sum to exec"
+                );
+                saw_atomics |= c.atomic_exec_cycles > 0;
+            }
+            assert!(saw_atomics, "{policy:?}: counter kernel must execute atomics");
+        }
+    }
+
+    #[test]
     fn amortized_audit_sweeps_match_per_cycle_results() {
         let mut every = MachineConfig::default();
         every.mem.audit = fa_mem::AuditConfig::on();

@@ -369,14 +369,165 @@ impl Hist {
     /// index alone identifies the range).
     pub fn json(&self) -> String {
         let last = self.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
-        let buckets: Vec<String> = self.buckets[..last].iter().map(u64::to_string).collect();
-        format!(
-            "{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}",
-            self.count,
-            self.sum,
-            self.max,
-            buckets.join(",")
-        )
+        json_object(&[
+            ("count", self.count.to_string()),
+            ("sum", self.sum.to_string()),
+            ("max", self.max.to_string()),
+            ("buckets", json_u64_array(&self.buckets[..last])),
+        ])
+    }
+}
+
+/// Hand-rolls a JSON object from `(key, rendered-value)` pairs — the one
+/// serializer shared by every stats emitter ([`Hist::json`],
+/// [`CpiStack::json`], the bench sweep's per-row blocks) so the emission
+/// discipline lives in one place. Values are spliced verbatim: callers
+/// pass already-rendered JSON (numbers, arrays, nested objects).
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Hand-rolls a JSON array of integers (helper for [`json_object`] values).
+pub fn json_u64_array(vals: &[u64]) -> String {
+    let body: Vec<String> = vals.iter().map(u64::to_string).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Number of leaves in the cycle-accounting taxonomy.
+pub const CPI_LEAVES: usize = 12;
+
+/// One leaf of the top-down cycle-accounting taxonomy: every core-cycle
+/// is attributed to *exactly one* of these by the core's per-cycle
+/// classifier (see `fa-core`), so the per-core leaf sums are conserved —
+/// `sum(leaves) == CoreStats::cycles` exactly, fast-forwarded spans
+/// included.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CpiLeaf {
+    /// At least one µop retired this cycle.
+    Commit,
+    /// ROB non-empty but nothing committed and no backend stall
+    /// identified: the frontend/scheduler is the bottleneck.
+    Issue,
+    /// ROB empty: the core is starved for fetched work.
+    FetchStarved,
+    /// Fetch blocked because the ROB is full.
+    RobFull,
+    /// Fetch blocked on LSQ occupancy (or a full atomic queue).
+    LsqFull,
+    /// The oldest µop is a load waiting on a cache fill.
+    LoadFill,
+    /// Stalled draining the store buffer (baseline atomics wait for an
+    /// empty SB before `load_lock` may issue or commit).
+    SbDrain,
+    /// A standalone fence at the ROB head waiting for the SB to drain.
+    FenceDrain,
+    /// The oldest µop is a `load_lock` waiting to acquire its cache-line
+    /// lock (remote transfer or contention on the lock itself).
+    AtomicLockWait,
+    /// The oldest memory µop is stuck behind directory-entry allocation.
+    DirAllocWait,
+    /// The oldest memory µop is waiting while this core's interconnect
+    /// links are backpressured.
+    NocBackpressure,
+    /// Asleep (MonitorWait) or quiescent — including fast-forwarded
+    /// spans, credited to keep the accounting exact.
+    Idle,
+}
+
+impl CpiLeaf {
+    /// Every leaf, in stable emission order.
+    pub const ALL: [CpiLeaf; CPI_LEAVES] = [
+        CpiLeaf::Commit,
+        CpiLeaf::Issue,
+        CpiLeaf::FetchStarved,
+        CpiLeaf::RobFull,
+        CpiLeaf::LsqFull,
+        CpiLeaf::LoadFill,
+        CpiLeaf::SbDrain,
+        CpiLeaf::FenceDrain,
+        CpiLeaf::AtomicLockWait,
+        CpiLeaf::DirAllocWait,
+        CpiLeaf::NocBackpressure,
+        CpiLeaf::Idle,
+    ];
+
+    /// Index into [`CpiStack::leaves`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (JSON key, report row label).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiLeaf::Commit => "commit",
+            CpiLeaf::Issue => "issue",
+            CpiLeaf::FetchStarved => "fetch_starved",
+            CpiLeaf::RobFull => "rob_full",
+            CpiLeaf::LsqFull => "lsq_full",
+            CpiLeaf::LoadFill => "load_fill",
+            CpiLeaf::SbDrain => "sb_drain",
+            CpiLeaf::FenceDrain => "fence_drain",
+            CpiLeaf::AtomicLockWait => "atomic_lock_wait",
+            CpiLeaf::DirAllocWait => "dir_alloc_wait",
+            CpiLeaf::NocBackpressure => "noc_backpressure",
+            CpiLeaf::Idle => "idle",
+        }
+    }
+}
+
+/// A CPI stack: one cycle counter per taxonomy leaf. Same merge
+/// discipline as [`Hist`] — element-wise addition, associative and
+/// commutative, so sweep workers can merge in any order and produce
+/// bit-identical totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Cycles per leaf, indexed by [`CpiLeaf::index`].
+    pub leaves: [u64; CPI_LEAVES],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Attributes one cycle to `leaf`.
+    pub fn record(&mut self, leaf: CpiLeaf) {
+        self.leaves[leaf.index()] += 1;
+    }
+
+    /// Attributes `n` cycles to `leaf` (fast-forward crediting).
+    pub fn add(&mut self, leaf: CpiLeaf, n: u64) {
+        self.leaves[leaf.index()] += n;
+    }
+
+    /// Cycles attributed to `leaf`.
+    pub fn get(&self, leaf: CpiLeaf) -> u64 {
+        self.leaves[leaf.index()]
+    }
+
+    /// Element-wise merge; deterministic under any merge order.
+    pub fn merge(&mut self, other: &CpiStack) {
+        for (a, b) in self.leaves.iter_mut().zip(other.leaves.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Total attributed cycles — the conservation invariant compares this
+    /// against the core's cycle count.
+    pub fn total(&self) -> u64 {
+        self.leaves.iter().sum()
+    }
+
+    /// Hand-rolled JSON object keyed by leaf name, every leaf present
+    /// (zero leaves included so rows from different runs diff cleanly).
+    pub fn json(&self) -> String {
+        let fields: Vec<(&str, String)> = CpiLeaf::ALL
+            .iter()
+            .map(|l| (l.name(), self.leaves[l.index()].to_string()))
+            .collect();
+        json_object(&fields)
     }
 }
 
@@ -955,6 +1106,53 @@ mod tests {
         h.record(1);
         assert_eq!(h.json(), "{\"count\":1,\"sum\":1,\"max\":1,\"buckets\":[0,1]}");
         assert_eq!(Hist::new().json(), "{\"count\":0,\"sum\":0,\"max\":0,\"buckets\":[]}");
+    }
+
+    #[test]
+    fn cpi_stack_merge_is_order_independent() {
+        let mut a = CpiStack::new();
+        a.record(CpiLeaf::Commit);
+        a.add(CpiLeaf::Idle, 100);
+        let mut b = CpiStack::new();
+        b.record(CpiLeaf::FenceDrain);
+        b.record(CpiLeaf::Commit);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 103);
+        assert_eq!(ab.get(CpiLeaf::Commit), 2);
+    }
+
+    #[test]
+    fn cpi_stack_json_names_every_leaf() {
+        let mut s = CpiStack::new();
+        s.add(CpiLeaf::SbDrain, 7);
+        let j = s.json();
+        for leaf in CpiLeaf::ALL {
+            assert!(j.contains(&format!("\"{}\":", leaf.name())), "missing {}", leaf.name());
+        }
+        assert!(j.contains("\"sb_drain\":7"));
+        assert!(j.starts_with("{\"commit\":0,") && j.ends_with("\"idle\":0}"));
+    }
+
+    #[test]
+    fn cpi_leaf_indices_match_emission_order() {
+        for (i, leaf) in CpiLeaf::ALL.iter().enumerate() {
+            assert_eq!(leaf.index(), i);
+        }
+    }
+
+    #[test]
+    fn json_object_splices_fields_verbatim() {
+        assert_eq!(json_object(&[]), "{}");
+        assert_eq!(
+            json_object(&[("a", "1".to_string()), ("b", "[2,3]".to_string())]),
+            "{\"a\":1,\"b\":[2,3]}"
+        );
+        assert_eq!(json_u64_array(&[]), "[]");
+        assert_eq!(json_u64_array(&[1, 2]), "[1,2]");
     }
 
     #[test]
