@@ -84,6 +84,34 @@ grep '"kernel":' target/BENCH_sweep_checked.json | sed 's/,"checked":true//' \
     > target/sweep_rows_checked.txt
 grep '"kernel":' target/BENCH_sweep.json > target/sweep_rows_off.txt
 diff target/sweep_rows_checked.txt target/sweep_rows_off.txt
+# Model-transparency gate: FA_MODEL=tso must reproduce the default rows
+# bit-for-bit (no tag, no drift) — the weak-memory frontend is passive on
+# TSO — while FA_MODEL=weak must tag every row with the model marker.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_BENCH_JSON=target/BENCH_sweep_tso.json FA_MODEL=tso \
+    ./target/release/sweep
+grep '"kernel":' target/BENCH_sweep_tso.json > target/sweep_rows_tso.txt
+diff target/sweep_rows_tso.txt target/sweep_rows_off.txt
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 \
+    FA_WORKLOADS=TATP,PC FA_POLICIES=baseline,FreeAtomics+Fwd \
+    FA_PRESETS=tiny FA_BENCH_JSON=target/BENCH_sweep_weak.json FA_MODEL=weak \
+    ./target/release/sweep
+grep -c ',"model":"weak"' target/BENCH_sweep_weak.json | grep -qx 4
+# Weak-model conformance smoke: the same full-execution grid on the
+# acquire/release-native machine, validated against the parameterized
+# weak axioms (and the memlog litmus suite already ran under
+# `cargo test` above).
+FA_CORES=2 FA_SCALE=0.05 FA_WORKLOADS=TATP,PC FA_MODEL=weak \
+    cargo run -q --release -p fa-bench --bin conformance > target/conformance_weak.txt
+grep -q 'violations: 0, other failures: 0' target/conformance_weak.txt
+# Weak-baseline figure smoke: TSO + weak grids, residual-speedup table.
+FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=TATP,PC \
+    FA_BENCH_JSON=target/BENCH_weak_baseline.json \
+    cargo run -q --release -p fa-bench --bin fig_weak_baseline \
+    > target/weak_baseline.txt
+grep -q 'residual' target/weak_baseline.txt
+grep -q ',"model":"weak"' target/BENCH_weak_baseline.json
 # Network-sensitivity smoke: ideal vs contended crossbar on one kernel.
 # Contended rows must carry the per-link `net` stats block.
 FA_CORES=2 FA_SCALE=0.05 FA_RUNS=2 FA_DROP=0 FA_WORKLOADS=PC \

@@ -14,7 +14,9 @@
 //! Sized by the usual `FA_CORES` / `FA_SCALE` / `FA_WORKLOADS` knobs (small
 //! defaults: 4 cores, scale 0.1). `FA_CHECK` defaults to `tso` here —
 //! setting it to `off` reduces the bin to a plain smoke run, which is only
-//! useful for measuring checker overhead. Each cell runs under
+//! useful for measuring checker overhead. `FA_MODEL=weak` runs the same
+//! grid on the acquire/release-native machine with the parameterized weak
+//! axioms armed instead of the TSO ones. Each cell runs under
 //! [`fa_sim::supervise`] with the `FA_RETRIES` / `FA_CELL_BUDGET`
 //! watchdogs, so a panicking or wedged cell is counted as a failure
 //! instead of killing or hanging the sweep.
@@ -66,6 +68,7 @@ fn main() {
                 for (chaos_name, chaos_seed) in &chaos {
                     let mut cfg = base.clone().with_check(opts.check);
                     cfg.core.policy = policy;
+                    cfg.core.model = opts.model;
                     cfg.mem.noc = *noc;
                     cfg.mem.progress = opts.progress;
                     if let Some(seed) = chaos_seed {

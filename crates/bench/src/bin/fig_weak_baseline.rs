@@ -1,0 +1,13 @@
+//! Regenerates the **weak-baseline experiment**: FreeFwd's residual
+//! speedup over an acquire/release-native (ARM-like weak) baseline,
+//! alongside its speedup over the paper's fenced x86-TSO baseline.
+
+// Non-test code must justify every panic site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+fn main() {
+    if let Err(e) = fa_bench::figures::fig_weak_baseline(&fa_bench::BenchOpts::from_env()) {
+        eprintln!("fig_weak_baseline failed: {e}");
+        std::process::exit(1);
+    }
+}

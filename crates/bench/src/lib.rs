@@ -17,7 +17,8 @@
 //! | `FA_WORKLOADS` | all | comma-separated subset of workload names |
 //! | `FA_NOC` | `ideal` | interconnect: `ideal`, `contended`, or `contended:<bw>` |
 //! | `FA_TRACE` | `off` | event tracing: `off`, `flight`, or `full[:path]` |
-//! | `FA_CHECK` | `off` | axiomatic TSO conformance checking: `off` or `tso` |
+//! | `FA_CHECK` | `off` | axiomatic conformance checking: `off` or `tso` |
+//! | `FA_MODEL` | `tso` | hardware memory model: `tso` or `weak` |
 //! | `FA_BENCH_JSON` | `BENCH_sweep.json` | sweep-report destination |
 //! | `FA_PROGRESS` | `on` | forward-progress escalation: `off`, `on`, or `on:<stall_cycles>` |
 //! | `FA_RETRIES` | 1 | supervised-cell retries before quarantine |
@@ -43,7 +44,7 @@ use fa_sim::env;
 use fa_sim::error::SimError;
 use fa_sim::machine::{MachineConfig, RunResult};
 use fa_sim::methodology::{measure_parallel, Methodology, MultiRun};
-use fa_sim::{CheckMode, TraceMode};
+use fa_sim::{CheckMode, MemModel, TraceMode};
 use fa_workloads::{suite, WorkloadParams, WorkloadSpec};
 
 /// Experiment sizing, read from the environment.
@@ -76,6 +77,11 @@ pub struct BenchOpts {
     /// validated against the full TSO + RMW-atomicity axioms, with
     /// bit-identical simulation statistics either way.
     pub check: CheckMode,
+    /// Hardware memory model (`FA_MODEL`), applied to every driver run.
+    /// TSO by default, which reproduces the historical rows bit-for-bit
+    /// (ordering annotations are architecturally inert under TSO); `weak`
+    /// selects the ARM-like acquire/release-native baseline.
+    pub model: MemModel,
     /// Forward-progress escalation (`FA_PROGRESS`), applied to every
     /// driver run. On by default with wedge-sized thresholds: stall
     /// counters are unconditional passive statistics, and escalation never
@@ -96,6 +102,7 @@ impl Default for BenchOpts {
             noc: NocConfig::default(),
             trace: TraceMode::Off,
             check: CheckMode::Off,
+            model: MemModel::Tso,
             progress: ProgressConfig::default(),
         }
     }
@@ -121,6 +128,7 @@ impl BenchOpts {
             noc: env::noc_config(),
             trace: env::trace_setting().0,
             check: env::check_setting(),
+            model: env::model_setting(),
             progress: env::progress_setting(),
         }
     }
@@ -158,11 +166,12 @@ impl BenchOpts {
     }
 
     /// `base` specialized for one run under these options: policy, NoC
-    /// model, trace mode, conformance-check mode, and forward-progress
-    /// escalation applied.
+    /// model, trace mode, conformance-check mode, memory model, and
+    /// forward-progress escalation applied.
     pub fn config_for(&self, base: &MachineConfig, policy: AtomicPolicy) -> MachineConfig {
         let mut cfg = base.clone().with_trace(self.trace).with_check(self.check);
         cfg.core.policy = policy;
+        cfg.core.model = self.model;
         cfg.mem.noc = self.noc;
         cfg.mem.progress = self.progress;
         cfg
@@ -292,19 +301,23 @@ mod tests {
             noc: NocConfig::contended(4),
             trace: TraceMode::Flight,
             check: CheckMode::Tso,
+            model: MemModel::Weak,
             ..BenchOpts::default()
         };
         let cfg = opts.config_for(&MachineConfig::default(), AtomicPolicy::FreeFwd);
         assert_eq!(cfg.core.policy, AtomicPolicy::FreeFwd);
+        assert_eq!(cfg.core.model, MemModel::Weak);
         assert_eq!(cfg.mem.noc, NocConfig::contended(4));
         assert!(cfg.mem.progress.enabled, "progress escalation rides along by default");
         assert_eq!(cfg.core.trace.mode, TraceMode::Flight);
         assert_eq!(cfg.mem.trace.mode, TraceMode::Flight);
         assert_eq!(cfg.core.check, CheckMode::Tso);
         assert_eq!(cfg.mem.check, CheckMode::Tso);
-        // Default opts keep checking off (golden stats must not change).
+        // Default opts keep checking off and the model TSO (golden stats
+        // must not change).
         let off = BenchOpts::default().config_for(&MachineConfig::default(), AtomicPolicy::Free);
         assert_eq!(off.core.check, CheckMode::Off);
+        assert_eq!(off.core.model, MemModel::Tso);
     }
 
     #[test]

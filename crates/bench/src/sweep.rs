@@ -282,15 +282,15 @@ pub fn merge_health(into: &mut ProgressStats, h: &ProgressStats) {
 
 /// The campaign fingerprint for the checkpoint journal: an FNV-1a 64 hash
 /// over everything that affects simulated rows — sizing, methodology,
-/// seed, NoC, check mode, progress thresholds, the cycle budget, and the
-/// cell identities — and nothing that does not (worker-thread count, trace
-/// mode, wall-clock budget).
+/// seed, NoC, check mode, memory model, progress thresholds, the cycle
+/// budget, and the cell identities — and nothing that does not
+/// (worker-thread count, trace mode, wall-clock budget).
 pub fn campaign_fingerprint(opts: &BenchOpts, budget_cycles: Option<u64>, cells: &[SweepCell]) -> u64 {
     let mut s = format!(
-        "cores={} scale={:?} runs={} drop={} seed={} noc={:?} check={:?} progress={:?} \
-         budget_cycles={budget_cycles:?};cells:",
+        "cores={} scale={:?} runs={} drop={} seed={} noc={:?} check={:?} model={:?} \
+         progress={:?} budget_cycles={budget_cycles:?};cells:",
         opts.cores, opts.scale, opts.runs, opts.drop_slowest, opts.seed, opts.noc, opts.check,
-        opts.progress
+        opts.model, opts.progress
     );
     for c in cells {
         s.push_str(&c.name());
@@ -327,6 +327,7 @@ fn run_one_cell(
     let summary = meth.summarize(runs)?;
     let mut row = SweepRow::from_result(meth.runs, &CellResult { cell: *cell, summary });
     row.checked = opts.check.on();
+    row.model = opts.model;
     Ok(CellRecord { cycles, instructions, health, row: row.json_full() })
 }
 
@@ -572,11 +573,16 @@ pub struct SweepRow {
     /// [`SweepRow::json_full`] — the `cpistack` and `report` bins read it
     /// back out of `BENCH_sweep.json`.
     pub cpi: RowCpi,
-    /// True when every run behind this row passed the axiomatic TSO
+    /// True when every run behind this row passed the axiomatic
     /// conformance checker (`FA_CHECK=tso`); set by [`SweepReport::new`].
     /// Flagged in `BENCH_sweep.json` but kept out of the golden-stable
     /// [`SweepRow::json`] form.
     pub checked: bool,
+    /// The hardware memory model the row was measured under
+    /// (`FA_MODEL`). Tagged in `BENCH_sweep.json` only when weak — TSO
+    /// rows stay byte-identical to the pre-weak-frontend goldens, which
+    /// the ci transparency gate pins.
+    pub model: fa_sim::MemModel,
 }
 
 impl SweepRow {
@@ -596,6 +602,7 @@ impl SweepRow {
             hists: RowHists::from_run(rep),
             cpi: RowCpi::from_run(rep),
             checked: false,
+            model: fa_sim::MemModel::Tso,
         }
     }
 
@@ -619,9 +626,9 @@ impl SweepRow {
 
     /// [`SweepRow::json`] plus the latency-histogram and cycle-accounting
     /// blocks — the form `BENCH_sweep.json` emits. Checked rows (runs
-    /// validated by the axiomatic TSO checker) additionally carry
-    /// `"checked":true`; unchecked rows stay byte-identical to the
-    /// pre-checker goldens.
+    /// validated by the axiomatic checker) additionally carry
+    /// `"checked":true`, and weak-model rows carry `"model":"weak"`;
+    /// unchecked TSO rows stay byte-identical to the pre-checker goldens.
     pub fn json_full(&self) -> String {
         let mut s = self.json();
         s.pop();
@@ -629,6 +636,9 @@ impl SweepRow {
         let _ = write!(s, ",\"cpi\":{}", self.cpi.json());
         if self.checked {
             s.push_str(",\"checked\":true");
+        }
+        if self.model != fa_sim::MemModel::Tso {
+            let _ = write!(s, ",\"model\":\"{}\"", self.model.name());
         }
         s.push('}');
         s
@@ -721,6 +731,7 @@ impl SweepReport {
             .map(|r| {
                 let mut row = SweepRow::from_result(opts.runs, r);
                 row.checked = opts.check.on();
+                row.model = opts.model;
                 row.json_full()
             })
             .collect();
@@ -864,6 +875,7 @@ mod tests {
             noc: fa_mem::NocConfig::default(),
             trace: fa_sim::TraceMode::Off,
             check: fa_sim::CheckMode::Off,
+            model: fa_sim::MemModel::Tso,
             progress: fa_mem::ProgressConfig::default(),
         }
     }
@@ -997,6 +1009,42 @@ mod tests {
             assert!(!a.contains("\"checked\""));
             assert!(b.ends_with(",\"checked\":true}"), "{b}");
             assert_eq!(*a, b.replace(",\"checked\":true", ""));
+        }
+    }
+
+    #[test]
+    fn weak_sweep_tags_rows_and_tso_rows_stay_untagged() {
+        // FA_MODEL=weak rows carry `"model":"weak"` in the full JSON form
+        // only; TSO rows (the default) never grow a model field, so the
+        // goldens and the ci transparency gate keep working unchanged.
+        use fa_sim::MemModel;
+        let cells = small_grid()[..2].to_vec();
+        let tso_opts = small_opts(1);
+        let weak_opts = BenchOpts { model: MemModel::Weak, ..tso_opts };
+        let (tso, tt) = run_grid(&tso_opts, &cells).expect("tso grid");
+        let (weak, wt) = run_grid(&weak_opts, &cells).expect("weak grid");
+        let tso_rep = SweepReport::new("mdl", &tso_opts, &tso, tt);
+        let weak_rep = SweepReport::new("mdl", &weak_opts, &weak, wt);
+        for (a, b) in tso_rep.row_lines.iter().zip(&weak_rep.row_lines) {
+            assert!(!a.contains("\"model\""), "TSO rows must stay untagged: {a}");
+            assert!(b.ends_with(",\"model\":\"weak\"}"), "{b}");
+        }
+        // The weak machine is a different campaign: resuming a TSO journal
+        // under FA_MODEL=weak must be refused by the fingerprint.
+        assert_ne!(
+            campaign_fingerprint(&tso_opts, None, &cells),
+            campaign_fingerprint(&weak_opts, None, &cells)
+        );
+        // Both models conserve every core cycle in the CPI stack.
+        for r in &weak {
+            let row = SweepRow::from_result(3, r);
+            assert_eq!(
+                row.cpi.stack.total(),
+                row.cpi.core_cycles,
+                "{}/{}: weak runs must conserve cycles",
+                row.kernel,
+                row.policy
+            );
         }
     }
 
@@ -1198,6 +1246,7 @@ mod tests {
             .map(|r| {
                 let mut row = SweepRow::from_result(opts.runs, r);
                 row.checked = opts.check.on();
+                row.model = opts.model;
                 row.json_full()
             })
             .collect()

@@ -29,6 +29,7 @@ fn golden_opts(threads: usize, noc: NocConfig) -> BenchOpts {
         noc,
         trace: fa_sim::TraceMode::Off,
         check: fa_sim::CheckMode::Off,
+        model: fa_sim::MemModel::Tso,
         // Escalation armed even for the goldens: stall counters are passive
         // and thresholds are wedge-sized, so rows must not move.
         progress: fa_mem::ProgressConfig::default(),
@@ -61,6 +62,19 @@ fn ideal_crossbar_reproduces_pre_interconnect_goldens() {
     assert_eq!(got.len(), want.len());
     for (g, w) in got.iter().zip(want) {
         assert_eq!(g, w, "ideal-crossbar row drifted from the pre-interconnect golden");
+    }
+}
+
+#[test]
+fn tso_model_keeps_golden_rows_at_any_thread_count() {
+    // FA_MODEL=tso must be a strict no-op: the ordering-annotation and
+    // model plumbing may not move a single byte of the historical rows,
+    // serial or fanned across workers.
+    let want = rows(&golden_opts(1, NocConfig::default()));
+    for threads in [1, 8] {
+        let mut opts = golden_opts(threads, NocConfig::default());
+        opts.model = fa_sim::MemModel::Tso;
+        assert_eq!(rows(&opts), want, "FA_MODEL=tso rows drifted at threads={threads}");
     }
 }
 

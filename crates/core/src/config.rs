@@ -1,6 +1,6 @@
 //! Core configuration and the atomic RMW execution policies.
 
-use fa_trace::{CheckMode, TraceConfig};
+use fa_trace::{CheckMode, MemModel, TraceConfig};
 use serde::{Deserialize, Serialize};
 
 /// How atomic RMW instructions execute — the paper's iteratively built
@@ -113,6 +113,11 @@ pub struct CoreConfig {
     /// `sim::axiom` checker; collection is passive and never perturbs
     /// simulated state.
     pub check: CheckMode,
+    /// Memory consistency model the frontend implements (default: TSO).
+    /// Under [`MemModel::Weak`] the LSQ/SB rules honour the per-access
+    /// [`fa_isa::MemOrder`] annotations; under TSO the annotations are
+    /// inert and behaviour is bit-identical to the pre-annotation core.
+    pub model: MemModel,
 }
 
 impl Default for CoreConfig {
@@ -139,6 +144,7 @@ impl Default for CoreConfig {
             bp_table_bits: 12,
             trace: TraceConfig::default(),
             check: CheckMode::default(),
+            model: MemModel::default(),
         }
     }
 }
@@ -147,6 +153,12 @@ impl CoreConfig {
     /// Returns a copy with the given policy.
     pub fn with_policy(mut self, policy: AtomicPolicy) -> CoreConfig {
         self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given memory model.
+    pub fn with_model(mut self, model: MemModel) -> CoreConfig {
+        self.model = model;
         self
     }
 }

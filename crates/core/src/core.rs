@@ -17,7 +17,7 @@ use crate::stats::{CoreStats, SquashCause};
 use fa_isa::reg::NUM_REGS;
 use fa_isa::{line_of, Addr, FenceKind, Instr, Program, Reg, Uop, UopKind, Word};
 use fa_mem::{CoreId, CoreNotice, CoreResp, Line, MemorySystem};
-use fa_trace::{write_id, CpiLeaf, DataEvent, TraceBuf, TraceEvent, TraceRecord};
+use fa_trace::{write_id, CpiLeaf, DataEvent, MemModel, MemOrder, TraceBuf, TraceEvent, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -113,6 +113,9 @@ struct SbEntry {
     ll_seq: Option<Seq>,
     /// A GetX for this entry is outstanding.
     acquire_pending: bool,
+    /// The store carries a `SeqCst` annotation (plain stores only): under
+    /// the weak model younger loads may not issue while it waits here.
+    sc: bool,
 }
 
 /// One simulated out-of-order core.
@@ -793,6 +796,12 @@ impl Core {
         if self.blocked_by_fence(seq) {
             return false;
         }
+        // Weak model: an SC store orders younger loads after its perform
+        // (the W→R restoration that makes SC stores Dekker-safe); loads
+        // wait while an older SC store is in flight or buffered.
+        if self.cfg.model == MemModel::Weak && self.blocked_by_sc_store(seq) {
+            return false;
+        }
         // Policy-specific load_lock issue conditions.
         if is_ll && !self.load_lock_may_issue(seq) {
             return false;
@@ -980,6 +989,24 @@ impl Core {
         false
     }
 
+    /// True when an older plain `SeqCst` store is still in the ROB or the
+    /// store buffer (weak model only; store_unlocks are governed by the
+    /// atomic policy's fences instead).
+    fn blocked_by_sc_store(&self, seq: Seq) -> bool {
+        if self.sb.iter().any(|s| s.sc) {
+            return true;
+        }
+        for e in self.rob.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            if matches!(e.uop.kind, UopKind::Store { .. }) && !e.poisoned && e.uop.ord.is_sc() {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Policy gate for issuing a load_lock.
     fn load_lock_may_issue(&self, seq: Seq) -> bool {
         match self.cfg.policy {
@@ -1154,8 +1181,12 @@ impl Core {
                         break;
                     }
                 UopKind::Fence(FenceKind::Standalone)
-                    // MFENCE orders store→load: drain first.
-                    if !self.sb.is_empty() => {
+                    // MFENCE orders store→load: drain first. Under the weak
+                    // model only an SC fence restores W→R; weaker fences
+                    // are pipeline reorder barriers that commit without
+                    // waiting on the store buffer.
+                    if !self.sb.is_empty()
+                        && (self.cfg.model == MemModel::Tso || uop.ord.is_sc()) => {
                         break;
                     }
                 _ => {}
@@ -1182,6 +1213,7 @@ impl Core {
                             addr: head.addr.expect("performed load has an address"),
                             value: head.result,
                             writer: head.writer,
+                            ord: head.uop.ord,
                         });
                     }
                 }
@@ -1224,7 +1256,7 @@ impl Core {
                         self.dlog.push(if is_unlock {
                             DataEvent::StoreUnlock { seq, addr, value }
                         } else {
-                            DataEvent::Store { seq, addr, value }
+                            DataEvent::Store { seq, addr, value, ord: head.uop.ord }
                         });
                     }
                     let entry = SbEntry {
@@ -1235,6 +1267,7 @@ impl Core {
                         is_unlock,
                         ll_seq: if is_unlock { Some(seq - 2) } else { None },
                         acquire_pending: false,
+                        sc: !is_unlock && head.uop.ord.is_sc(),
                     };
                     self.sb.push_back(entry);
                     if self.cfg.store_prefetch_at_commit {
@@ -1253,7 +1286,15 @@ impl Core {
                     } else {
                         self.stats.fences_enforced += 1;
                         if self.cfg.check.on() {
-                            self.dlog.push(DataEvent::Fence { seq });
+                            // Enforced atomic fences are full barriers
+                            // regardless of the RMW's annotation (RMWs are
+                            // pinned to SC strength in both models).
+                            let ord = if kind.is_atomic_fence() {
+                                MemOrder::SeqCst
+                            } else {
+                                head.uop.ord
+                            };
+                            self.dlog.push(DataEvent::Fence { seq, ord });
                         }
                     }
                 }
@@ -1450,17 +1491,54 @@ impl Core {
     /// delivered value may predate the write that took the line — an
     /// unrepaired load→load reordering.
     fn squash_performed_loads_on(&mut self, line: Line, now: u64, mem: &mut MemorySystem) {
+        let weak = self.cfg.model == MemModel::Weak;
         let victim = self
             .rob
             .iter()
             .filter(|e| e.uop.is_load_class() && !e.poisoned && e.fwd_from.is_none())
             .filter(|e| e.mem != MemPhase::Idle || e.done)
-            .find(|e| e.addr.map(|a| line_of(a) == line).unwrap_or(false))
+            .filter(|e| e.addr.map(|a| line_of(a) == line).unwrap_or(false))
+            .find(|e| !weak || self.weak_squash_required(e))
             .map(|e| (e.seq, e.uop.pc, e.uop.slot));
         if let Some((seq, pc, slot)) = victim {
             let first = seq - slot as u64;
             self.squash_from(first, pc, SquashCause::Inval, now, mem);
         }
+    }
+
+    /// Weak-model filter for the invalidation squash: a performed load on
+    /// the invalidated line only *needs* repair if some older load it must
+    /// stay ordered after has not yet performed. That is the case when the
+    /// victim is a `load_lock` (it anchors the RMW's atomicity window), or
+    /// when an older unperformed load is acquire-class, targets the same
+    /// line (per-location coherence / CoRR holds in both models), or has an
+    /// unresolved address (conservatively treated as same-line). Relaxed
+    /// loads with only relaxed older loads keep their value — the R→R
+    /// reordering this exposes is exactly what the weak model permits.
+    fn weak_squash_required(&self, victim: &Entry) -> bool {
+        if matches!(victim.uop.kind, UopKind::LoadLock { .. }) {
+            return true;
+        }
+        let vline = victim.addr.map(line_of);
+        for e in self.rob.iter() {
+            if e.seq >= victim.seq {
+                break;
+            }
+            if !e.uop.is_load_class() || e.poisoned {
+                continue;
+            }
+            if e.mem == MemPhase::Performed || e.done {
+                continue;
+            }
+            if matches!(e.uop.kind, UopKind::LoadLock { .. })
+                || e.uop.ord.is_acquire()
+                || e.addr.is_none()
+                || e.addr.map(line_of) == vline
+            {
+                return true;
+            }
+        }
+        false
     }
 
     // ------------------------------------------------------------- queries

@@ -21,6 +21,7 @@
 //! ```
 
 use crate::instr::{AluOp, Cond, Instr, Operand, RmwOp};
+use crate::order::MemOrder;
 use crate::program::{Program, ValidateProgramError};
 use crate::reg::Reg;
 use std::fmt;
@@ -172,21 +173,45 @@ impl Kasm {
 
     // ---- Memory ----
 
-    /// `dst = mem[base + offset]`
+    /// `dst = mem[base + offset]` (relaxed ordering).
     pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Kasm {
-        self.emit(Instr::Load { dst, base, offset })
+        self.ld_ord(dst, base, offset, MemOrder::Relaxed)
     }
 
-    /// `mem[base + offset] = src`
+    /// `dst = mem[base + offset]` with an explicit ordering annotation.
+    pub fn ld_ord(&mut self, dst: Reg, base: Reg, offset: i64, ord: MemOrder) -> &mut Kasm {
+        self.emit(Instr::Load { dst, base, offset, ord })
+    }
+
+    /// `mem[base + offset] = src` (relaxed ordering).
     pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Kasm {
-        self.emit(Instr::Store { src, base, offset })
+        self.st_ord(src, base, offset, MemOrder::Relaxed)
+    }
+
+    /// `mem[base + offset] = src` with an explicit ordering annotation.
+    pub fn st_ord(&mut self, src: Reg, base: Reg, offset: i64, ord: MemOrder) -> &mut Kasm {
+        self.emit(Instr::Store { src, base, offset, ord })
     }
 
     // ---- Atomics ----
 
     /// Generic RMW; `dst` receives the old value.
     pub fn rmw(&mut self, op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg) -> &mut Kasm {
-        self.emit(Instr::Rmw { op, dst, base, offset, src, cmp: Reg::R0 })
+        self.rmw_ord(op, dst, base, offset, src, MemOrder::SeqCst)
+    }
+
+    /// Generic RMW with an explicit ordering annotation. The annotation is
+    /// recorded but RMWs execute at `SeqCst` strength in both memory models.
+    pub fn rmw_ord(
+        &mut self,
+        op: RmwOp,
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        src: Reg,
+        ord: MemOrder,
+    ) -> &mut Kasm {
+        self.emit(Instr::Rmw { op, dst, base, offset, src, cmp: Reg::R0, ord })
     }
 
     /// `dst = fetch_add(mem[base+offset], src)`
@@ -207,7 +232,15 @@ impl Kasm {
     /// `dst = cas(mem[base+offset], expected=cmp, new=src)`; `dst` gets the
     /// old value (compare with `cmp` to test success).
     pub fn cas(&mut self, dst: Reg, base: Reg, offset: i64, cmp: Reg, src: Reg) -> &mut Kasm {
-        self.emit(Instr::Rmw { op: RmwOp::CompareSwap, dst, base, offset, src, cmp })
+        self.emit(Instr::Rmw {
+            op: RmwOp::CompareSwap,
+            dst,
+            base,
+            offset,
+            src,
+            cmp,
+            ord: MemOrder::SeqCst,
+        })
     }
 
     // ---- Control ----
@@ -265,9 +298,14 @@ impl Kasm {
 
     // ---- Misc ----
 
-    /// Standalone memory fence (`MFENCE`).
+    /// Standalone sequentially-consistent memory fence (`MFENCE`).
     pub fn fence(&mut self) -> &mut Kasm {
-        self.emit(Instr::Fence)
+        self.fence_ord(MemOrder::SeqCst)
+    }
+
+    /// Standalone memory fence with an explicit ordering annotation.
+    pub fn fence_ord(&mut self, ord: MemOrder) -> &mut Kasm {
+        self.emit(Instr::Fence { ord })
     }
 
     /// Spin hint.
@@ -373,5 +411,26 @@ mod tests {
             p.get(2),
             Some(Instr::Rmw { op: RmwOp::CompareSwap, cmp: Reg::R5, src: Reg::R6, .. })
         ));
+    }
+
+    #[test]
+    fn ordering_emitters_and_defaults() {
+        let mut k = Kasm::new();
+        k.ld(Reg::R1, Reg::R0, 0x100);
+        k.ld_ord(Reg::R2, Reg::R0, 0x100, MemOrder::Acquire);
+        k.st(Reg::R1, Reg::R0, 0x108);
+        k.st_ord(Reg::R1, Reg::R0, 0x108, MemOrder::SeqCst);
+        k.fence();
+        k.fence_ord(MemOrder::Acquire);
+        k.rmw_ord(RmwOp::FetchAdd, Reg::R3, Reg::R1, 0, Reg::R2, MemOrder::AcqRel);
+        k.halt();
+        let p = k.finish().unwrap();
+        assert!(matches!(p.get(0), Some(Instr::Load { ord: MemOrder::Relaxed, .. })));
+        assert!(matches!(p.get(1), Some(Instr::Load { ord: MemOrder::Acquire, .. })));
+        assert!(matches!(p.get(2), Some(Instr::Store { ord: MemOrder::Relaxed, .. })));
+        assert!(matches!(p.get(3), Some(Instr::Store { ord: MemOrder::SeqCst, .. })));
+        assert!(matches!(p.get(4), Some(Instr::Fence { ord: MemOrder::SeqCst })));
+        assert!(matches!(p.get(5), Some(Instr::Fence { ord: MemOrder::Acquire })));
+        assert!(matches!(p.get(6), Some(Instr::Rmw { ord: MemOrder::AcqRel, .. })));
     }
 }

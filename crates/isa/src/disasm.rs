@@ -2,6 +2,7 @@
 //! examples when inspecting generated kernels).
 
 use crate::instr::{AluOp, Cond, Instr, Operand, RmwOp};
+use crate::order::MemOrder;
 use crate::program::Program;
 use std::fmt::Write;
 
@@ -51,16 +52,32 @@ fn operand(o: Operand) -> String {
     }
 }
 
+/// Suffix for a non-default ordering annotation (`.acq`, `.sc`, ...).
+fn ord_suffix(ord: MemOrder, default: MemOrder) -> String {
+    if ord == default {
+        String::new()
+    } else {
+        format!(".{ord}")
+    }
+}
+
 /// Formats one instruction as assembly-like text.
 pub fn disasm_instr(i: &Instr) -> String {
     match *i {
         Instr::Alu { op, dst, a, b } => {
             format!("{:<10} {dst}, {a}, {}", alu_mnemonic(op), operand(b))
         }
-        Instr::Load { dst, base, offset } => format!("{:<10} {dst}, [{base}{offset:+}]", "ld"),
-        Instr::Store { src, base, offset } => format!("{:<10} {src}, [{base}{offset:+}]", "st"),
-        Instr::Rmw { op, dst, base, offset, src, cmp } => {
-            let mut s = format!("{:<10} {dst}, [{base}{offset:+}], {src}", rmw_mnemonic(op));
+        Instr::Load { dst, base, offset, ord } => {
+            let m = format!("ld{}", ord_suffix(ord, MemOrder::Relaxed));
+            format!("{m:<10} {dst}, [{base}{offset:+}]")
+        }
+        Instr::Store { src, base, offset, ord } => {
+            let m = format!("st{}", ord_suffix(ord, MemOrder::Relaxed));
+            format!("{m:<10} {src}, [{base}{offset:+}]")
+        }
+        Instr::Rmw { op, dst, base, offset, src, cmp, ord } => {
+            let m = format!("{}{}", rmw_mnemonic(op), ord_suffix(ord, MemOrder::SeqCst));
+            let mut s = format!("{m:<10} {dst}, [{base}{offset:+}], {src}");
             if matches!(op, RmwOp::CompareSwap) {
                 let _ = write!(s, ", cmp={cmp}");
             }
@@ -70,7 +87,7 @@ pub fn disasm_instr(i: &Instr) -> String {
             format!("{:<10} {a}, {}, -> {target}", cond_mnemonic(cond), operand(b))
         }
         Instr::Jump { target } => format!("{:<10} -> {target}", "jump"),
-        Instr::Fence => "mfence".to_string(),
+        Instr::Fence { ord } => format!("mfence{}", ord_suffix(ord, MemOrder::SeqCst)),
         Instr::Pause => "pause".to_string(),
         Instr::MonitorWait { base, offset } => {
             format!("{:<10} [{base}{offset:+}]", "mwait")

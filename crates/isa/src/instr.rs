@@ -1,5 +1,6 @@
 //! Guest instructions.
 
+use crate::order::MemOrder;
 use crate::reg::Reg;
 use crate::Word;
 use serde::{Deserialize, Serialize};
@@ -166,23 +167,35 @@ impl RmwOp {
 pub enum Instr {
     /// `dst = op(a, b)`
     Alu { op: AluOp, dst: Reg, a: Reg, b: Operand },
-    /// `dst = mem[ base + offset ]` (8 bytes, must be 8-byte aligned)
-    Load { dst: Reg, base: Reg, offset: i64 },
-    /// `mem[ base + offset ] = src`
-    Store { src: Reg, base: Reg, offset: i64 },
+    /// `dst = mem[ base + offset ]` (8 bytes, must be 8-byte aligned).
+    ///
+    /// `ord` defaults to [`MemOrder::Relaxed`]; only acquire-class values
+    /// are meaningful on loads.
+    Load { dst: Reg, base: Reg, offset: i64, ord: MemOrder },
+    /// `mem[ base + offset ] = src`.
+    ///
+    /// `ord` defaults to [`MemOrder::Relaxed`]; release is architecturally
+    /// free (FIFO store buffer), `SeqCst` additionally blocks younger loads
+    /// under the weak model.
+    Store { src: Reg, base: Reg, offset: i64, ord: MemOrder },
     /// Atomic RMW on `mem[ base + offset ]`: `dst = old`, store per [`RmwOp`].
     ///
     /// `cmp` is only read by [`RmwOp::CompareSwap`]. `dst` must differ from
     /// `base` (enforced by the assembler) so the `store_unlock` micro-op can
-    /// recompute the address.
-    Rmw { op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg, cmp: Reg },
+    /// recompute the address. `ord` is accepted and recorded but RMW
+    /// execution is pinned to `SeqCst` strength in both memory models (the
+    /// line-lock protocol is inherently SC); it defaults to
+    /// [`MemOrder::SeqCst`].
+    Rmw { op: RmwOp, dst: Reg, base: Reg, offset: i64, src: Reg, cmp: Reg, ord: MemOrder },
     /// Conditional branch to `target` (an instruction index).
     Branch { cond: Cond, a: Reg, b: Operand, target: u32 },
     /// Unconditional jump.
     Jump { target: u32 },
-    /// Standalone memory fence (x86 `MFENCE`): orders everything, never
-    /// removed by any policy.
-    Fence,
+    /// Standalone memory fence. With `ord == SeqCst` this is the x86
+    /// `MFENCE` analogue (orders everything, drains the store buffer);
+    /// weaker orderings act as pipeline reorder barriers that do not drain
+    /// the store buffer under the weak model. Never removed by any policy.
+    Fence { ord: MemOrder },
     /// Spin-loop hint (x86 `PAUSE`): de-pipelines briefly, saving energy.
     Pause,
     /// Sleep until the watched line `mem[ base + offset ]` is written by
@@ -258,11 +271,12 @@ mod tests {
             offset: 0,
             src: Reg::R3,
             cmp: Reg::R0,
+            ord: MemOrder::SeqCst,
         };
         assert!(rmw.is_mem());
         assert!(rmw.is_rmw());
         assert!(!rmw.is_control());
         assert!(Instr::Jump { target: 0 }.is_control());
-        assert!(!Instr::Fence.is_mem());
+        assert!(!Instr::Fence { ord: MemOrder::SeqCst }.is_mem());
     }
 }

@@ -150,16 +150,16 @@ pub fn step_thread(prog: &Program, ctx: &mut ThreadCtx, mem: &mut GuestMem) -> b
             let v = op.eval(ctx.read(a), ctx.operand(b));
             ctx.write(dst, v);
         }
-        Instr::Load { dst, base, offset } => {
+        Instr::Load { dst, base, offset, .. } => {
             let addr = ctx.read(base).wrapping_add(offset as u64);
             let v = mem.load(addr);
             ctx.write(dst, v);
         }
-        Instr::Store { src, base, offset } => {
+        Instr::Store { src, base, offset, .. } => {
             let addr = ctx.read(base).wrapping_add(offset as u64);
             mem.store(addr, ctx.read(src));
         }
-        Instr::Rmw { op, dst, base, offset, src, cmp } => {
+        Instr::Rmw { op, dst, base, offset, src, cmp, .. } => {
             let addr = ctx.read(base).wrapping_add(offset as u64);
             let old = mem.load(addr);
             let newv = op.store_value(old, ctx.read(src), ctx.read(cmp));
@@ -172,7 +172,7 @@ pub fn step_thread(prog: &Program, ctx: &mut ThreadCtx, mem: &mut GuestMem) -> b
             }
         }
         Instr::Jump { target } => next = target,
-        Instr::Fence | Instr::Pause | Instr::MonitorWait { .. } | Instr::Nop => {}
+        Instr::Fence { .. } | Instr::Pause | Instr::MonitorWait { .. } | Instr::Nop => {}
         Instr::Halt => {
             ctx.halted = true;
             return false;

@@ -49,12 +49,14 @@ pub mod asm;
 pub mod disasm;
 pub mod instr;
 pub mod interp;
+pub mod order;
 pub mod program;
 pub mod reg;
 pub mod uop;
 
 pub use asm::{AsmError, Kasm, Label};
 pub use instr::{AluOp, Cond, Instr, Operand, RmwOp};
+pub use order::MemOrder;
 pub use program::{InstrClass, Program};
 pub use reg::Reg;
 pub use uop::{decode, FenceKind, Uop, UopKind};

@@ -199,6 +199,7 @@ mod tests {
                 offset: 0,
                 src: Reg::R2,
                 cmp: Reg::R0,
+                ord: crate::MemOrder::SeqCst,
             },
             Instr::Halt,
         ]);
@@ -215,7 +216,7 @@ mod tests {
     fn accepts_valid_program_and_classifies() {
         let p = Program::new(vec![
             Instr::Alu { op: AluOp::Add, dst: Reg::R1, a: Reg::R0, b: Operand::Imm(1) },
-            Instr::Store { src: Reg::R1, base: Reg::R0, offset: 0 },
+            Instr::Store { src: Reg::R1, base: Reg::R0, offset: 0, ord: crate::MemOrder::Relaxed },
             Instr::Halt,
         ])
         .unwrap();

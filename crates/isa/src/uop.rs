@@ -8,6 +8,7 @@
 //! "omitted fences", the first column of Table 2).
 
 use crate::instr::{AluOp, Cond, Instr, Operand, RmwOp};
+use crate::order::MemOrder;
 use crate::reg::Reg;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,13 @@ pub struct Uop {
     /// True for the final micro-op of the instruction; committing it retires
     /// the instruction.
     pub last: bool,
+    /// Memory-ordering annotation inherited from the parent instruction.
+    ///
+    /// Meaningful on `Load`, `Store` and `Fence(Standalone)` micro-ops;
+    /// atomic micro-ops (and their surrounding fences) carry the parent
+    /// RMW's annotation for the record, but execute at `SeqCst` strength in
+    /// both memory models. Non-memory micro-ops carry `Relaxed`.
+    pub ord: MemOrder,
 }
 
 /// Fixed-capacity list of source registers (at most 3 for any micro-op).
@@ -203,16 +211,23 @@ impl Uop {
 /// five-micro-op sequence; the `op` micro-op writes decoder temporary
 /// [`Reg::T0`], which the `store_unlock` reads.
 pub fn decode(instr: Instr, pc: u32) -> Vec<Uop> {
-    let mk = |kind, slot, last| Uop { kind, pc, slot, last };
+    let ord = match instr {
+        Instr::Load { ord, .. }
+        | Instr::Store { ord, .. }
+        | Instr::Rmw { ord, .. }
+        | Instr::Fence { ord } => ord,
+        _ => MemOrder::Relaxed,
+    };
+    let mk = |kind, slot, last| Uop { kind, pc, slot, last, ord };
     match instr {
         Instr::Alu { op, dst, a, b } => vec![mk(UopKind::Alu { op, dst, a, b }, 0, true)],
-        Instr::Load { dst, base, offset } => {
+        Instr::Load { dst, base, offset, .. } => {
             vec![mk(UopKind::Load { dst, base, offset }, 0, true)]
         }
-        Instr::Store { src, base, offset } => {
+        Instr::Store { src, base, offset, .. } => {
             vec![mk(UopKind::Store { src, base, offset }, 0, true)]
         }
-        Instr::Rmw { op, dst, base, offset, src, cmp } => vec![
+        Instr::Rmw { op, dst, base, offset, src, cmp, .. } => vec![
             mk(UopKind::Fence(FenceKind::AtomicPre), 0, false),
             mk(UopKind::LoadLock { dst, base, offset }, 1, false),
             mk(UopKind::RmwAlu { op, dst: Reg::T0, old: dst, src, cmp }, 2, false),
@@ -223,7 +238,7 @@ pub fn decode(instr: Instr, pc: u32) -> Vec<Uop> {
             vec![mk(UopKind::Branch { cond, a, b, target }, 0, true)]
         }
         Instr::Jump { target } => vec![mk(UopKind::Jump { target }, 0, true)],
-        Instr::Fence => vec![mk(UopKind::Fence(FenceKind::Standalone), 0, true)],
+        Instr::Fence { .. } => vec![mk(UopKind::Fence(FenceKind::Standalone), 0, true)],
         Instr::Pause => vec![mk(UopKind::Pause, 0, true)],
         Instr::MonitorWait { base, offset } => {
             vec![mk(UopKind::MonitorWait { base, offset }, 0, true)]
@@ -245,6 +260,7 @@ mod tests {
             offset: 8,
             src: Reg::R3,
             cmp: Reg::R0,
+            ord: MemOrder::SeqCst,
         }
     }
 
@@ -291,6 +307,7 @@ mod tests {
                 offset: 0,
                 src: Reg::R3,
                 cmp: Reg::R4,
+                ord: MemOrder::SeqCst,
             },
             0,
         );
@@ -313,7 +330,10 @@ mod tests {
         assert!(uops[1].is_mem() && uops[1].is_load_class());
         assert!(uops[3].is_mem() && uops[3].is_store_class());
         assert!(uops.iter().all(|u| u.is_atomic_part()));
-        let ld = decode(Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 0 }, 0);
+        let ld = decode(
+            Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 0, ord: MemOrder::Relaxed },
+            0,
+        );
         assert!(ld[0].is_load_class() && !ld[0].is_atomic_part());
     }
 
@@ -323,11 +343,31 @@ mod tests {
             Instr::Nop,
             Instr::Halt,
             Instr::Pause,
-            Instr::Fence,
+            Instr::Fence { ord: MemOrder::SeqCst },
             Instr::Jump { target: 3 },
         ] {
             assert_eq!(decode(i, 0).len(), 1);
             assert!(decode(i, 0)[0].last);
         }
+    }
+
+    #[test]
+    fn ordering_annotations_thread_through_decode() {
+        let ld = decode(
+            Instr::Load { dst: Reg::R1, base: Reg::R2, offset: 0, ord: MemOrder::Acquire },
+            0,
+        );
+        assert_eq!(ld[0].ord, MemOrder::Acquire);
+        let st = decode(
+            Instr::Store { src: Reg::R1, base: Reg::R2, offset: 0, ord: MemOrder::Release },
+            0,
+        );
+        assert_eq!(st[0].ord, MemOrder::Release);
+        let f = decode(Instr::Fence { ord: MemOrder::Acquire }, 0);
+        assert_eq!(f[0].ord, MemOrder::Acquire);
+        // Every micro-op of an RMW carries the parent annotation.
+        assert!(decode(rmw(), 0).iter().all(|u| u.ord == MemOrder::SeqCst));
+        // Non-memory instructions carry Relaxed.
+        assert_eq!(decode(Instr::Nop, 0)[0].ord, MemOrder::Relaxed);
     }
 }

@@ -51,7 +51,7 @@
 //! simulation results, which `ci.sh` pins.
 
 use fa_isa::line_of;
-use fa_trace::{write_id, write_id_parts, DataEvent, SerEvent, WRITE_ID_INIT};
+use fa_trace::{write_id, write_id_parts, DataEvent, MemModel, SerEvent, WRITE_ID_INIT};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -135,12 +135,31 @@ impl Co {
 /// The first refuted axiom, with detail naming the offending events (or,
 /// for `tso-ghb`, a shortest violating cycle).
 pub fn check(x: &Execution) -> Result<CheckReport, Violation> {
+    check_model(x, MemModel::Tso)
+}
+
+/// Checks one complete execution against the axioms of the given memory
+/// model.
+///
+/// The well-formedness and per-location axioms (`rf-wf`, `co-wf`,
+/// `sc-per-location`, `rmw-atomicity`) are model-independent — coherence
+/// and RMW atomicity hold in both models. Only the global-happens-before
+/// acyclicity axiom is parameterized: under [`MemModel::Tso`] every event
+/// has TSO strength (`tso-ghb`); under [`MemModel::Weak`] the preserved
+/// program order honours the per-event [`fa_isa::MemOrder`] annotations
+/// (`weak-ghb`, see [`check_ghb`] for the exact edge rules).
+///
+/// # Errors
+///
+/// The first refuted axiom, with detail naming the offending events (or,
+/// for the ghb axiom, a shortest violating cycle).
+pub fn check_model(x: &Execution, model: MemModel) -> Result<CheckReport, Violation> {
     let writes = collect_writes(x)?;
     let co = check_co_wf(x, &writes)?;
     check_rf_wf(x, &writes)?;
     check_sc_per_location(x, &co)?;
     check_rmw_atomicity(x, &co)?;
-    let ghb_edges = check_ghb(x, &writes, &co)?;
+    let ghb_edges = check_ghb(x, &writes, &co, model)?;
     Ok(CheckReport { events: x.events(), writes: writes.len(), ghb_edges })
 }
 
@@ -424,18 +443,36 @@ fn check_rmw_atomicity(x: &Execution, co: &Co) -> Result<(), Violation> {
 }
 
 /// Edge labels in the compressed global-happens-before graph.
-const LABELS: [&str; 5] = ["po", "po-ww", "po-wb", "rfe", "co/fr"];
+const LABELS: [&str; 7] = ["po", "po-ww", "po-wb", "rfe", "co/fr", "po-rw", "po-rb"];
 const L_PO: u8 = 0;
 const L_PO_WW: u8 = 1;
 const L_PO_WB: u8 = 2;
 const L_RFE: u8 = 3;
 const L_COFR: u8 = 4;
+const L_PO_RW: u8 = 5;
+const L_PO_RB: u8 = 6;
 
-/// Acyclicity of `po_tso ∪ rfe ∪ co ∪ fr` over all events.
+/// Acyclicity of `ppo ∪ rfe ∪ co ∪ fr` over all events, where the
+/// preserved-program-order fragment depends on the model:
+///
+/// * **TSO** — every load, fence, `load_lock`, and `store_unlock` is
+///   *out-ordering* (happens-before everything po-later); writes order
+///   only to the next write (W→W) and the next fence/`load_lock`.
+/// * **Weak** — out-ordering shrinks to acquire-class loads
+///   (`acq`/`acq_rel`/`sc`), `load_lock`s, fences of any strength (every
+///   logged fence is architecturally enforced), and `sc`-annotated plain
+///   stores. Non-acquire loads keep R→W (to the next write, chained) and
+///   R→F (to the next fence); same-address R→R is covered separately by
+///   `sc-per-location`. Plain non-`sc` stores and `store_unlock`s keep
+///   W→W plus edges into the next *SC* fence or `load_lock` (the two
+///   barriers that drain the store buffer); a `store_unlock` is not
+///   out-ordering under weak — the RMW's acquire side lives on its
+///   `load_lock`.
 fn check_ghb(
     x: &Execution,
     writes: &HashMap<u64, WriteInfo>,
     co: &Co,
+    model: MemModel,
 ) -> Result<usize, Violation> {
     // Global node numbering: per-core blocks.
     let mut base = Vec::with_capacity(x.cores.len());
@@ -462,30 +499,38 @@ fn check_ghb(
         }
     }
 
-    // Compressed per-core po_tso edges.
-    let is_out_ordering = |e: &DataEvent| {
-        matches!(
-            e,
-            DataEvent::Load { .. }
-                | DataEvent::LoadLock { .. }
-                | DataEvent::Fence { .. }
-                | DataEvent::StoreUnlock { .. }
-        )
+    // Compressed per-core ppo edges (model-dependent classification).
+    let weak = model == MemModel::Weak;
+    let is_out_ordering = |e: &DataEvent| match e {
+        DataEvent::LoadLock { .. } | DataEvent::Fence { .. } => true,
+        DataEvent::Load { ord, .. } => !weak || ord.is_acquire(),
+        DataEvent::Store { ord, .. } => weak && ord.is_sc(),
+        DataEvent::StoreUnlock { .. } => !weak,
     };
-    let is_barrier_in = |e: &DataEvent| {
-        matches!(e, DataEvent::Fence { .. } | DataEvent::LoadLock { .. })
+    // Barrier a po-earlier *read* additionally orders into. Under TSO all
+    // loads are out-ordering, so this table goes unused there.
+    let is_barrier_in_r = |e: &DataEvent| matches!(e, DataEvent::Fence { .. });
+    // Barrier a po-earlier *write* additionally orders into: anything that
+    // waits for the store buffer to drain.
+    let is_barrier_in_w = |e: &DataEvent| match e {
+        DataEvent::LoadLock { .. } => true,
+        DataEvent::Fence { ord, .. } => !weak || ord.is_sc(),
+        _ => false,
     };
     for (core, evs) in x.cores.iter().enumerate() {
         let m = evs.len();
         // Next-index tables, built backwards.
         let mut next_out = vec![usize::MAX; m];
         let mut next_store = vec![usize::MAX; m];
-        let mut next_barrier = vec![usize::MAX; m];
-        let (mut o, mut s, mut b) = (usize::MAX, usize::MAX, usize::MAX);
+        let mut next_barrier_r = vec![usize::MAX; m];
+        let mut next_barrier_w = vec![usize::MAX; m];
+        let (mut o, mut s, mut br, mut bw) =
+            (usize::MAX, usize::MAX, usize::MAX, usize::MAX);
         for i in (0..m).rev() {
             next_out[i] = o;
             next_store[i] = s;
-            next_barrier[i] = b;
+            next_barrier_r[i] = br;
+            next_barrier_w[i] = bw;
             let e = &evs[i];
             if is_out_ordering(e) {
                 o = i;
@@ -493,8 +538,27 @@ fn check_ghb(
             if e.is_write() {
                 s = i;
             }
-            if is_barrier_in(e) {
-                b = i;
+            if is_barrier_in_r(e) {
+                br = i;
+            }
+            if is_barrier_in_w(e) {
+                bw = i;
+            }
+        }
+        // Under TSO every event is out-ordering or a write, so the
+        // succ/next_out/W->W chains already reach everything po-later
+        // from any out-ordering node. Under weak, relaxed loads are
+        // neither, so a write run can strand them: give each non-out
+        // event an explicit edge from its preceding out-ordering node
+        // (one incoming edge per event — still linear).
+        let mut prev_out = vec![usize::MAX; m];
+        if weak {
+            let mut p = usize::MAX;
+            for i in 0..m {
+                prev_out[i] = p;
+                if is_out_ordering(&evs[i]) {
+                    p = i;
+                }
             }
         }
         for (i, e) in evs.iter().enumerate() {
@@ -508,13 +572,23 @@ fn check_ghb(
                     push(&mut adj, &mut indeg, from, base[core] + next_out[i], L_PO);
                     edges += 1;
                 }
-            } else if e.is_write() {
+            } else {
+                // Store-like residue: plain/`store_unlock` writes under
+                // both models, plus non-acquire loads under weak. Both
+                // keep an edge to the next write; the barrier differs.
+                let is_read = matches!(e, DataEvent::Load { .. });
+                let (ww, wb) = if is_read { (L_PO_RW, L_PO_RB) } else { (L_PO_WW, L_PO_WB) };
+                let nb = if is_read { next_barrier_r[i] } else { next_barrier_w[i] };
                 if next_store[i] != usize::MAX {
-                    push(&mut adj, &mut indeg, from, base[core] + next_store[i], L_PO_WW);
+                    push(&mut adj, &mut indeg, from, base[core] + next_store[i], ww);
                     edges += 1;
                 }
-                if next_barrier[i] != usize::MAX {
-                    push(&mut adj, &mut indeg, from, base[core] + next_barrier[i], L_PO_WB);
+                if nb != usize::MAX {
+                    push(&mut adj, &mut indeg, from, base[core] + nb, wb);
+                    edges += 1;
+                }
+                if prev_out[i] != usize::MAX && prev_out[i] + 1 != i {
+                    push(&mut adj, &mut indeg, base[core] + prev_out[i], from, L_PO);
                     edges += 1;
                 }
             }
@@ -598,7 +672,8 @@ fn check_ghb(
     if let Some(&(first, _)) = cycle.first() {
         msg.push_str(&format!(" -> {}", describe(first)));
     }
-    Err(Violation { axiom: "tso-ghb", detail: msg })
+    let axiom = if weak { "weak-ghb" } else { "tso-ghb" };
+    Err(Violation { axiom, detail: msg })
 }
 
 /// A shortest cycle inside the cyclic remainder of the graph: restrict to
@@ -660,15 +735,22 @@ fn shortest_cycle(adj: &[Vec<(u32, u8)>], remaining: &[usize]) -> Vec<(usize, u8
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fa_trace::MemOrder;
 
     const X: u64 = 0x1000;
     const Y: u64 = 0x1040;
 
     fn st(seq: u64, addr: u64, value: u64) -> DataEvent {
-        DataEvent::Store { seq, addr, value }
+        st_ord(seq, addr, value, MemOrder::Relaxed)
+    }
+    fn st_ord(seq: u64, addr: u64, value: u64, ord: MemOrder) -> DataEvent {
+        DataEvent::Store { seq, addr, value, ord }
     }
     fn ld(seq: u64, addr: u64, value: u64, writer: u64) -> DataEvent {
-        DataEvent::Load { seq, addr, value, writer }
+        ld_ord(seq, addr, value, writer, MemOrder::Relaxed)
+    }
+    fn ld_ord(seq: u64, addr: u64, value: u64, writer: u64, ord: MemOrder) -> DataEvent {
+        DataEvent::Load { seq, addr, value, writer, ord }
     }
     fn ll(seq: u64, addr: u64, value: u64, writer: u64) -> DataEvent {
         DataEvent::LoadLock { seq, addr, value, writer }
@@ -677,7 +759,10 @@ mod tests {
         DataEvent::StoreUnlock { seq, addr, value }
     }
     fn fence(seq: u64) -> DataEvent {
-        DataEvent::Fence { seq }
+        DataEvent::Fence { seq, ord: MemOrder::SeqCst }
+    }
+    fn fence_ord(seq: u64, ord: MemOrder) -> DataEvent {
+        DataEvent::Fence { seq, ord }
     }
     /// Serialization event for `write_id(core, seq)`, plain store.
     fn ser(core: u16, seq: u64, addr: u64, value: u64) -> SerEvent {
@@ -882,5 +967,214 @@ mod tests {
     fn violation_display_names_axiom() {
         let v = Violation { axiom: "tso-ghb", detail: "cycle".into() };
         assert_eq!(v.to_string(), "axiom tso-ghb violated: cycle");
+    }
+
+    // ---- weak-model parameterization ----
+
+    /// MP with relaxed accesses everywhere: stale data is TSO-illegal but
+    /// weak-legal (the reader's R→R is not preserved without acquire).
+    fn mp_stale(reader_ord: MemOrder) -> Execution {
+        Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![
+                    ld_ord(1, Y, 1, write_id(0, 2), reader_ord),
+                    ld(2, X, 0, WRITE_ID_INIT),
+                ],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, Y, 1)],
+        }
+    }
+
+    #[test]
+    fn weak_allows_mp_relaxed_reorder() {
+        let x = mp_stale(MemOrder::Relaxed);
+        check(&x).expect_err("TSO forbids MP stale data");
+        check_model(&x, MemModel::Weak).expect("weak allows it without acquire");
+    }
+
+    #[test]
+    fn weak_rejects_mp_with_acquire_load() {
+        let x = mp_stale(MemOrder::Acquire);
+        let v = check_model(&x, MemModel::Weak).expect_err("acquire restores R->R");
+        assert_eq!(v.axiom, "weak-ghb");
+        assert!(v.detail.contains("cycle"), "got: {}", v.detail);
+    }
+
+    #[test]
+    fn weak_rejects_mp_with_acquire_fence() {
+        // Reader: Ld y=1; Fence.acq; Ld x=0. Every logged fence is
+        // architecturally enforced, so even a non-SC fence restores R->R.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![
+                    ld(1, Y, 1, write_id(0, 2)),
+                    fence_ord(2, MemOrder::Acquire),
+                    ld(3, X, 0, WRITE_ID_INIT),
+                ],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, Y, 1)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("fence restores R->R");
+        assert_eq!(v.axiom, "weak-ghb");
+    }
+
+    #[test]
+    fn weak_keeps_write_write_order() {
+        // The writer side of MP needs no release annotation: the FIFO
+        // store buffer keeps W->W even for relaxed stores, so once the
+        // reader uses acquire the stale-data outcome is forbidden with a
+        // fully relaxed writer (release stores are architecturally free).
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![
+                    ld_ord(1, Y, 1, write_id(0, 2), MemOrder::Acquire),
+                    ld(2, X, 0, WRITE_ID_INIT),
+                ],
+            ],
+            ser: vec![ser(0, 2, Y, 1), ser(0, 1, X, 1)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("W->W is kept");
+        assert_eq!(v.axiom, "weak-ghb");
+    }
+
+    #[test]
+    fn weak_allows_sb_without_sc() {
+        // Store buffering, all relaxed: both-read-zero is weak-legal
+        // (and TSO-legal — W->R is relaxed under both).
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), ld(2, Y, 0, WRITE_ID_INIT)],
+                vec![st(1, Y, 1), ld(2, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        check_model(&x, MemModel::Weak).expect("SB weak outcome allowed");
+    }
+
+    #[test]
+    fn weak_rejects_sb_with_sc_fences() {
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), fence(2), ld(3, Y, 0, WRITE_ID_INIT)],
+                vec![st(1, Y, 1), fence(2), ld(3, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("SC fences restore W->R");
+        assert_eq!(v.axiom, "weak-ghb");
+    }
+
+    #[test]
+    fn weak_acquire_fence_does_not_restore_store_load() {
+        // An acquire fence does not drain the store buffer: SB's
+        // both-read-zero stays legal when the fences are only acquire.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), fence_ord(2, MemOrder::Acquire), ld(3, Y, 0, WRITE_ID_INIT)],
+                vec![st(1, Y, 1), fence_ord(2, MemOrder::Acquire), ld(3, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        check_model(&x, MemModel::Weak).expect("acquire fence keeps W->R relaxed");
+    }
+
+    #[test]
+    fn weak_rejects_sb_with_sc_stores() {
+        // SC-annotated stores are out-ordering under weak: the store
+        // happens-before the po-later load, so both-read-zero cycles.
+        let x = Execution {
+            cores: vec![
+                vec![st_ord(1, X, 1, MemOrder::SeqCst), ld(2, Y, 0, WRITE_ID_INIT)],
+                vec![st_ord(1, Y, 1, MemOrder::SeqCst), ld(2, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(1, 1, Y, 1)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("SC stores restore W->R");
+        assert_eq!(v.axiom, "weak-ghb");
+    }
+
+    #[test]
+    fn weak_rmw_store_unlock_not_out_ordering() {
+        // The Fig. 10 SB-with-RMWs outcome: TSO-illegal, but the *weak
+        // axioms* accept it — a `store_unlock` is not out-ordering under
+        // weak (the RMW's acquire side lives on its `load_lock`), so no
+        // SU->Ld edge closes the cycle. The weak checker is deliberately
+        // looser here than both the hardware (whose SB-empty commit gate
+        // never produces this outcome) and the enumerator; all
+        // conformance assertions are one-directional, so looseness is
+        // sound.
+        let x = Execution {
+            cores: vec![
+                vec![ll(1, X, 0, WRITE_ID_INIT), su(3, X, 1), ld(4, Y, 0, WRITE_ID_INIT)],
+                vec![ll(1, Y, 0, WRITE_ID_INIT), su(3, Y, 1), ld(4, X, 0, WRITE_ID_INIT)],
+            ],
+            ser: vec![ser_unlock(0, 3, X, 1), ser_unlock(1, 3, Y, 1)],
+        };
+        let v = check(&x).expect_err("TSO forbids SB-with-RMWs (0,0)");
+        assert_eq!(v.axiom, "tso-ghb");
+        check_model(&x, MemModel::Weak).expect("weak axioms accept it");
+    }
+
+    #[test]
+    fn weak_relaxed_load_may_pass_later_rmw_read() {
+        // A relaxed load is NOT ordered into a po-later load_lock: the
+        // MP-stale shape with an intervening RMW on a disjoint address
+        // stays weak-legal (C++ SC-RMW acquire semantics order later ops
+        // after the RMW *read*, not earlier loads before it), while the
+        // RMW's own acquire side still orders the po-later stale load —
+        // which TSO turns into a cycle.
+        const Z: u64 = 0x1080;
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![
+                    ld(1, Y, 1, write_id(0, 2)),
+                    ll(2, Z, 0, WRITE_ID_INIT),
+                    su(4, Z, 1),
+                    ld(5, X, 0, WRITE_ID_INIT),
+                ],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, Y, 1), ser_unlock(1, 4, Z, 1)],
+        };
+        check_model(&x, MemModel::Weak).expect("relaxed load passes later RMW read");
+        check(&x).expect_err("TSO keeps R->R through the RMW");
+    }
+
+    #[test]
+    fn weak_acquire_covers_nonadjacent_later_loads() {
+        // Reader: Ld.acq y=1; St z; Ld x=0. The intervening store must
+        // not strand the stale load outside the acquire's reach — pins
+        // the prev-out coverage edge in the compressed weak encoding.
+        const Z: u64 = 0x1080;
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, Y, 1)],
+                vec![
+                    ld_ord(1, Y, 1, write_id(0, 2), MemOrder::Acquire),
+                    st(2, Z, 1),
+                    ld(3, X, 0, WRITE_ID_INIT),
+                ],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, Y, 1), ser(1, 2, Z, 1)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("acquire orders all later loads");
+        assert_eq!(v.axiom, "weak-ghb");
+    }
+
+    #[test]
+    fn weak_model_leaves_uniproc_axioms_intact() {
+        // Per-location coherence is model-independent: CoRR still rejected.
+        let x = Execution {
+            cores: vec![
+                vec![st(1, X, 1), st(2, X, 2)],
+                vec![ld(1, X, 2, write_id(0, 2)), ld(2, X, 1, write_id(0, 1))],
+            ],
+            ser: vec![ser(0, 1, X, 1), ser(0, 2, X, 2)],
+        };
+        let v = check_model(&x, MemModel::Weak).expect_err("CoRR is model-independent");
+        assert_eq!(v.axiom, "sc-per-location");
     }
 }

@@ -14,7 +14,7 @@
 //! value is treated as unset, so `FA_TRACE= cargo run ...` behaves like
 //! omitting the variable.
 
-use fa_trace::{parse_check_setting, parse_trace_setting, CheckMode, TraceMode};
+use fa_trace::{parse_check_setting, parse_model_setting, parse_trace_setting, CheckMode, MemModel, TraceMode};
 use std::time::Duration;
 
 /// The value of `name`, trimmed; `None` when unset or blank.
@@ -148,6 +148,18 @@ pub fn check_setting_or(default: CheckMode) -> CheckMode {
     match var("FA_CHECK") {
         None => default,
         Some(v) => parse_check_setting(&v).unwrap_or_else(|e| panic!("FA_CHECK: {e}")),
+    }
+}
+
+/// The memory-model selection from `FA_MODEL`: `tso` (default) or `weak`.
+///
+/// # Panics
+///
+/// Panics on a malformed value, naming the legal grammar.
+pub fn model_setting() -> MemModel {
+    match var("FA_MODEL") {
+        None => MemModel::default(),
+        Some(v) => parse_model_setting(&v).unwrap_or_else(|e| panic!("FA_MODEL: {e}")),
     }
 }
 
@@ -333,6 +345,16 @@ mod tests {
         let v = var("FA_TEST_ENV_CHECK").unwrap();
         assert_eq!(parse_check_setting(&v), Ok(CheckMode::Tso));
         assert!(parse_check_setting("strong").is_err());
+    }
+
+    #[test]
+    fn model_grammar_via_env() {
+        assert_eq!(model_setting(), MemModel::Tso, "unset FA_MODEL defaults to tso");
+        std::env::set_var("FA_TEST_ENV_MODEL", " weak ");
+        let v = var("FA_TEST_ENV_MODEL").unwrap();
+        assert_eq!(parse_model_setting(&v), Ok(MemModel::Weak));
+        assert_eq!(parse_model_setting("tso"), Ok(MemModel::Tso));
+        assert!(parse_model_setting("sc").is_err());
     }
 
     #[test]

@@ -24,9 +24,9 @@ use crate::error::SimError;
 use crate::litmus::{LOp, LitmusTest};
 use crate::machine::MachineConfig;
 use fa_core::AtomicPolicy;
-use fa_isa::Word;
+use fa_isa::{MemOrder, Word};
 use fa_mem::{AuditConfig, ChaosConfig, NocConfig, SplitMix64};
-use fa_trace::CheckMode;
+use fa_trace::{CheckMode, MemModel};
 use std::fmt;
 
 /// Campaign settings. Everything derives from `seed`, so a config is a
@@ -55,6 +55,10 @@ pub struct FuzzConfig {
     /// validated against the full TSO + RMW-atomicity axioms, not just
     /// its final observation vector).
     pub check: CheckMode,
+    /// Memory model the frontend runs under and the enumerator oracle
+    /// checks against (default: TSO). Generated programs carry ordering
+    /// annotations either way — under TSO they are inert.
+    pub model: MemModel,
     /// Worker threads for the campaign (0 = host parallelism). Case
     /// generation stays serial (it threads one rng), so the report is
     /// bit-identical at any thread count.
@@ -73,6 +77,7 @@ impl Default for FuzzConfig {
             chaos: ChaosConfig::stress(0),
             max_cycles: 2_000_000,
             check: CheckMode::Tso,
+            model: MemModel::Tso,
             threads: 0,
         }
     }
@@ -94,7 +99,9 @@ pub struct FuzzFailure {
 /// Failure classification.
 #[derive(Clone, Debug)]
 pub enum FailureKind {
-    /// The simulator produced an outcome the TSO enumerator cannot.
+    /// The simulator produced an outcome the campaign model's reference
+    /// enumerator cannot (named for the original TSO-only campaigns; the
+    /// oracle follows [`FuzzConfig::model`]).
     TsoViolation {
         /// The forbidden observation vector.
         observed: Vec<Word>,
@@ -108,7 +115,7 @@ impl fmt::Display for FuzzFailure {
         write!(f, "case {} under {}: ", self.case, self.policy.label())?;
         match &self.kind {
             FailureKind::TsoViolation { observed } => {
-                write!(f, "TSO-FORBIDDEN outcome {observed:?} for {:?}", self.test.threads)
+                write!(f, "MODEL-FORBIDDEN outcome {observed:?} for {:?}", self.test.threads)
             }
             FailureKind::Run(e) => write!(f, "{e} (program {:?})", self.test.threads),
         }
@@ -157,9 +164,10 @@ impl fmt::Display for FuzzReport {
 ///
 /// Shape: 2..=`max_threads` threads, 1..=`max_ops` ops each, over
 /// `max_addrs` addresses. Stores and loads dominate; fetch-adds and fences
-/// are salted in. Observation slots are assigned in generation order. A
-/// program with no observer gets one appended — an outcome vector is the
-/// whole point.
+/// are salted in. Every op draws an ordering annotation uniformly from
+/// [`MemOrder::ALL`] — inert under TSO, load-bearing under the weak model.
+/// Observation slots are assigned in generation order. A program with no
+/// observer gets one appended — an outcome vector is the whole point.
 fn gen_test(rng: &mut SplitMix64, cfg: &FuzzConfig) -> LitmusTest {
     let threads = 2 + rng.below(cfg.max_threads.max(2) as u64 - 1) as usize;
     let addrs = cfg.max_addrs.max(1) as u64;
@@ -170,26 +178,27 @@ fn gen_test(rng: &mut SplitMix64, cfg: &FuzzConfig) -> LitmusTest {
         let mut tops = Vec::with_capacity(ops);
         for _ in 0..ops {
             let addr = rng.below(addrs) as u8;
+            let ord = MemOrder::ALL[rng.below(MemOrder::ALL.len() as u64) as usize];
             let op = match rng.below(16) {
-                0..=5 => LOp::St { addr, val: 1 + rng.below(3) },
+                0..=5 => LOp::St { addr, val: 1 + rng.below(3), ord },
                 6..=11 => {
                     let o = out;
                     out += 1;
-                    LOp::Ld { addr, out: o }
+                    LOp::Ld { addr, out: o, ord }
                 }
                 12..=14 => {
                     let o = out;
                     out += 1;
-                    LOp::FetchAdd { addr, val: 1 + rng.below(2), out: o }
+                    LOp::FetchAdd { addr, val: 1 + rng.below(2), out: o, ord }
                 }
-                _ => LOp::Fence,
+                _ => LOp::Fence { ord },
             };
             tops.push(op);
         }
         body.push(tops);
     }
     if out == 0 {
-        body[0].push(LOp::Ld { addr: 0, out: 0 });
+        body[0].push(LOp::ld(0, 0));
     }
     LitmusTest { name: "fuzz", threads: body }
 }
@@ -239,12 +248,13 @@ fn gen_cases(fcfg: &FuzzConfig) -> Vec<FuzzCase> {
 pub fn fuzz_litmus(base: &MachineConfig, fcfg: &FuzzConfig) -> FuzzReport {
     let cases = gen_cases(fcfg);
     let per_case = crate::sweep::run_cells(&cases, fcfg.threads, |_, fc| {
-        let allowed = fc.test.allowed_outcomes();
+        let allowed = fc.test.allowed_outcomes_under(fcfg.model);
         let mut outcomes = Vec::new();
         let mut failures = Vec::new();
         for &policy in &fcfg.policies {
             let mut cfg = base.clone().with_check(fcfg.check);
             cfg.core.policy = policy;
+            cfg.core.model = fcfg.model;
             cfg.mem.chaos = ChaosConfig { seed: fc.chaos_seed, ..fcfg.chaos.clone() };
             cfg.mem.noc = fc.noc;
             cfg.mem.audit = AuditConfig::on();
@@ -333,7 +343,7 @@ mod tests {
                             rmw += 1;
                             seen_rmw = true;
                         }
-                        LOp::Fence => {
+                        LOp::Fence { .. } => {
                             fence += 1;
                             if seen_rmw {
                                 fence_after_rmw += 1;
@@ -354,6 +364,37 @@ mod tests {
     }
 
     #[test]
+    fn generation_covers_every_ordering_times_op_shape() {
+        // Every MemOrder × op-shape pair must appear across a 500-case
+        // campaign — the weak-model fuzzer is only as good as the
+        // annotation coverage it generates.
+        let fcfg = FuzzConfig { cases: 500, ..FuzzConfig::default() };
+        let cases = gen_cases(&fcfg);
+        let mut seen = std::collections::HashSet::new();
+        for fc in &cases {
+            for t in &fc.test.threads {
+                for op in t {
+                    let (shape, ord) = match *op {
+                        LOp::St { ord, .. } => ("st", ord),
+                        LOp::Ld { ord, .. } => ("ld", ord),
+                        LOp::FetchAdd { ord, .. } => ("rmw", ord),
+                        LOp::Fence { ord } => ("fence", ord),
+                    };
+                    seen.insert((shape, ord));
+                }
+            }
+        }
+        for shape in ["st", "ld", "rmw", "fence"] {
+            for ord in MemOrder::ALL {
+                assert!(
+                    seen.contains(&(shape, ord)),
+                    "{shape}.{ord} never generated in 500 cases"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn small_campaign_is_clean_and_deterministic() {
         let base = crate::presets::tiny_machine();
         let fcfg = FuzzConfig {
@@ -367,6 +408,23 @@ mod tests {
         assert_eq!(r1.runs, 24);
         assert_eq!(r1.distinct_outcomes, r2.distinct_outcomes);
         assert_eq!(r1.runs, r2.runs);
+    }
+
+    #[test]
+    fn small_weak_campaign_is_clean() {
+        // Same seed, weak model: the frontend relaxations must stay
+        // inside the weak enumerator's outcome set under chaos + NoC
+        // sampling, with the weak axiomatic checker armed.
+        let base = crate::presets::tiny_machine();
+        let fcfg = FuzzConfig {
+            cases: 12,
+            model: MemModel::Weak,
+            policies: vec![AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd],
+            ..FuzzConfig::default()
+        };
+        let r = fuzz_litmus(&base, &fcfg);
+        assert!(r.ok(), "{r}");
+        assert_eq!(r.runs, 24);
     }
 
     #[test]

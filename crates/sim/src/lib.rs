@@ -48,6 +48,6 @@ pub use sweep::{
 // tracing without a direct fa-trace dependency.
 pub use fa_trace::{
     flight_json, json_object, json_u64_array, validate_chrome_trace, write_id, write_id_parts,
-    CheckMode, CpiLeaf, CpiStack, DataEvent, FlightEntry, Hist, SerEvent, TraceConfig, TraceMode,
-    CPI_LEAVES, WRITE_ID_INIT,
+    CheckMode, CpiLeaf, CpiStack, DataEvent, FlightEntry, Hist, MemModel, SerEvent, TraceConfig,
+    TraceMode, CPI_LEAVES, WRITE_ID_INIT,
 };

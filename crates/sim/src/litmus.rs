@@ -1,27 +1,65 @@
 //! Litmus-test harness: run small concurrent shapes on the detailed
-//! simulator and check every observed outcome against the operational TSO
-//! reference enumerator.
+//! simulator and check every observed outcome against the matching
+//! operational reference enumerator (x86-TSO or the ARM-like weak
+//! baseline).
 
 use crate::error::SimError;
 use crate::machine::{Machine, MachineConfig};
-use crate::tsoref::{enumerate_tso_outcomes, TsoOp};
+use crate::tsoref::{enumerate_tso_outcomes, enumerate_weak_outcomes, TsoOp};
 use fa_core::AtomicPolicy;
 use fa_isa::interp::GuestMem;
-use fa_isa::{Kasm, Program, Reg, Word};
+use fa_isa::{Kasm, MemOrder, Program, Reg, RmwOp, Word};
+use fa_trace::MemModel;
 use std::collections::HashSet;
 
 /// One litmus operation. Mirrors [`TsoOp`] but is the public authoring
-/// type for tests.
+/// type for tests. Prefer the constructor helpers ([`LOp::st`],
+/// [`LOp::ld`], [`LOp::fadd`], [`LOp::fence`] and their `_ord` variants)
+/// over struct literals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LOp {
     /// `mem[addr] = val`
-    St { addr: u8, val: Word },
+    St { addr: u8, val: Word, ord: MemOrder },
     /// Observe `mem[addr]` into observation slot `out`.
-    Ld { addr: u8, out: u8 },
+    Ld { addr: u8, out: u8, ord: MemOrder },
     /// Observe `fetch_add(mem[addr], val)`'s old value into slot `out`.
-    FetchAdd { addr: u8, val: Word, out: u8 },
-    /// MFENCE.
-    Fence,
+    /// The annotation is recorded but inert — RMWs execute at SeqCst
+    /// strength under both memory models.
+    FetchAdd { addr: u8, val: Word, out: u8, ord: MemOrder },
+    /// Standalone fence (SeqCst drains the store buffer under both
+    /// models; weaker fences only pin program order under weak).
+    Fence { ord: MemOrder },
+}
+
+impl LOp {
+    /// Relaxed store.
+    pub fn st(addr: u8, val: Word) -> LOp {
+        LOp::St { addr, val, ord: MemOrder::Relaxed }
+    }
+    /// Annotated store.
+    pub fn st_ord(addr: u8, val: Word, ord: MemOrder) -> LOp {
+        LOp::St { addr, val, ord }
+    }
+    /// Relaxed load.
+    pub fn ld(addr: u8, out: u8) -> LOp {
+        LOp::Ld { addr, out, ord: MemOrder::Relaxed }
+    }
+    /// Annotated load.
+    pub fn ld_ord(addr: u8, out: u8, ord: MemOrder) -> LOp {
+        LOp::Ld { addr, out, ord }
+    }
+    /// Fetch-add (SeqCst, as all RMWs effectively are).
+    pub fn fadd(addr: u8, val: Word, out: u8) -> LOp {
+        LOp::FetchAdd { addr, val, out, ord: MemOrder::SeqCst }
+    }
+    /// SeqCst fence (MFENCE).
+    pub fn fence() -> LOp {
+        LOp::Fence { ord: MemOrder::SeqCst }
+    }
+    /// Annotated fence.
+    pub fn fence_ord(ord: MemOrder) -> LOp {
+        LOp::Fence { ord }
+    }
 }
 
 /// A named litmus test: one op list per thread.
@@ -59,7 +97,8 @@ impl LitmusTest {
             .unwrap_or(0)
     }
 
-    /// Compiles each thread to a guest program.
+    /// Compiles each thread to a guest program, preserving the ordering
+    /// annotations via the annotated `Kasm` emitters.
     pub fn to_programs(&self) -> Vec<Program> {
         self.threads
             .iter()
@@ -67,26 +106,26 @@ impl LitmusTest {
                 let mut k = Kasm::new();
                 for op in ops {
                     match *op {
-                        LOp::St { addr, val } => {
+                        LOp::St { addr, val, ord } => {
                             k.li(Reg::R1, loc(addr));
                             k.li(Reg::R2, val as i64);
-                            k.st(Reg::R2, Reg::R1, 0);
+                            k.st_ord(Reg::R2, Reg::R1, 0, ord);
                         }
-                        LOp::Ld { addr, out } => {
+                        LOp::Ld { addr, out, ord } => {
                             k.li(Reg::R1, loc(addr));
-                            k.ld(Reg::R2, Reg::R1, 0);
+                            k.ld_ord(Reg::R2, Reg::R1, 0, ord);
                             k.li(Reg::R3, out_slot(out));
                             k.st(Reg::R2, Reg::R3, 0);
                         }
-                        LOp::FetchAdd { addr, val, out } => {
+                        LOp::FetchAdd { addr, val, out, ord } => {
                             k.li(Reg::R1, loc(addr));
                             k.li(Reg::R2, val as i64);
-                            k.fetch_add(Reg::R3, Reg::R1, 0, Reg::R2);
+                            k.rmw_ord(RmwOp::FetchAdd, Reg::R3, Reg::R1, 0, Reg::R2, ord);
                             k.li(Reg::R4, out_slot(out));
                             k.st(Reg::R3, Reg::R4, 0);
                         }
-                        LOp::Fence => {
-                            k.fence();
+                        LOp::Fence { ord } => {
+                            k.fence_ord(ord);
                         }
                     }
                 }
@@ -102,12 +141,12 @@ impl LitmusTest {
             .map(|ops| {
                 ops.iter()
                     .map(|op| match *op {
-                        LOp::St { addr, val } => TsoOp::St { addr, val },
-                        LOp::Ld { addr, out } => TsoOp::Ld { addr, out_slot: out },
-                        LOp::FetchAdd { addr, val, out } => {
-                            TsoOp::FetchAdd { addr, val, out_slot: out }
+                        LOp::St { addr, val, ord } => TsoOp::St { addr, val, ord },
+                        LOp::Ld { addr, out, ord } => TsoOp::Ld { addr, out_slot: out, ord },
+                        LOp::FetchAdd { addr, val, out, ord } => {
+                            TsoOp::FetchAdd { addr, val, out_slot: out, ord }
                         }
-                        LOp::Fence => TsoOp::Fence,
+                        LOp::Fence { ord } => TsoOp::Fence { ord },
                     })
                     .collect()
             })
@@ -116,7 +155,16 @@ impl LitmusTest {
 
     /// All outcomes the x86-TSO reference model allows.
     pub fn allowed_outcomes(&self) -> HashSet<Vec<Word>> {
-        enumerate_tso_outcomes(&self.to_tso_threads(), self.num_outs())
+        self.allowed_outcomes_under(MemModel::Tso)
+    }
+
+    /// All outcomes the given memory model's reference enumerator allows.
+    pub fn allowed_outcomes_under(&self, model: MemModel) -> HashSet<Vec<Word>> {
+        let threads = self.to_tso_threads();
+        match model {
+            MemModel::Tso => enumerate_tso_outcomes(&threads, self.num_outs()),
+            MemModel::Weak => enumerate_weak_outcomes(&threads, self.num_outs()),
+        }
     }
 
     /// Runs the test once on the detailed simulator and returns the
@@ -173,20 +221,39 @@ impl LitmusTest {
         policy: AtomicPolicy,
         offset_sets: &[&[u64]],
     ) -> HashSet<Vec<Word>> {
-        let allowed = self.allowed_outcomes();
+        self.verify_under_model(base, policy, MemModel::Tso, offset_sets)
+    }
+
+    /// Like [`verify_under`](Self::verify_under) but runs the core frontend
+    /// under `model` and checks against that model's enumerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any model-forbidden observation.
+    pub fn verify_under_model(
+        &self,
+        base: &MachineConfig,
+        policy: AtomicPolicy,
+        model: MemModel,
+        offset_sets: &[&[u64]],
+    ) -> HashSet<Vec<Word>> {
+        let allowed = self.allowed_outcomes_under(model);
         let mut cfg = base.clone();
         cfg.core.policy = policy;
+        cfg.core.model = model;
         let mut observed = HashSet::new();
         for offs in offset_sets {
             let got = self.run_detailed(&cfg, offs);
             assert!(
                 allowed.contains(&got),
-                "litmus {}: outcome {:?} observed under {:?} (offsets {:?}) is TSO-FORBIDDEN; \
-                 allowed: {:?}",
+                "litmus {}: outcome {:?} observed under {:?}/{} (offsets {:?}) is FORBIDDEN \
+                 by the {} reference model; allowed: {:?}",
                 self.name,
                 got,
                 policy,
+                model.name(),
                 offs,
+                model.name(),
                 allowed
             );
             observed.insert(got);
@@ -201,8 +268,8 @@ impl LitmusTest {
         LitmusTest {
             name: "SB",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }, LOp::Ld { addr: 1, out: 0 }],
-                vec![LOp::St { addr: 1, val: 1 }, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 1), LOp::ld(1, 0)],
+                vec![LOp::st(1, 1), LOp::ld(0, 1)],
             ],
         }
     }
@@ -212,8 +279,8 @@ impl LitmusTest {
         LitmusTest {
             name: "SB+mfence",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }, LOp::Fence, LOp::Ld { addr: 1, out: 0 }],
-                vec![LOp::St { addr: 1, val: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 1), LOp::fence(), LOp::ld(1, 0)],
+                vec![LOp::st(1, 1), LOp::fence(), LOp::ld(0, 1)],
             ],
         }
     }
@@ -224,16 +291,8 @@ impl LitmusTest {
         LitmusTest {
             name: "SB+rmw (paper Fig. 10)",
             threads: vec![
-                vec![
-                    LOp::St { addr: 0, val: 1 },
-                    LOp::FetchAdd { addr: 2, val: 1, out: 2 },
-                    LOp::Ld { addr: 1, out: 0 },
-                ],
-                vec![
-                    LOp::St { addr: 1, val: 1 },
-                    LOp::FetchAdd { addr: 3, val: 1, out: 3 },
-                    LOp::Ld { addr: 0, out: 1 },
-                ],
+                vec![LOp::st(0, 1), LOp::fadd(2, 1, 2), LOp::ld(1, 0)],
+                vec![LOp::st(1, 1), LOp::fadd(3, 1, 3), LOp::ld(0, 1)],
             ],
         }
     }
@@ -243,8 +302,8 @@ impl LitmusTest {
         LitmusTest {
             name: "MP",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 42 }, LOp::St { addr: 1, val: 1 }],
-                vec![LOp::Ld { addr: 1, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 42), LOp::st(1, 1)],
+                vec![LOp::ld(1, 0), LOp::ld(0, 1)],
             ],
         }
     }
@@ -255,8 +314,8 @@ impl LitmusTest {
         LitmusTest {
             name: "LB",
             threads: vec![
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::St { addr: 1, val: 1 }],
-                vec![LOp::Ld { addr: 1, out: 1 }, LOp::St { addr: 0, val: 1 }],
+                vec![LOp::ld(0, 0), LOp::st(1, 1)],
+                vec![LOp::ld(1, 1), LOp::st(0, 1)],
             ],
         }
     }
@@ -265,10 +324,7 @@ impl LitmusTest {
     pub fn rmw_race() -> LitmusTest {
         LitmusTest {
             name: "RMW-race",
-            threads: vec![
-                vec![LOp::FetchAdd { addr: 0, val: 1, out: 0 }],
-                vec![LOp::FetchAdd { addr: 0, val: 1, out: 1 }],
-            ],
+            threads: vec![vec![LOp::fadd(0, 1, 0)], vec![LOp::fadd(0, 1, 1)]],
         }
     }
 
@@ -278,18 +334,10 @@ impl LitmusTest {
         LitmusTest {
             name: "IRIW+mfence",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::St { addr: 1, val: 1 }],
-                vec![
-                    LOp::Ld { addr: 0, out: 0 },
-                    LOp::Fence,
-                    LOp::Ld { addr: 1, out: 1 },
-                ],
-                vec![
-                    LOp::Ld { addr: 1, out: 2 },
-                    LOp::Fence,
-                    LOp::Ld { addr: 0, out: 3 },
-                ],
+                vec![LOp::st(0, 1)],
+                vec![LOp::st(1, 1)],
+                vec![LOp::ld(0, 0), LOp::fence(), LOp::ld(1, 1)],
+                vec![LOp::ld(1, 2), LOp::fence(), LOp::ld(0, 3)],
             ],
         }
     }
@@ -301,9 +349,9 @@ impl LitmusTest {
         LitmusTest {
             name: "WRC",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Fence, LOp::St { addr: 1, val: 1 }],
-                vec![LOp::Ld { addr: 1, out: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 2 }],
+                vec![LOp::st(0, 1)],
+                vec![LOp::ld(0, 0), LOp::fence(), LOp::st(1, 1)],
+                vec![LOp::ld(1, 1), LOp::fence(), LOp::ld(0, 2)],
             ],
         }
     }
@@ -314,8 +362,8 @@ impl LitmusTest {
         LitmusTest {
             name: "CoRR",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 1)],
+                vec![LOp::ld(0, 0), LOp::ld(0, 1)],
             ],
         }
     }
@@ -327,8 +375,8 @@ impl LitmusTest {
         LitmusTest {
             name: "RMW-store-race",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 10 }],
-                vec![LOp::FetchAdd { addr: 0, val: 1, out: 0 }, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 10)],
+                vec![LOp::fadd(0, 1, 0), LOp::ld(0, 1)],
             ],
         }
     }
@@ -342,10 +390,10 @@ impl LitmusTest {
         LitmusTest {
             name: "IRIW",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::St { addr: 1, val: 1 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 1, out: 1 }],
-                vec![LOp::Ld { addr: 1, out: 2 }, LOp::Ld { addr: 0, out: 3 }],
+                vec![LOp::st(0, 1)],
+                vec![LOp::st(1, 1)],
+                vec![LOp::ld(0, 0), LOp::ld(1, 1)],
+                vec![LOp::ld(1, 2), LOp::ld(0, 3)],
             ],
         }
     }
@@ -357,17 +405,9 @@ impl LitmusTest {
         LitmusTest {
             name: "WRC+rmw",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![
-                    LOp::Ld { addr: 0, out: 0 },
-                    LOp::FetchAdd { addr: 2, val: 1, out: 3 },
-                    LOp::St { addr: 1, val: 1 },
-                ],
-                vec![
-                    LOp::Ld { addr: 1, out: 1 },
-                    LOp::FetchAdd { addr: 3, val: 1, out: 4 },
-                    LOp::Ld { addr: 0, out: 2 },
-                ],
+                vec![LOp::st(0, 1)],
+                vec![LOp::ld(0, 0), LOp::fadd(2, 1, 3), LOp::st(1, 1)],
+                vec![LOp::ld(1, 1), LOp::fadd(3, 1, 4), LOp::ld(0, 2)],
             ],
         }
     }
@@ -378,9 +418,9 @@ impl LitmusTest {
         LitmusTest {
             name: "RWC",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 1, out: 1 }],
-                vec![LOp::St { addr: 1, val: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 2 }],
+                vec![LOp::st(0, 1)],
+                vec![LOp::ld(0, 0), LOp::ld(1, 1)],
+                vec![LOp::st(1, 1), LOp::fence(), LOp::ld(0, 2)],
             ],
         }
     }
@@ -390,13 +430,9 @@ impl LitmusTest {
         LitmusTest {
             name: "RWC+rmw",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 1, out: 1 }],
-                vec![
-                    LOp::St { addr: 1, val: 1 },
-                    LOp::FetchAdd { addr: 2, val: 1, out: 3 },
-                    LOp::Ld { addr: 0, out: 2 },
-                ],
+                vec![LOp::st(0, 1)],
+                vec![LOp::ld(0, 0), LOp::ld(1, 1)],
+                vec![LOp::st(1, 1), LOp::fadd(2, 1, 3), LOp::ld(0, 2)],
             ],
         }
     }
@@ -409,8 +445,8 @@ impl LitmusTest {
         LitmusTest {
             name: "R",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }, LOp::St { addr: 1, val: 1 }],
-                vec![LOp::St { addr: 1, val: 2 }, LOp::Fence, LOp::Ld { addr: 0, out: 0 }],
+                vec![LOp::st(0, 1), LOp::st(1, 1)],
+                vec![LOp::st(1, 2), LOp::fence(), LOp::ld(0, 0)],
             ],
         }
     }
@@ -422,8 +458,8 @@ impl LitmusTest {
         LitmusTest {
             name: "S",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 2 }, LOp::St { addr: 1, val: 1 }],
-                vec![LOp::Ld { addr: 1, out: 0 }, LOp::St { addr: 0, val: 1 }],
+                vec![LOp::st(0, 2), LOp::st(1, 1)],
+                vec![LOp::ld(1, 0), LOp::st(0, 1)],
             ],
         }
     }
@@ -436,9 +472,9 @@ impl LitmusTest {
         LitmusTest {
             name: "2+2W",
             threads: vec![
-                vec![LOp::St { addr: 0, val: 1 }, LOp::St { addr: 1, val: 2 }],
-                vec![LOp::St { addr: 1, val: 1 }, LOp::St { addr: 0, val: 2 }],
-                vec![LOp::Ld { addr: 0, out: 0 }, LOp::Ld { addr: 1, out: 1 }],
+                vec![LOp::st(0, 1), LOp::st(1, 2)],
+                vec![LOp::st(1, 1), LOp::st(0, 2)],
+                vec![LOp::ld(0, 0), LOp::ld(1, 1)],
             ],
         }
     }
@@ -449,12 +485,8 @@ impl LitmusTest {
         LitmusTest {
             name: "SB+rmw+mfence",
             threads: vec![
-                vec![
-                    LOp::St { addr: 0, val: 1 },
-                    LOp::FetchAdd { addr: 2, val: 1, out: 2 },
-                    LOp::Ld { addr: 1, out: 0 },
-                ],
-                vec![LOp::St { addr: 1, val: 1 }, LOp::Fence, LOp::Ld { addr: 0, out: 1 }],
+                vec![LOp::st(0, 1), LOp::fadd(2, 1, 2), LOp::ld(1, 0)],
+                vec![LOp::st(1, 1), LOp::fence(), LOp::ld(0, 1)],
             ],
         }
     }
@@ -481,6 +513,182 @@ impl LitmusTest {
             LitmusTest::two_plus_two_w(),
             LitmusTest::sb_rmw_mixed(),
         ]
+    }
+
+    // ---- The weak-model gallery -------------------------------------
+    //
+    // Ordering-annotated variants of the classics. Under TSO every
+    // annotation is inert; under the weak model the stale-data/reorder
+    // outcomes appear exactly when the acquire-side synchronization is
+    // missing.
+
+    /// MP with an acquire flag read — stale data forbidden under weak.
+    /// The writer stays fully relaxed: the FIFO store buffer makes
+    /// release stores architecturally free.
+    pub fn mp_acq() -> LitmusTest {
+        LitmusTest {
+            name: "MP+acq",
+            threads: vec![
+                vec![LOp::st(0, 42), LOp::st(1, 1)],
+                vec![LOp::ld_ord(1, 0, MemOrder::Acquire), LOp::ld(0, 1)],
+            ],
+        }
+    }
+
+    /// MP with a release-annotated flag store *and* an acquire flag read —
+    /// the canonical C++ handoff, forbidden under both models.
+    pub fn mp_rel_acq() -> LitmusTest {
+        LitmusTest {
+            name: "MP+rel+acq",
+            threads: vec![
+                vec![LOp::st(0, 42), LOp::st_ord(1, 1, MemOrder::Release)],
+                vec![LOp::ld_ord(1, 0, MemOrder::Acquire), LOp::ld(0, 1)],
+            ],
+        }
+    }
+
+    /// SB with SC-annotated stores and no fences — `0,0` forbidden under
+    /// both models (the annotation alone blocks younger loads).
+    pub fn sb_sc_stores() -> LitmusTest {
+        LitmusTest {
+            name: "SB+sc-st",
+            threads: vec![
+                vec![LOp::st_ord(0, 1, MemOrder::SeqCst), LOp::ld(1, 0)],
+                vec![LOp::st_ord(1, 1, MemOrder::SeqCst), LOp::ld(0, 1)],
+            ],
+        }
+    }
+
+    /// SB with acquire fences — too weak to forbid `0,0` under the weak
+    /// model (no store-buffer drain), but TSO drains on every fence.
+    pub fn sb_acq_fences() -> LitmusTest {
+        LitmusTest {
+            name: "SB+acq-fence",
+            threads: vec![
+                vec![LOp::st(0, 1), LOp::fence_ord(MemOrder::Acquire), LOp::ld(1, 0)],
+                vec![LOp::st(1, 1), LOp::fence_ord(MemOrder::Acquire), LOp::ld(0, 1)],
+            ],
+        }
+    }
+
+    /// IRIW with acquire readers — our weak baseline is multi-copy atomic
+    /// (single shared memory), so the readers still agree on the order.
+    pub fn iriw_acq() -> LitmusTest {
+        LitmusTest {
+            name: "IRIW+acq",
+            threads: vec![
+                vec![LOp::st(0, 1)],
+                vec![LOp::st(1, 1)],
+                vec![LOp::ld_ord(0, 0, MemOrder::Acquire), LOp::ld_ord(1, 1, MemOrder::Acquire)],
+                vec![LOp::ld_ord(1, 2, MemOrder::Acquire), LOp::ld_ord(0, 3, MemOrder::Acquire)],
+            ],
+        }
+    }
+
+    /// Every weak-gallery test.
+    pub fn weak_gallery() -> Vec<LitmusTest> {
+        vec![
+            LitmusTest::mp_acq(),
+            LitmusTest::mp_rel_acq(),
+            LitmusTest::sb_sc_stores(),
+            LitmusTest::sb_acq_fences(),
+            LitmusTest::iriw_acq(),
+        ]
+    }
+
+    // ---- The memlog-ported synchronization family --------------------
+    //
+    // Ported from temper's memlog fence-atomic / atomic-fence suites:
+    // each shape pairs a *synchronizing* element on the writer side (a
+    // release fence before the flag store) with one on the reader side
+    // (an acquire load or an acquire fence). `stripped` removes the
+    // reader-side acquire — the observable half: stripping the *release*
+    // side alone is unobservable in this frontend because the FIFO store
+    // buffer keeps W→W regardless (asserted as a documented invariant by
+    // the conformance suite).
+
+    /// memlog `fence_atomic` + acquire-op reader: writer `st data;
+    /// fence.rel; st flag`, reader `ld.acq flag; ld data`.
+    pub fn memlog_fence_atomic_acq_op(stripped: bool) -> LitmusTest {
+        LitmusTest {
+            name: if stripped { "memlog-fence-atomic-acq-op-stripped" } else { "memlog-fence-atomic-acq-op" },
+            threads: vec![
+                vec![LOp::st(0, 42), LOp::fence_ord(MemOrder::Release), LOp::st(1, 1)],
+                vec![
+                    if stripped { LOp::ld(1, 0) } else { LOp::ld_ord(1, 0, MemOrder::Acquire) },
+                    LOp::ld(0, 1),
+                ],
+            ],
+        }
+    }
+
+    /// memlog `atomic_fence` reader: writer as above, reader `ld flag;
+    /// fence.acq; ld data`. `stripped` removes the acquire fence.
+    pub fn memlog_atomic_fence_acq_fence(stripped: bool) -> LitmusTest {
+        let mut reader = vec![LOp::ld(1, 0)];
+        if !stripped {
+            reader.push(LOp::fence_ord(MemOrder::Acquire));
+        }
+        reader.push(LOp::ld(0, 1));
+        LitmusTest {
+            name: if stripped { "memlog-atomic-fence-stripped" } else { "memlog-atomic-fence" },
+            threads: vec![
+                vec![LOp::st(0, 42), LOp::fence_ord(MemOrder::Release), LOp::st(1, 1)],
+                reader,
+            ],
+        }
+    }
+
+    /// memlog release-chain: a three-thread handoff where the middle
+    /// thread republishes under its own release fence. `stripped` removes
+    /// both acquire sides.
+    pub fn memlog_fence_atomic_chain(stripped: bool) -> LitmusTest {
+        let acq = |addr: u8, out: u8| {
+            if stripped { LOp::ld(addr, out) } else { LOp::ld_ord(addr, out, MemOrder::Acquire) }
+        };
+        LitmusTest {
+            name: if stripped { "memlog-fence-atomic-chain-stripped" } else { "memlog-fence-atomic-chain" },
+            threads: vec![
+                vec![LOp::st(0, 42), LOp::fence_ord(MemOrder::Release), LOp::st(1, 1)],
+                vec![acq(1, 0), LOp::fence_ord(MemOrder::Release), LOp::st(2, 1)],
+                vec![acq(2, 1), LOp::ld(0, 2)],
+            ],
+        }
+    }
+
+    /// memlog SC-fence Dekker: `stripped` removes both fences, exposing
+    /// the `0,0` outcome under both models.
+    pub fn memlog_sb_sc_fence(stripped: bool) -> LitmusTest {
+        if stripped {
+            LitmusTest { name: "memlog-sb-sc-fence-stripped", ..LitmusTest::sb() }
+        } else {
+            LitmusTest { name: "memlog-sb-sc-fence", ..LitmusTest::sb_fences() }
+        }
+    }
+
+    /// memlog SC-store Dekker: `stripped` relaxes the store annotations.
+    pub fn memlog_sb_sc_store(stripped: bool) -> LitmusTest {
+        if stripped {
+            LitmusTest { name: "memlog-sb-sc-store-stripped", ..LitmusTest::sb() }
+        } else {
+            LitmusTest { name: "memlog-sb-sc-store", ..LitmusTest::sb_sc_stores() }
+        }
+    }
+
+    /// memlog release-store handoff: writer `st data; st.rel flag`,
+    /// reader acquire. `stripped` relaxes the *release* annotation only —
+    /// the documented always-passes case (FIFO store buffer).
+    pub fn memlog_mp_release_store(stripped: bool) -> LitmusTest {
+        LitmusTest {
+            name: if stripped { "memlog-mp-release-store-stripped" } else { "memlog-mp-release-store" },
+            threads: vec![
+                vec![
+                    LOp::st(0, 42),
+                    if stripped { LOp::st(1, 1) } else { LOp::st_ord(1, 1, MemOrder::Release) },
+                ],
+                vec![LOp::ld_ord(1, 0, MemOrder::Acquire), LOp::ld(0, 1)],
+            ],
+        }
     }
 }
 
@@ -567,12 +775,97 @@ mod tests {
     }
 
     #[test]
+    fn weak_gallery_reference_expectations() {
+        use MemModel::{Tso, Weak};
+        // Plain MP: stale data appears only under weak.
+        let mp = LitmusTest::mp();
+        assert!(!mp.allowed_outcomes_under(Tso).contains(&vec![1, 0]));
+        assert!(mp.allowed_outcomes_under(Weak).contains(&vec![1, 0]));
+        // Acquire flag read forbids it again (and is inert under TSO).
+        for t in [LitmusTest::mp_acq(), LitmusTest::mp_rel_acq()] {
+            assert!(!t.allowed_outcomes_under(Weak).contains(&vec![1, 0]), "{}", t.name);
+            assert_eq!(
+                t.allowed_outcomes_under(Tso),
+                mp.allowed_outcomes_under(Tso),
+                "{}: annotations must be inert under TSO",
+                t.name
+            );
+        }
+        // SC stores forbid SB's 0,0 under weak, but under TSO the store
+        // annotation is inert and W->R stays TSO's defining relaxation.
+        assert!(!LitmusTest::sb_sc_stores().allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        assert!(LitmusTest::sb_sc_stores().allowed_outcomes_under(Tso).contains(&vec![0, 0]));
+        assert!(LitmusTest::sb_acq_fences().allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        assert!(!LitmusTest::sb_acq_fences().allowed_outcomes_under(Tso).contains(&vec![0, 0]));
+        // IRIW with acquires: still multi-copy atomic.
+        assert!(!LitmusTest::iriw_acq()
+            .allowed_outcomes_under(Weak)
+            .contains(&vec![1, 0, 1, 0]));
+    }
+
+    #[test]
+    fn memlog_family_reference_expectations() {
+        use MemModel::Weak;
+        // Fenced variants forbid the stale outcome; stripping the
+        // reader-side acquire exposes it.
+        for (fenced, stripped) in [
+            (
+                LitmusTest::memlog_fence_atomic_acq_op(false),
+                LitmusTest::memlog_fence_atomic_acq_op(true),
+            ),
+            (
+                LitmusTest::memlog_atomic_fence_acq_fence(false),
+                LitmusTest::memlog_atomic_fence_acq_fence(true),
+            ),
+        ] {
+            assert!(!fenced.allowed_outcomes_under(Weak).contains(&vec![1, 0]), "{}", fenced.name);
+            assert!(stripped.allowed_outcomes_under(Weak).contains(&vec![1, 0]), "{}", stripped.name);
+        }
+        // Chain: both-flags-seen with stale data forbidden when fenced.
+        let chain = LitmusTest::memlog_fence_atomic_chain(false);
+        assert!(!chain
+            .allowed_outcomes_under(Weak)
+            .iter()
+            .any(|o| o[0] == 1 && o[1] == 1 && o[2] == 0));
+        let chain_stripped = LitmusTest::memlog_fence_atomic_chain(true);
+        assert!(chain_stripped
+            .allowed_outcomes_under(Weak)
+            .iter()
+            .any(|o| o[0] == 1 && o[1] == 1 && o[2] == 0));
+        // Dekker variants.
+        assert!(!LitmusTest::memlog_sb_sc_fence(false).allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        assert!(LitmusTest::memlog_sb_sc_fence(true).allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        assert!(!LitmusTest::memlog_sb_sc_store(false).allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        assert!(LitmusTest::memlog_sb_sc_store(true).allowed_outcomes_under(Weak).contains(&vec![0, 0]));
+        // Release-store handoff: stripping the *release* side is
+        // unobservable (FIFO store buffer keeps W->W) — both variants
+        // forbid stale data. This is the documented always-pass case.
+        assert!(!LitmusTest::memlog_mp_release_store(false)
+            .allowed_outcomes_under(Weak)
+            .contains(&vec![1, 0]));
+        assert!(!LitmusTest::memlog_mp_release_store(true)
+            .allowed_outcomes_under(Weak)
+            .contains(&vec![1, 0]));
+    }
+
+    #[test]
     fn detailed_sim_respects_tso_on_quick_shapes() {
         let base = crate::presets::icelake_like();
         let offsets: [&[u64]; 3] = [&[], &[0, 40], &[40, 0]];
         for t in [LitmusTest::sb_rmws(), LitmusTest::mp()] {
             for policy in AtomicPolicy::ALL {
                 t.verify_under(&base, policy, &offsets);
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_sim_respects_weak_model_on_quick_shapes() {
+        let base = crate::presets::icelake_like();
+        let offsets: [&[u64]; 3] = [&[], &[0, 40], &[40, 0]];
+        for t in [LitmusTest::mp_acq(), LitmusTest::sb_sc_stores()] {
+            for policy in [AtomicPolicy::FencedBaseline, AtomicPolicy::FreeFwd] {
+                t.verify_under_model(&base, policy, MemModel::Weak, &offsets);
             }
         }
     }

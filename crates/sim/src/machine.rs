@@ -6,7 +6,7 @@ use fa_core::{Core, CoreConfig, CoreDiag, CoreStats};
 use fa_isa::interp::GuestMem;
 use fa_isa::Program;
 use fa_mem::{AuditViolation, CoreId, MemConfig, MemDiag, MemStats, MemorySystem};
-use fa_trace::{chrome_trace, CheckMode, FlightEntry, TraceMode, TraceRecord};
+use fa_trace::{chrome_trace, CheckMode, FlightEntry, MemModel, TraceMode, TraceRecord};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::fmt;
@@ -68,6 +68,13 @@ impl MachineConfig {
     pub fn with_check(mut self, mode: CheckMode) -> MachineConfig {
         self.core.check = mode;
         self.mem.check = mode;
+        self
+    }
+
+    /// Returns a copy with the given memory model on every core. The
+    /// axiomatic checker (when enabled) follows the same model.
+    pub fn with_model(mut self, model: MemModel) -> MachineConfig {
+        self.core.model = model;
         self
     }
 }
@@ -176,6 +183,8 @@ pub struct Machine {
     cores: Vec<Core>,
     start_offsets: Vec<u64>,
     now: u64,
+    /// Memory model the cores run under — the axiomatic checker follows it.
+    model: MemModel,
     /// Idle-skip / fast-forward optimizations (on by default; switched off
     /// only by differential tests proving they preserve results).
     fast_paths: bool,
@@ -209,7 +218,8 @@ impl Machine {
             .enumerate()
             .map(|(i, p)| Core::new(CoreId(i as u16), cfg.core.clone(), p, mem_bytes))
             .collect();
-        Machine { mem, cores, start_offsets: vec![0; n], now: 0, fast_paths: true }
+        let model = cfg.core.model;
+        Machine { mem, cores, start_offsets: vec![0; n], now: 0, model, fast_paths: true }
     }
 
     /// Disables (or re-enables) the cycle-loop fast paths — skipping
@@ -349,7 +359,7 @@ impl Machine {
     // built once on the cold failure path.
     #[allow(clippy::result_large_err)]
     pub fn check_execution(&self, x: &Execution) -> Result<(), SimError> {
-        match axiom::check(x) {
+        match axiom::check_model(x, self.model) {
             Ok(_) => Ok(()),
             Err(v) => Err(SimError::Tso {
                 axiom: v.axiom,

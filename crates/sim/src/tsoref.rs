@@ -1,17 +1,28 @@
-//! Bounded operational x86-TSO reference model.
+//! Bounded operational reference models: x86-TSO and an ARM-like weak
+//! baseline.
 //!
-//! Enumerates *every* outcome a small concurrent program can produce under
-//! the operational TSO model of Sewell et al. ("x86-TSO: A Rigorous and
-//! Usable Programmer's Model"): per-thread FIFO store buffers, loads that
-//! forward from the local buffer, atomic RMWs that execute only with an
-//! empty local buffer and read-modify-write memory in one step, and MFENCE
-//! draining the buffer.
+//! [`enumerate_tso_outcomes`] enumerates *every* outcome a small concurrent
+//! program can produce under the operational TSO model of Sewell et al.
+//! ("x86-TSO: A Rigorous and Usable Programmer's Model"): per-thread FIFO
+//! store buffers, loads that forward from the local buffer, atomic RMWs
+//! that execute only with an empty local buffer and read-modify-write
+//! memory in one step, and MFENCE draining the buffer. Ordering
+//! annotations are ignored — under TSO they are inert.
 //!
-//! The litmus harness uses the resulting outcome set as ground truth: any
-//! outcome observed on the detailed simulator that this enumerator cannot
-//! produce is a consistency bug.
+//! [`enumerate_weak_outcomes`] runs the same machine with one relaxation:
+//! a load may *hoist* past program-order-earlier unexecuted loads when
+//! none of them is acquire-class and none targets the same address (R→R
+//! is not preserved for relaxed loads). Everything else keeps its TSO
+//! strength — the store buffer stays FIFO (W→W preserved; release stores
+//! are architecturally free), stores and fences wait for all predecessors
+//! (R→W preserved), only *SC* fences drain the buffer, SC stores block
+//! younger loads while buffered, and RMWs are pinned to SeqCst strength.
+//!
+//! The litmus harness uses the resulting outcome sets as ground truth:
+//! any outcome observed on the detailed simulator that the matching
+//! enumerator cannot produce is a consistency bug.
 
-use fa_isa::Word;
+use fa_isa::{MemOrder, Word};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// One abstract litmus operation (addresses and values are small integers;
@@ -19,13 +30,16 @@ use std::collections::{BTreeMap, HashSet, VecDeque};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TsoOp {
     /// `mem[addr] = val`
-    St { addr: u8, val: Word },
+    St { addr: u8, val: Word, ord: MemOrder },
     /// `out[out_slot] = mem[addr]`
-    Ld { addr: u8, out_slot: u8 },
-    /// `out[out_slot] = fetch_add(mem[addr], val)`
-    FetchAdd { addr: u8, val: Word, out_slot: u8 },
-    /// MFENCE.
-    Fence,
+    Ld { addr: u8, out_slot: u8, ord: MemOrder },
+    /// `out[out_slot] = fetch_add(mem[addr], val)`. The annotation is
+    /// inert: RMWs execute at SeqCst strength under both models.
+    FetchAdd { addr: u8, val: Word, out_slot: u8, ord: MemOrder },
+    /// Standalone fence. Under TSO every fence drains the store buffer;
+    /// under weak only `sc` fences do (weaker fences still pin the
+    /// program order of everything around them).
+    Fence { ord: MemOrder },
 }
 
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,7 +50,8 @@ struct State {
     outs: Vec<Option<Word>>,
 }
 
-/// Enumerates the set of reachable observation vectors for `threads`.
+/// Enumerates the set of reachable observation vectors for `threads`
+/// under x86-TSO.
 ///
 /// Each thread is a straight-line list of [`TsoOp`]s (no branches — litmus
 /// tests are loop-free). `num_outs` sizes the observation vector; unwritten
@@ -77,14 +92,14 @@ pub fn enumerate_tso_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSe
             let pc = st.pcs[t] as usize;
             let Some(&op) = threads[t].get(pc) else { continue };
             match op {
-                TsoOp::St { addr, val } => {
+                TsoOp::St { addr, val, .. } => {
                     terminal = false;
                     let mut next = st.clone();
                     next.sbs[t].push_back((addr, val));
                     next.pcs[t] += 1;
                     work.push(next);
                 }
-                TsoOp::Ld { addr, out_slot } => {
+                TsoOp::Ld { addr, out_slot, .. } => {
                     terminal = false;
                     let mut next = st.clone();
                     // Forward from the youngest matching SB entry, else read
@@ -99,7 +114,7 @@ pub fn enumerate_tso_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSe
                     next.pcs[t] += 1;
                     work.push(next);
                 }
-                TsoOp::FetchAdd { addr, val, out_slot } => {
+                TsoOp::FetchAdd { addr, val, out_slot, .. } => {
                     // Atomic RMW: only with an empty local store buffer;
                     // read-modify-write is one atomic step (cache locking).
                     if st.sbs[t].is_empty() {
@@ -114,7 +129,7 @@ pub fn enumerate_tso_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSe
                         terminal = false; // draining is always possible
                     }
                 }
-                TsoOp::Fence => {
+                TsoOp::Fence { .. } => {
                     if st.sbs[t].is_empty() {
                         terminal = false;
                         let mut next = st.clone();
@@ -133,18 +148,177 @@ pub fn enumerate_tso_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSe
     outcomes
 }
 
+/// Per-thread state for the weak enumerator: loads may complete out of
+/// program order, so a done-bitmask replaces the program counter, and
+/// store-buffer entries remember whether their store was `sc`-annotated.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct WeakState {
+    mem: BTreeMap<u8, Word>,
+    done: Vec<u32>,
+    sbs: Vec<VecDeque<(u8, Word, bool)>>,
+    outs: Vec<Option<Word>>,
+}
+
+/// True when op `i` of `ops` may execute given the thread's done-mask:
+/// either every predecessor is done, or the op is a load and every
+/// unexecuted predecessor is a non-acquire load to a different address
+/// (the weak model's R→R relaxation; the same-address guard preserves
+/// per-location coherence).
+fn weak_ready(ops: &[TsoOp], done: u32, i: usize) -> bool {
+    let undone = |j: usize| done & (1 << j) == 0;
+    if (0..i).all(|j| !undone(j)) {
+        return true;
+    }
+    let TsoOp::Ld { addr, .. } = ops[i] else { return false };
+    (0..i).filter(|&j| undone(j)).all(|j| match ops[j] {
+        TsoOp::Ld { addr: a, ord, .. } => !ord.is_acquire() && a != addr,
+        _ => false,
+    })
+}
+
+/// Enumerates the set of reachable observation vectors for `threads`
+/// under the ARM-like weak baseline model (see the module docs for the
+/// exact relaxations relative to TSO).
+///
+/// # Panics
+///
+/// Panics if any thread exceeds 32 ops or the state space exceeds an
+/// internal safety bound (1e6 states) — keep litmus tests small.
+pub fn enumerate_weak_outcomes(threads: &[Vec<TsoOp>], num_outs: usize) -> HashSet<Vec<Word>> {
+    let n = threads.len();
+    assert!(
+        threads.iter().all(|t| t.len() <= 32),
+        "weak enumerator supports at most 32 ops per thread"
+    );
+    let init = WeakState {
+        mem: BTreeMap::new(),
+        done: vec![0; n],
+        sbs: vec![VecDeque::new(); n],
+        outs: vec![None; num_outs],
+    };
+    let mut seen: HashSet<WeakState> = HashSet::new();
+    let mut work = vec![init];
+    let mut outcomes = HashSet::new();
+    while let Some(st) = work.pop() {
+        if !seen.insert(st.clone()) {
+            continue;
+        }
+        assert!(seen.len() <= 1_000_000, "litmus state space too large");
+        let mut terminal = true;
+        #[allow(clippy::needless_range_loop)] // t indexes parallel vectors
+        for t in 0..n {
+            // Transition 1: drain the oldest store-buffer entry (FIFO —
+            // W→W is preserved even for relaxed stores).
+            if let Some(&(a, v, _)) = st.sbs[t].front() {
+                terminal = false;
+                let mut next = st.clone();
+                next.sbs[t].pop_front();
+                next.mem.insert(a, v);
+                work.push(next);
+            }
+            // Transition 2: execute any ready op.
+            for (i, &op) in threads[t].iter().enumerate() {
+                if st.done[t] & (1 << i) != 0 || !weak_ready(&threads[t], st.done[t], i) {
+                    continue;
+                }
+                match op {
+                    TsoOp::St { addr, val, ord } => {
+                        terminal = false;
+                        let mut next = st.clone();
+                        next.sbs[t].push_back((addr, val, ord.is_sc()));
+                        next.done[t] |= 1 << i;
+                        work.push(next);
+                    }
+                    TsoOp::Ld { addr, out_slot, .. } => {
+                        // An SC store waiting in the local buffer blocks
+                        // every younger load (the store-load half of its
+                        // SC fence); acquire annotations on the load
+                        // itself need no gate — they only restrict what
+                        // *later* ops may hoist past it.
+                        if st.sbs[t].iter().any(|&(_, _, sc)| sc) {
+                            terminal = false; // draining is always possible
+                            continue;
+                        }
+                        terminal = false;
+                        let mut next = st.clone();
+                        let v = st.sbs[t]
+                            .iter()
+                            .rev()
+                            .find(|&&(a, _, _)| a == addr)
+                            .map(|&(_, v, _)| v)
+                            .unwrap_or_else(|| st.mem.get(&addr).copied().unwrap_or(0));
+                        next.outs[out_slot as usize] = Some(v);
+                        next.done[t] |= 1 << i;
+                        work.push(next);
+                    }
+                    TsoOp::FetchAdd { addr, val, out_slot, .. } => {
+                        // SeqCst strength in both models: empty buffer,
+                        // atomic step.
+                        if st.sbs[t].is_empty() {
+                            terminal = false;
+                            let mut next = st.clone();
+                            let old = st.mem.get(&addr).copied().unwrap_or(0);
+                            next.mem.insert(addr, old.wrapping_add(val));
+                            next.outs[out_slot as usize] = Some(old);
+                            next.done[t] |= 1 << i;
+                            work.push(next);
+                        } else {
+                            terminal = false;
+                        }
+                    }
+                    TsoOp::Fence { ord } => {
+                        // Every fence pins program order around itself
+                        // (weak_ready already enforces that); only an SC
+                        // fence additionally drains the store buffer.
+                        if !ord.is_sc() || st.sbs[t].is_empty() {
+                            terminal = false;
+                            let mut next = st.clone();
+                            next.done[t] |= 1 << i;
+                            work.push(next);
+                        } else {
+                            terminal = false;
+                        }
+                    }
+                }
+            }
+        }
+        if terminal {
+            outcomes.insert(st.outs.iter().map(|o| o.unwrap_or(0)).collect());
+        }
+    }
+    outcomes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use TsoOp::*;
+
+    fn st(addr: u8, val: Word) -> TsoOp {
+        TsoOp::St { addr, val, ord: MemOrder::Relaxed }
+    }
+    fn st_ord(addr: u8, val: Word, ord: MemOrder) -> TsoOp {
+        TsoOp::St { addr, val, ord }
+    }
+    fn ld(addr: u8, out_slot: u8) -> TsoOp {
+        TsoOp::Ld { addr, out_slot, ord: MemOrder::Relaxed }
+    }
+    fn ld_ord(addr: u8, out_slot: u8, ord: MemOrder) -> TsoOp {
+        TsoOp::Ld { addr, out_slot, ord }
+    }
+    fn fadd(addr: u8, val: Word, out_slot: u8) -> TsoOp {
+        TsoOp::FetchAdd { addr, val, out_slot, ord: MemOrder::SeqCst }
+    }
+    fn fence() -> TsoOp {
+        TsoOp::Fence { ord: MemOrder::SeqCst }
+    }
+    fn fence_ord(ord: MemOrder) -> TsoOp {
+        TsoOp::Fence { ord }
+    }
 
     #[test]
     fn sb_litmus_allows_both_zero() {
         // The classic store-buffering shape: both loads may read 0.
-        let threads = vec![
-            vec![St { addr: 0, val: 1 }, Ld { addr: 1, out_slot: 0 }],
-            vec![St { addr: 1, val: 1 }, Ld { addr: 0, out_slot: 1 }],
-        ];
+        let threads = vec![vec![st(0, 1), ld(1, 0)], vec![st(1, 1), ld(0, 1)]];
         let outs = enumerate_tso_outcomes(&threads, 2);
         assert!(outs.contains(&vec![0, 0]), "TSO must allow 0,0 for SB");
         assert!(outs.contains(&vec![1, 1]));
@@ -155,8 +329,8 @@ mod tests {
     #[test]
     fn sb_with_fences_forbids_both_zero() {
         let threads = vec![
-            vec![St { addr: 0, val: 1 }, Fence, Ld { addr: 1, out_slot: 0 }],
-            vec![St { addr: 1, val: 1 }, Fence, Ld { addr: 0, out_slot: 1 }],
+            vec![st(0, 1), fence(), ld(1, 0)],
+            vec![st(1, 1), fence(), ld(0, 1)],
         ];
         let outs = enumerate_tso_outcomes(&threads, 2);
         assert!(!outs.contains(&vec![0, 0]), "MFENCE forbids 0,0");
@@ -168,16 +342,8 @@ mod tests {
         // Paper Figure 10: an atomic RMW between the store and the load acts
         // as a fence (type-1 atomicity).
         let threads = vec![
-            vec![
-                St { addr: 0, val: 1 },
-                FetchAdd { addr: 2, val: 1, out_slot: 2 },
-                Ld { addr: 1, out_slot: 0 },
-            ],
-            vec![
-                St { addr: 1, val: 1 },
-                FetchAdd { addr: 3, val: 1, out_slot: 3 },
-                Ld { addr: 0, out_slot: 1 },
-            ],
+            vec![st(0, 1), fadd(2, 1, 2), ld(1, 0)],
+            vec![st(1, 1), fadd(3, 1, 3), ld(0, 1)],
         ];
         let outs = enumerate_tso_outcomes(&threads, 4);
         assert!(
@@ -188,10 +354,7 @@ mod tests {
 
     #[test]
     fn message_passing_is_ordered() {
-        let threads = vec![
-            vec![St { addr: 0, val: 42 }, St { addr: 1, val: 1 }],
-            vec![Ld { addr: 1, out_slot: 0 }, Ld { addr: 0, out_slot: 1 }],
-        ];
+        let threads = vec![vec![st(0, 42), st(1, 1)], vec![ld(1, 0), ld(0, 1)]];
         let outs = enumerate_tso_outcomes(&threads, 2);
         // flag=1 but data=0 is forbidden under TSO.
         assert!(!outs.contains(&vec![1, 0]));
@@ -201,19 +364,134 @@ mod tests {
 
     #[test]
     fn load_forwards_from_own_buffer() {
-        let threads = vec![vec![St { addr: 0, val: 9 }, Ld { addr: 0, out_slot: 0 }]];
+        let threads = vec![vec![st(0, 9), ld(0, 0)]];
         let outs = enumerate_tso_outcomes(&threads, 1);
         assert_eq!(outs, HashSet::from([vec![9]]));
     }
 
     #[test]
     fn rmw_pair_on_same_address_serializes() {
-        let threads = vec![
-            vec![FetchAdd { addr: 0, val: 1, out_slot: 0 }],
-            vec![FetchAdd { addr: 0, val: 1, out_slot: 1 }],
-        ];
+        let threads = vec![vec![fadd(0, 1, 0)], vec![fadd(0, 1, 1)]];
         let outs = enumerate_tso_outcomes(&threads, 2);
         // One sees 0, the other 1 — never both 0.
         assert_eq!(outs, HashSet::from([vec![0, 1], vec![1, 0]]));
+    }
+
+    #[test]
+    fn tso_enumerator_ignores_annotations() {
+        // MP with a fully relaxed reader: still ordered under TSO.
+        let threads = vec![vec![st(0, 42), st(1, 1)], vec![ld(1, 0), ld(0, 1)]];
+        let relaxed = enumerate_tso_outcomes(&threads, 2);
+        let annotated = vec![
+            vec![st_ord(0, 42, MemOrder::Release), st_ord(1, 1, MemOrder::SeqCst)],
+            vec![ld_ord(1, 0, MemOrder::Acquire), ld_ord(0, 1, MemOrder::SeqCst)],
+        ];
+        assert_eq!(relaxed, enumerate_tso_outcomes(&annotated, 2));
+    }
+
+    // ---- weak enumerator ----
+
+    #[test]
+    fn weak_mp_relaxed_allows_stale_data() {
+        let threads = vec![vec![st(0, 42), st(1, 1)], vec![ld(1, 0), ld(0, 1)]];
+        let outs = enumerate_weak_outcomes(&threads, 2);
+        assert!(outs.contains(&vec![1, 0]), "weak allows flag-without-data");
+        assert!(outs.contains(&vec![1, 42]));
+        assert!(outs.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn weak_mp_acquire_restores_order() {
+        // Reader's first load acquire: the stale-data outcome vanishes.
+        // The writer needs no release annotation (FIFO store buffer).
+        let threads = vec![
+            vec![st(0, 42), st(1, 1)],
+            vec![ld_ord(1, 0, MemOrder::Acquire), ld(0, 1)],
+        ];
+        let outs = enumerate_weak_outcomes(&threads, 2);
+        assert!(!outs.contains(&vec![1, 0]));
+        assert!(outs.contains(&vec![1, 42]));
+    }
+
+    #[test]
+    fn weak_mp_acquire_fence_restores_order() {
+        let threads = vec![
+            vec![st(0, 42), st(1, 1)],
+            vec![ld(1, 0), fence_ord(MemOrder::Acquire), ld(0, 1)],
+        ];
+        let outs = enumerate_weak_outcomes(&threads, 2);
+        assert!(!outs.contains(&vec![1, 0]), "any fence pins R->R");
+    }
+
+    #[test]
+    fn weak_sb_relaxed_allows_both_zero_and_sc_fence_forbids() {
+        let relaxed = vec![vec![st(0, 1), ld(1, 0)], vec![st(1, 1), ld(0, 1)]];
+        assert!(enumerate_weak_outcomes(&relaxed, 2).contains(&vec![0, 0]));
+        let fenced = vec![
+            vec![st(0, 1), fence(), ld(1, 0)],
+            vec![st(1, 1), fence(), ld(0, 1)],
+        ];
+        assert!(!enumerate_weak_outcomes(&fenced, 2).contains(&vec![0, 0]));
+        // An acquire fence does NOT drain the store buffer: 0,0 survives.
+        let acq = vec![
+            vec![st(0, 1), fence_ord(MemOrder::Acquire), ld(1, 0)],
+            vec![st(1, 1), fence_ord(MemOrder::Acquire), ld(0, 1)],
+        ];
+        assert!(enumerate_weak_outcomes(&acq, 2).contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn weak_sb_sc_stores_forbid_both_zero() {
+        // No fences at all: the SC annotation on the stores alone blocks
+        // the younger loads until the buffer drains.
+        let threads = vec![
+            vec![st_ord(0, 1, MemOrder::SeqCst), ld(1, 0)],
+            vec![st_ord(1, 1, MemOrder::SeqCst), ld(0, 1)],
+        ];
+        assert!(!enumerate_weak_outcomes(&threads, 2).contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn weak_rmws_keep_sc_strength() {
+        let threads = vec![
+            vec![st(0, 1), fadd(2, 1, 2), ld(1, 0)],
+            vec![st(1, 1), fadd(3, 1, 3), ld(0, 1)],
+        ];
+        let outs = enumerate_weak_outcomes(&threads, 4);
+        assert!(!outs.iter().any(|o| o[0] == 0 && o[1] == 0));
+    }
+
+    #[test]
+    fn weak_same_address_loads_stay_coherent() {
+        // CoRR: the R->R relaxation must not let two same-address loads
+        // observe coherence out of order.
+        let threads = vec![vec![st(0, 1)], vec![ld(0, 0), ld(0, 1)]];
+        let outs = enumerate_weak_outcomes(&threads, 2);
+        assert!(!outs.contains(&vec![1, 0]), "CoRR forbidden under weak too");
+    }
+
+    #[test]
+    fn weak_outcomes_superset_of_tso() {
+        // On every shape above, the weak outcome set contains the TSO set.
+        let shapes: Vec<Vec<Vec<TsoOp>>> = vec![
+            vec![vec![st(0, 42), st(1, 1)], vec![ld(1, 0), ld(0, 1)]],
+            vec![vec![st(0, 1), ld(1, 0)], vec![st(1, 1), ld(0, 1)]],
+            vec![vec![st(0, 1), fadd(2, 1, 2), ld(1, 0)], vec![st(1, 1), ld(0, 1)]],
+            vec![vec![ld(0, 0), st(1, 1)], vec![ld(1, 1), st(0, 1)]],
+        ];
+        for threads in shapes {
+            let n = 4;
+            let tso = enumerate_tso_outcomes(&threads, n);
+            let weak = enumerate_weak_outcomes(&threads, n);
+            assert!(tso.is_subset(&weak), "tso ⊄ weak for {threads:?}");
+        }
+    }
+
+    #[test]
+    fn weak_load_buffering_still_forbidden() {
+        // LB: loads may not hoist past *stores* (R->W preserved), so 1,1
+        // stays forbidden even under weak.
+        let threads = vec![vec![ld(0, 0), st(1, 1)], vec![ld(1, 1), st(0, 1)]];
+        assert!(!enumerate_weak_outcomes(&threads, 2).contains(&vec![1, 1]));
     }
 }

@@ -16,11 +16,14 @@
 //!   run can be opened in `ui.perfetto.dev`, plus [`flight_json`] for
 //!   dumping a crash flight-recorder tail.
 //!
-//! The crate is a leaf: no simulator types, only plain integers, so both
-//! `fa-core` and `fa-mem` can depend on it without layering cycles.
+//! The crate sits just above `fa-isa` (for the [`MemOrder`] annotations on
+//! data events) and below everything else: no simulator types, only plain
+//! integers, so both `fa-core` and `fa-mem` can depend on it without
+//! layering cycles.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub use fa_isa::MemOrder;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -164,6 +167,57 @@ pub fn parse_check_setting(v: &str) -> Result<CheckMode, String> {
     CheckMode::parse(v).ok_or_else(|| format!("mode must be off|tso, got {:?}", v.trim()))
 }
 
+/// Which memory consistency model the cores implement (`FA_MODEL`).
+///
+/// Under [`MemModel::Tso`] (the default) every access has TSO strength and
+/// [`fa_isa::MemOrder`] annotations are semantically inert, so results are
+/// bit-identical to builds that predate the annotations. Under
+/// [`MemModel::Weak`] the frontend honours the annotations: relaxed loads
+/// may reorder with older non-acquire loads, non-SC fences do not drain the
+/// store buffer, and SC stores block younger loads until they drain. The
+/// axiomatic checker and the litmus enumerator are parameterized by the
+/// same value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemModel {
+    /// x86-TSO: total store order, annotations inert.
+    #[default]
+    Tso,
+    /// ARM-like weak model: annotations select the ordering. The store
+    /// buffer stays FIFO (W→W and R→W are always preserved); the model
+    /// relaxes R→R for non-acquire loads and keeps the TSO W→R store-buffer
+    /// relaxation unless an SC fence or SC store intervenes.
+    Weak,
+}
+
+impl MemModel {
+    /// Lower-case name as accepted by `FA_MODEL`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemModel::Tso => "tso",
+            MemModel::Weak => "weak",
+        }
+    }
+
+    /// Parses an `FA_MODEL` word.
+    pub fn parse(v: &str) -> Option<MemModel> {
+        match v.trim() {
+            "tso" => Some(MemModel::Tso),
+            "weak" => Some(MemModel::Weak),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a full `FA_MODEL` setting: `tso` or `weak`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed values, for the loud
+/// `sim::env` error path.
+pub fn parse_model_setting(v: &str) -> Result<MemModel, String> {
+    MemModel::parse(v).ok_or_else(|| format!("model must be tso|weak, got {:?}", v.trim()))
+}
+
 /// The write-id of initial memory (no store has written the word yet).
 pub const WRITE_ID_INIT: u64 = 0;
 
@@ -203,6 +257,8 @@ pub enum DataEvent {
         /// [`write_id`] of the store the value came from
         /// ([`WRITE_ID_INIT`] = initial memory).
         writer: u64,
+        /// Ordering annotation (inert under [`MemModel::Tso`]).
+        ord: MemOrder,
     },
     /// A committed `load_lock` (the read half of an atomic RMW).
     LoadLock {
@@ -224,6 +280,8 @@ pub enum DataEvent {
         addr: u64,
         /// Value written.
         value: u64,
+        /// Ordering annotation (inert under [`MemModel::Tso`]).
+        ord: MemOrder,
     },
     /// A committed `store_unlock` (the write half of an atomic RMW; its
     /// `load_lock` is the entry with seq `seq - 2`).
@@ -241,6 +299,10 @@ pub enum DataEvent {
     Fence {
         /// µop sequence number.
         seq: u64,
+        /// Ordering annotation: `SeqCst` for `MFENCE` and the enforced
+        /// atomic fences; weaker values only arise from annotated
+        /// standalone fences.
+        ord: MemOrder,
     },
 }
 
@@ -252,7 +314,7 @@ impl DataEvent {
             | DataEvent::LoadLock { seq, .. }
             | DataEvent::Store { seq, .. }
             | DataEvent::StoreUnlock { seq, .. }
-            | DataEvent::Fence { seq } => seq,
+            | DataEvent::Fence { seq, .. } => seq,
         }
     }
 
@@ -275,6 +337,19 @@ impl DataEvent {
     /// True for the two load variants.
     pub fn is_read(&self) -> bool {
         matches!(self, DataEvent::Load { .. } | DataEvent::LoadLock { .. })
+    }
+
+    /// Effective ordering strength of the event under the weak model.
+    ///
+    /// `LoadLock`/`StoreUnlock` are pinned to `SeqCst` (the RMW line-lock
+    /// protocol); plain accesses and fences report their annotation.
+    pub fn ord(&self) -> MemOrder {
+        match *self {
+            DataEvent::Load { ord, .. }
+            | DataEvent::Store { ord, .. }
+            | DataEvent::Fence { ord, .. } => ord,
+            DataEvent::LoadLock { .. } | DataEvent::StoreUnlock { .. } => MemOrder::SeqCst,
+        }
     }
 }
 
@@ -1214,9 +1289,9 @@ mod tests {
 
     #[test]
     fn data_event_accessors() {
-        let ld = DataEvent::Load { seq: 4, addr: 64, value: 9, writer: write_id(1, 2) };
-        let st = DataEvent::Store { seq: 5, addr: 64, value: 10 };
-        let fence = DataEvent::Fence { seq: 6 };
+        let ld = DataEvent::Load { seq: 4, addr: 64, value: 9, writer: write_id(1, 2), ord: MemOrder::Relaxed };
+        let st = DataEvent::Store { seq: 5, addr: 64, value: 10, ord: MemOrder::Relaxed };
+        let fence = DataEvent::Fence { seq: 6, ord: MemOrder::SeqCst };
         assert!(ld.is_read() && !ld.is_write());
         assert!(st.is_write() && !st.is_read());
         assert_eq!((fence.seq(), fence.addr()), (6, None));

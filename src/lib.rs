@@ -63,8 +63,9 @@ pub mod prelude {
     pub use fa_mem::{CoreId, MemConfig, MemorySystem};
     pub use fa_sim::axiom::{CheckReport, Execution, Violation};
     pub use fa_sim::energy::{EnergyBreakdown, EnergyModel};
+    pub use fa_isa::MemOrder;
     pub use fa_sim::litmus::{LOp, LitmusTest};
-    pub use fa_sim::CheckMode;
+    pub use fa_sim::{CheckMode, MemModel};
     pub use fa_sim::machine::{Machine, MachineConfig, RunResult};
     pub use fa_sim::methodology::{measure, Methodology};
     pub use fa_sim::presets::{icelake_like, skylake_like, tiny_machine};

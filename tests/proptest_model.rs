@@ -1,6 +1,6 @@
 //! Property-based validation of the detailed model.
 //!
-//! Three families:
+//! Five families:
 //!
 //! 1. **Golden-model equivalence** — random single-threaded programs must
 //!    leave identical architectural state on the out-of-order machine and
@@ -15,6 +15,11 @@
 //!    must yield outcomes the enumerator allows AND histories the
 //!    axiomatic checker accepts; corrupting one value in the history must
 //!    flip the checker to reject.
+//! 5. **Oracle vs oracle, weak** — the same agreement property under the
+//!    ARM-like weak baseline: a schedule-driven weak operational machine
+//!    (load hoisting, FIFO store buffers, SC-store load gates) against
+//!    `enumerate_weak_outcomes` and `axiom::check_model(.., Weak)`, plus
+//!    the corrupted-rf rejection case under the weak model.
 
 use free_atomics::prelude::*;
 use free_atomics::sim::{axiom, write_id, DataEvent, SerEvent, WRITE_ID_INIT};
@@ -222,16 +227,16 @@ proptest! {
         let mut mk = |ops: &[(u8, u8, u8)]| -> Vec<LOp> {
             ops.iter()
                 .map(|&(kind, addr, val)| match kind {
-                    0 => LOp::St { addr, val: val as u64 },
+                    0 => LOp::st(addr, val as u64),
                     1 => {
                         let out = next_out;
                         next_out += 1;
-                        LOp::Ld { addr, out }
+                        LOp::ld(addr, out)
                     }
                     _ => {
                         let out = next_out;
                         next_out += 1;
-                        LOp::FetchAdd { addr, val: val as u64, out }
+                        LOp::fadd(addr, val as u64, out)
                     }
                 })
                 .collect()
@@ -288,7 +293,7 @@ fn run_operational_tso(
         for (i, t) in ts.iter().enumerate() {
             if t.pc < t.ops.len() {
                 let needs_empty_sb =
-                    matches!(t.ops[t.pc], LOp::Fence | LOp::FetchAdd { .. });
+                    matches!(t.ops[t.pc], LOp::Fence { .. } | LOp::FetchAdd { .. });
                 if !needs_empty_sb || t.sb.is_empty() {
                     enabled.push((i, false));
                 }
@@ -314,13 +319,13 @@ fn run_operational_tso(
             continue;
         }
         match t.ops[t.pc] {
-            LOp::St { addr, val } => {
+            LOp::St { addr, val, ord } => {
                 let addr = f4_loc(addr);
                 t.sb.push_back((t.seq, addr, val));
-                t.events.push(DataEvent::Store { seq: t.seq, addr, value: val });
+                t.events.push(DataEvent::Store { seq: t.seq, addr, value: val, ord });
                 t.seq += 1;
             }
-            LOp::Ld { addr, out } => {
+            LOp::Ld { addr, out, ord } => {
                 let addr = f4_loc(addr);
                 // Newest same-address store-buffer entry forwards; its
                 // write-id is the rf source even before it performs.
@@ -331,11 +336,11 @@ fn run_operational_tso(
                         last_writer.get(&addr).copied().unwrap_or(WRITE_ID_INIT),
                     ),
                 };
-                t.events.push(DataEvent::Load { seq: t.seq, addr, value, writer });
+                t.events.push(DataEvent::Load { seq: t.seq, addr, value, writer, ord });
                 outs[out as usize] = value;
                 t.seq += 1;
             }
-            LOp::FetchAdd { addr, val, out } => {
+            LOp::FetchAdd { addr, val, out, .. } => {
                 let addr = f4_loc(addr);
                 // SB is empty here; the read-modify-write is one atomic
                 // step. The µop triple occupies seqs s, s+1, s+2.
@@ -352,8 +357,8 @@ fn run_operational_tso(
                 outs[out as usize] = old;
                 t.seq += 3;
             }
-            LOp::Fence => {
-                t.events.push(DataEvent::Fence { seq: t.seq });
+            LOp::Fence { ord } => {
+                t.events.push(DataEvent::Fence { seq: t.seq, ord });
                 t.seq += 1;
             }
         }
@@ -363,9 +368,42 @@ fn run_operational_tso(
     (outs, free_atomics::sim::Execution { cores, ser })
 }
 
-fn family4_op() -> impl Strategy<Value = (u8, u8, u8)> {
-    // (kind: St/Ld/FetchAdd/Fence, addr, value)
-    (0u8..4, 0u8..3, 1u8..4)
+fn family4_op() -> impl Strategy<Value = (u8, u8, u8, u8)> {
+    // (kind: St/Ld/FetchAdd/Fence, addr, value, ordering index). Under
+    // TSO the annotation is inert; under weak it selects the hardware
+    // ordering strength.
+    (0u8..4, 0u8..3, 1u8..4, 0u8..MemOrder::ALL.len() as u8)
+}
+
+/// Builds two litmus threads from raw generator tuples, assigning
+/// observation slots in encounter order. Thread 0 is prefixed with a
+/// plain store so the corruption step always has a write to mutate.
+fn family4_threads(t0: &[(u8, u8, u8, u8)], t1: &[(u8, u8, u8, u8)]) -> Vec<Vec<LOp>> {
+    let mut next_out = 0u8;
+    let mut mk = |ops: &[(u8, u8, u8, u8)]| -> Vec<LOp> {
+        ops.iter()
+            .map(|&(kind, addr, val, ord)| {
+                let ord = MemOrder::ALL[ord as usize];
+                match kind {
+                    0 => LOp::st_ord(addr, val as u64, ord),
+                    1 => {
+                        let out = next_out;
+                        next_out += 1;
+                        LOp::ld_ord(addr, out, ord)
+                    }
+                    2 => {
+                        let out = next_out;
+                        next_out += 1;
+                        LOp::fadd(addr, val as u64, out)
+                    }
+                    _ => LOp::fence_ord(ord),
+                }
+            })
+            .collect()
+    };
+    let mut first = vec![LOp::st(0, 7)];
+    first.extend(mk(t0));
+    vec![first, mk(t1)]
 }
 
 proptest! {
@@ -377,30 +415,7 @@ proptest! {
         t1 in prop::collection::vec(family4_op(), 1..4),
         schedule in prop::collection::vec(any::<u16>(), 8..32),
     ) {
-        let mut next_out = 0u8;
-        let mut mk = |ops: &[(u8, u8, u8)]| -> Vec<LOp> {
-            ops.iter()
-                .map(|&(kind, addr, val)| match kind {
-                    0 => LOp::St { addr, val: val as u64 },
-                    1 => {
-                        let out = next_out;
-                        next_out += 1;
-                        LOp::Ld { addr, out }
-                    }
-                    2 => {
-                        let out = next_out;
-                        next_out += 1;
-                        LOp::FetchAdd { addr, val: val as u64, out }
-                    }
-                    _ => LOp::Fence,
-                })
-                .collect()
-        };
-        // Always at least one store, so the corruption step below has a
-        // write to mutate.
-        let mut first = vec![LOp::St { addr: 0, val: 7 }];
-        first.extend(mk(&t0));
-        let threads = vec![first, mk(&t1)];
+        let threads = family4_threads(&t0, &t1);
         let test = LitmusTest { name: "family4", threads: threads.clone() };
 
         let (outs, x) = run_operational_tso(&threads, &schedule, test.num_outs());
@@ -415,39 +430,228 @@ proptest! {
             prop_assert!(false, "axiomatic checker rejected a TSO-valid history: {v}");
         }
 
-        // Corrupted rf/co: bump one read-from-store value if any load read
-        // a real write, else bump a committed store's value. Either way
-        // the checker must reject with a well-formedness axiom.
-        let mut bad = x.clone();
-        let mut mutated = false;
-        'outer: for evs in bad.cores.iter_mut() {
+        // Corrupted rf/co must be rejected by a well-formedness axiom.
+        let v = axiom::check(&corrupt_history(&x)).expect_err("corrupted history must be rejected");
+        prop_assert!(
+            v.axiom == "rf-wf" || v.axiom == "co-wf",
+            "corruption must trip a well-formedness axiom, got {}",
+            v.axiom
+        );
+    }
+}
+
+/// Corrupts one value in a history: bumps a read-from-store value if any
+/// load read a real write, else bumps a committed store's value. Either
+/// way the result desynchronizes rf/co, which the checker must catch
+/// with a well-formedness axiom under *any* memory model.
+fn corrupt_history(x: &free_atomics::sim::Execution) -> free_atomics::sim::Execution {
+    let mut bad = x.clone();
+    let mut mutated = false;
+    'outer: for evs in bad.cores.iter_mut() {
+        for ev in evs.iter_mut() {
+            match ev {
+                DataEvent::Load { value, writer, .. }
+                | DataEvent::LoadLock { value, writer, .. }
+                    if *writer != WRITE_ID_INIT =>
+                {
+                    *value += 1;
+                    mutated = true;
+                    break 'outer;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !mutated {
+        'outer2: for evs in bad.cores.iter_mut() {
             for ev in evs.iter_mut() {
-                match ev {
-                    DataEvent::Load { value, writer, .. }
-                    | DataEvent::LoadLock { value, writer, .. }
-                        if *writer != WRITE_ID_INIT =>
-                    {
-                        *value += 1;
-                        mutated = true;
-                        break 'outer;
-                    }
-                    _ => {}
+                if let DataEvent::Store { value, .. } | DataEvent::StoreUnlock { value, .. } = ev {
+                    *value += 1;
+                    break 'outer2;
                 }
             }
         }
-        if !mutated {
-            'outer2: for evs in bad.cores.iter_mut() {
-                for ev in evs.iter_mut() {
-                    if let DataEvent::Store { value, .. } | DataEvent::StoreUnlock { value, .. } =
-                        ev
-                    {
-                        *value += 1;
-                        break 'outer2;
-                    }
+    }
+    bad
+}
+
+// ---------------------------------------------------------------- family 5
+
+/// A schedule-driven operational machine for the ARM-like weak baseline,
+/// mirroring `enumerate_weak_outcomes`' transition system exactly: loads
+/// may hoist over undone non-acquire loads to other addresses, stores
+/// drain FIFO, an SC store in the local buffer blocks younger loads, SC
+/// fences and RMWs require an empty buffer while weaker fences only pin
+/// program order. Events are recorded per program position and emitted
+/// in program order (hardware commits in order even when memory acts
+/// out of order), in exactly the shape the detailed simulator emits.
+fn run_operational_weak(
+    threads: &[Vec<LOp>],
+    schedule: &[u16],
+    num_outs: usize,
+) -> (Vec<u64>, free_atomics::sim::Execution) {
+    struct Thread<'a> {
+        ops: &'a [LOp],
+        seqs: Vec<u64>,
+        done: u32,
+        sb: VecDeque<(u64, u64, u64, bool)>, // (seq, addr, value, sc)
+        events: Vec<Vec<DataEvent>>,         // per program position
+    }
+    // Mirror of `tsoref::weak_ready`: op `i` may execute when all its
+    // predecessors are done, or when it is a load and every undone
+    // predecessor is a non-acquire load to a different address.
+    fn ready(ops: &[LOp], done: u32, i: usize) -> bool {
+        let undone = |j: usize| done & (1 << j) == 0;
+        if (0..i).all(|j| !undone(j)) {
+            return true;
+        }
+        let LOp::Ld { addr, .. } = ops[i] else { return false };
+        (0..i).filter(|&j| undone(j)).all(|j| match ops[j] {
+            LOp::Ld { addr: a, ord, .. } => !ord.is_acquire() && a != addr,
+            _ => false,
+        })
+    }
+    let mut ts: Vec<Thread> = threads
+        .iter()
+        .map(|ops| {
+            let mut seq = 1u64;
+            let seqs = ops
+                .iter()
+                .map(|op| {
+                    let s = seq;
+                    seq += if matches!(op, LOp::FetchAdd { .. }) { 3 } else { 1 };
+                    s
+                })
+                .collect();
+            Thread {
+                ops,
+                seqs,
+                done: 0,
+                sb: VecDeque::new(),
+                events: vec![Vec::new(); ops.len()],
+            }
+        })
+        .collect();
+    let mut mem: HashMap<u64, u64> = HashMap::new();
+    let mut last_writer: HashMap<u64, u64> = HashMap::new();
+    let mut ser: Vec<SerEvent> = Vec::new();
+    let mut outs = vec![0u64; num_outs];
+    let mut step = 0usize;
+    loop {
+        // Enabled actions: (thread, Some(op index)) executes, (thread,
+        // None) drains the oldest store-buffer entry.
+        let mut enabled: Vec<(usize, Option<usize>)> = Vec::new();
+        for (i, t) in ts.iter().enumerate() {
+            for (j, op) in t.ops.iter().enumerate() {
+                if t.done & (1 << j) != 0 || !ready(t.ops, t.done, j) {
+                    continue;
+                }
+                let ok = match *op {
+                    LOp::St { .. } => true,
+                    // SC store pending locally: its store-load fence half
+                    // holds younger loads back until it drains.
+                    LOp::Ld { .. } => !t.sb.iter().any(|&(_, _, _, sc)| sc),
+                    LOp::FetchAdd { .. } => t.sb.is_empty(),
+                    LOp::Fence { ord } => !ord.is_sc() || t.sb.is_empty(),
+                };
+                if ok {
+                    enabled.push((i, Some(j)));
                 }
             }
+            if !t.sb.is_empty() {
+                enabled.push((i, None));
+            }
         }
-        let v = axiom::check(&bad).expect_err("corrupted history must be rejected");
+        if enabled.is_empty() {
+            break;
+        }
+        let pick = schedule[step % schedule.len()] as usize % enabled.len();
+        step += 1;
+        let (i, act) = enabled[pick];
+        let core = i as u16;
+        let t = &mut ts[i];
+        let Some(j) = act else {
+            let (sseq, addr, value, _) = t.sb.pop_front().expect("drain picked on non-empty SB");
+            let wid = write_id(core, sseq);
+            mem.insert(addr, value);
+            last_writer.insert(addr, wid);
+            ser.push(SerEvent { addr, writer: wid, value, epoch: 0, under_lock: false });
+            continue;
+        };
+        let seq = t.seqs[j];
+        match t.ops[j] {
+            LOp::St { addr, val, ord } => {
+                let addr = f4_loc(addr);
+                t.sb.push_back((seq, addr, val, ord.is_sc()));
+                t.events[j].push(DataEvent::Store { seq, addr, value: val, ord });
+            }
+            LOp::Ld { addr, out, ord } => {
+                let addr = f4_loc(addr);
+                let (value, writer) = match t.sb.iter().rev().find(|e| e.1 == addr) {
+                    Some(&(sseq, _, v, _)) => (v, write_id(core, sseq)),
+                    None => (
+                        mem.get(&addr).copied().unwrap_or(0),
+                        last_writer.get(&addr).copied().unwrap_or(WRITE_ID_INIT),
+                    ),
+                };
+                t.events[j].push(DataEvent::Load { seq, addr, value, writer, ord });
+                outs[out as usize] = value;
+            }
+            LOp::FetchAdd { addr, val, out, .. } => {
+                let addr = f4_loc(addr);
+                let old = mem.get(&addr).copied().unwrap_or(0);
+                let writer = last_writer.get(&addr).copied().unwrap_or(WRITE_ID_INIT);
+                let new = old.wrapping_add(val);
+                let su_seq = seq + 2;
+                let wid = write_id(core, su_seq);
+                t.events[j].push(DataEvent::LoadLock { seq, addr, value: old, writer });
+                t.events[j].push(DataEvent::StoreUnlock { seq: su_seq, addr, value: new });
+                mem.insert(addr, new);
+                last_writer.insert(addr, wid);
+                ser.push(SerEvent { addr, writer: wid, value: new, epoch: 0, under_lock: true });
+                outs[out as usize] = old;
+            }
+            LOp::Fence { ord } => {
+                t.events[j].push(DataEvent::Fence { seq, ord });
+            }
+        }
+        t.done |= 1 << j;
+    }
+    let cores = ts
+        .into_iter()
+        .map(|t| t.events.into_iter().flatten().collect())
+        .collect();
+    (outs, free_atomics::sim::Execution { cores, ser })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn synthetic_weak_histories_satisfy_both_oracles(
+        t0 in prop::collection::vec(family4_op(), 1..4),
+        t1 in prop::collection::vec(family4_op(), 1..4),
+        schedule in prop::collection::vec(any::<u16>(), 8..32),
+    ) {
+        let threads = family4_threads(&t0, &t1);
+        let test = LitmusTest { name: "family5", threads: threads.clone() };
+
+        let (outs, x) = run_operational_weak(&threads, &schedule, test.num_outs());
+
+        // Oracle 1: the weak enumerator allows this outcome.
+        prop_assert!(
+            test.allowed_outcomes_under(MemModel::Weak).contains(&outs),
+            "weak operational executor produced an outcome the enumerator forbids: {outs:?}"
+        );
+        // Oracle 2: the parameterized axiomatic checker accepts it.
+        if let Err(v) = axiom::check_model(&x, MemModel::Weak) {
+            prop_assert!(false, "axiomatic checker rejected a weak-valid history: {v}");
+        }
+
+        // Corrupted rf/co is rejected under the weak model too — the
+        // well-formedness axioms are model-independent.
+        let v = axiom::check_model(&corrupt_history(&x), MemModel::Weak)
+            .expect_err("corrupted history must be rejected");
         prop_assert!(
             v.axiom == "rf-wf" || v.axiom == "co-wf",
             "corruption must trip a well-formedness axiom, got {}",
